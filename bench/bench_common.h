@@ -1,0 +1,38 @@
+// Shared setup for the experiment harnesses: the full-scale campaign (675
+// VPs, complete Fig. 2 schedule, seed 42) that every bench reproduces its
+// table or figure from. Numbers printed by the benches are recorded in
+// EXPERIMENTS.md next to the paper's values.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "measure/campaign.h"
+
+namespace rootsim::bench {
+
+inline measure::CampaignConfig paper_campaign_config() {
+  measure::CampaignConfig config;
+  config.seed = 42;
+  // Full VP set and schedule; a moderate TLD count keeps AXFR-heavy benches
+  // quick while preserving zone structure (delegations, DS, glue, DNSSEC).
+  config.zone.tld_count = 120;
+  config.zone.rsa_modulus_bits = 768;
+  return config;
+}
+
+inline const measure::Campaign& paper_campaign() {
+  static const measure::Campaign campaign(paper_campaign_config());
+  return campaign;
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_reference) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("reproduces: %s\n", paper_reference.c_str());
+  std::printf("seed=42, 675 VPs, %s..%s\n", "2023-07-03", "2023-12-24");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace rootsim::bench

@@ -1,0 +1,25 @@
+// Figs. 1 & 11: coverage maps — ASCII world maps of each root's sites with
+// observed/unobserved markers (Fig. 1b is the f.root panel).
+#include "analysis/coverage.h"
+#include "bench_common.h"
+
+using namespace rootsim;
+
+int main() {
+  bench::print_header("Figures 1 & 11 — Root server instance coverage maps",
+                      "The Roots Go Deep, Figs. 1 and 11");
+  const measure::Campaign& campaign = bench::paper_campaign();
+  auto report = analysis::compute_coverage(campaign);
+
+  std::printf("legend: G covered global, g unobserved global, L covered local, "
+              "l unobserved local\n\n");
+  for (int root = 0; root < static_cast<int>(rss::kRootCount); ++root) {
+    const auto& coverage = report.worldwide[static_cast<size_t>(root)];
+    std::printf("%c.root-servers.net.  global %d/%d  local %d/%d\n",
+                'a' + root, coverage.global.covered, coverage.global.sites,
+                coverage.local.covered, coverage.local.sites);
+    std::printf("%s\n",
+                analysis::render_coverage_map(campaign, report, root).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 12: ISP traffic shares across all 13 roots over the observation
+// windows — b.root's total share is barely affected by the renumbering.
+#include "analysis/traffic_report.h"
+#include "bench_common.h"
+#include "traffic/collectors.h"
+#include "util/table.h"
+
+using namespace rootsim;
+
+int main() {
+  bench::print_header("Figure 12 — ISP: traffic to all roots",
+                      "The Roots Go Deep, Fig. 12 (appendix D)");
+  util::UnixTime change = util::make_time(2023, 11, 27);
+  traffic::PopulationConfig population = traffic::isp_population_config();
+  population.clients = 20000;
+  traffic::PassiveCollector isp(traffic::generate_population(population),
+                                traffic::isp_collector_config(), change);
+
+  struct Window {
+    const char* label;
+    util::UnixTime start, end;
+  };
+  Window windows[] = {
+      {"2023-10-07 (before)", util::make_time(2023, 10, 7),
+       util::make_time(2023, 10, 9)},
+      {"2024-02 (after)", util::make_time(2024, 2, 9), util::make_time(2024, 3, 1)},
+      {"2024-04 (later)", util::make_time(2024, 4, 22), util::make_time(2024, 4, 29)},
+  };
+  util::TextTable table({"Root", windows[0].label, windows[1].label,
+                         windows[2].label});
+  std::array<analysis::RootShares, 3> shares;
+  for (size_t w = 0; w < 3; ++w)
+    shares[w] = analysis::root_shares(isp.collect(windows[w].start, windows[w].end));
+  for (int root = 0; root < 13; ++root) {
+    table.add_row({std::string(1, 'a' + root),
+                   util::TextTable::pct(shares[0].share[root]),
+                   util::TextTable::pct(shares[1].share[root]),
+                   util::TextTable::pct(shares[2].share[root])});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("b.root share before=%.2f%% after=%.2f%%  [paper: 4.90%% -> 4.46%%,\n"
+              " hardly changed despite the renumbering]\n",
+              100 * shares[0].share[1], 100 * shares[1].share[1]);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figs. 6/14/15: RTT distributions of requests by continent, root deployment
+// and address family (violin/box rendering + the §6 per-root comparisons).
+#include "analysis/rtt.h"
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace rootsim;
+
+int main() {
+  bench::print_header(
+      "Figures 6/14/15 — RTTs of requests by continent, root and family",
+      "The Roots Go Deep, Fig. 6 (+ Figs. 14/15, appendix G) + Section 6");
+  const measure::Campaign& campaign = bench::paper_campaign();
+  auto report = analysis::compute_rtt(campaign);
+
+  for (util::Region region : util::all_regions())
+    std::printf("%s\n", report.render_region(region).c_str());
+
+  // The paper's named effects.
+  util::TextTable table({"Effect (paper)", "ours v4 mean", "ours v6 mean",
+                         "paper v4", "paper v6"});
+  auto add = [&](const char* label, util::Region region, size_t column,
+                 const char* paper_v4, const char* paper_v6) {
+    const auto& cell = report.cell(region, column);
+    table.add_row({label, util::TextTable::num(cell.summary_v4.mean, 1),
+                   util::TextTable::num(cell.summary_v6.mean, 1), paper_v4,
+                   paper_v6});
+  };
+  add("a.root South America", util::Region::SouthAmerica, 0, "168.3", "140.0");
+  add("h.root South America", util::Region::SouthAmerica, 8, "43.7", "53.7");
+  add("i.root South America", util::Region::SouthAmerica, 9, "23.8", "50.9");
+  add("i.root North America", util::Region::NorthAmerica, 9, "62.6", "46.2");
+  add("l.root Africa", util::Region::Africa, 12, "(local)", "62.5");
+  std::printf("%s\n", table.render().c_str());
+  std::printf("[expected orderings: a-SA v4>v6; h-SA and i-SA v6>v4 (i by\n"
+              " >100%%); i-NA v6<v4 (~26%% lower); l-SA v6 ~39%% below v4]\n");
+  return 0;
+}

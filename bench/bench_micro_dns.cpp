@@ -1,0 +1,87 @@
+// Microbenchmarks of the DNS layer: name handling, canonical ordering, zone
+// parsing/printing, AXFR stream framing, zone diffing.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "dns/axfr.h"
+#include "dns/zone_diff.h"
+#include "dnssec/canonical.h"
+
+using namespace rootsim;
+
+namespace {
+
+void BM_NameParse(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dns::Name::parse("b.root-servers.net."));
+}
+BENCHMARK(BM_NameParse);
+
+void BM_NameCanonicalCompare(benchmark::State& state) {
+  dns::Name a = *dns::Name::parse("yljkjljk.a.example.");
+  dns::Name b = *dns::Name::parse("Z.a.example.");
+  for (auto _ : state) benchmark::DoNotOptimize(a.canonical_compare(b));
+}
+BENCHMARK(BM_NameCanonicalCompare);
+
+const dns::Zone& bench_zone() {
+  static const dns::Zone& zone = bench::paper_campaign().authority().zone_at(
+      util::make_time(2023, 12, 10));
+  return zone;
+}
+
+void BM_ZoneToMasterFile(benchmark::State& state) {
+  const dns::Zone& zone = bench_zone();
+  for (auto _ : state) benchmark::DoNotOptimize(zone.to_master_file());
+  state.counters["records"] = static_cast<double>(zone.record_count());
+}
+BENCHMARK(BM_ZoneToMasterFile);
+
+void BM_ZoneParseMasterFile(benchmark::State& state) {
+  std::string text = bench_zone().to_master_file();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dns::Zone::parse_master_file(text));
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_ZoneParseMasterFile);
+
+void BM_AxfrEncodeStream(benchmark::State& state) {
+  auto records = bench_zone().axfr_records();
+  dns::Question question{dns::Name(), dns::RRType::AXFR, dns::RRClass::IN};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dns::encode_axfr_stream(records, question));
+}
+BENCHMARK(BM_AxfrEncodeStream);
+
+void BM_AxfrDecodeStream(benchmark::State& state) {
+  auto stream = dns::encode_axfr_stream(
+      bench_zone().axfr_records(),
+      dns::Question{dns::Name(), dns::RRType::AXFR, dns::RRClass::IN});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dns::decode_axfr_stream(stream));
+  state.SetBytesProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_AxfrDecodeStream);
+
+void BM_ZoneDiffIdentical(benchmark::State& state) {
+  const dns::Zone& zone = bench_zone();
+  for (auto _ : state) benchmark::DoNotOptimize(dns::diff_zones(zone, zone));
+}
+BENCHMARK(BM_ZoneDiffIdentical);
+
+void BM_SigningPayload(benchmark::State& state) {
+  const dns::Zone& zone = bench_zone();
+  const dns::RRset* ns = zone.find(dns::Name(), dns::RRType::NS);
+  dns::RrsigData sig;
+  sig.type_covered = dns::RRType::NS;
+  sig.algorithm = 8;
+  sig.original_ttl = ns->ttl;
+  sig.signer = dns::Name();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dnssec::signing_payload(sig, *ns));
+}
+BENCHMARK(BM_SigningPayload);
+
+}  // namespace
+
+BENCHMARK_MAIN();

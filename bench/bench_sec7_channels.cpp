@@ -1,0 +1,86 @@
+// Section 7's three-source validation study: ICANN CZDS daily files, IANA
+// website downloads every 15 minutes, and AXFRs (Table 2 has the AXFR rows;
+// this bench covers the two download channels' timelines).
+#include "bench_common.h"
+#include "dnssec/validator.h"
+#include "rss/distribution.h"
+#include "util/table.h"
+
+using namespace rootsim;
+
+int main() {
+  bench::print_header("Section 7 — zone file validation by distribution channel",
+                      "The Roots Go Deep, §7 (CZDS + IANA download findings)");
+  const measure::Campaign& campaign = bench::paper_campaign();
+  const auto& authority = campaign.authority();
+  auto anchors = authority.trust_anchors();
+
+  struct ChannelStats {
+    size_t files = 0;
+    size_t no_zonemd = 0;
+    size_t unverifiable = 0;
+    size_t verified = 0;
+    size_t dnssec_failures = 0;
+    util::UnixTime first_zonemd = 0;
+    util::UnixTime first_verified = 0;
+  };
+  auto audit = [&](rss::DistributionSource source, util::UnixTime start,
+                   util::UnixTime end, int64_t stride_s) {
+    rss::DistributionChannel channel(authority, source);
+    ChannelStats stats;
+    for (util::UnixTime t = start; t < end; t += stride_s) {
+      auto file = channel.fetch(t);
+      auto zone = dns::Zone::parse_master_file(file.master_file);
+      if (!zone) continue;
+      ++stats.files;
+      auto result = dnssec::validate_zone(*zone, anchors, t);
+      if (!result.signature_failures.empty()) ++stats.dnssec_failures;
+      switch (result.zonemd) {
+        case dnssec::ZonemdStatus::NoZonemd:
+          ++stats.no_zonemd;
+          break;
+        case dnssec::ZonemdStatus::UnsupportedScheme:
+          ++stats.unverifiable;
+          if (stats.first_zonemd == 0) stats.first_zonemd = file.published_at;
+          break;
+        case dnssec::ZonemdStatus::Verified:
+          ++stats.verified;
+          if (stats.first_zonemd == 0) stats.first_zonemd = file.published_at;
+          if (stats.first_verified == 0)
+            stats.first_verified = file.published_at;
+          break;
+        default:
+          break;
+      }
+    }
+    return stats;
+  };
+
+  // CZDS: daily files over the paper's window 2023-09-15 .. 2024-03-27.
+  // IANA: 15-minute cadence is too many files to validate exhaustively here;
+  // stride 6h preserves the timeline (the paper validated all 23,823).
+  auto czds = audit(rss::DistributionSource::Czds, util::make_time(2023, 9, 15),
+                    util::make_time(2024, 3, 27), util::kSecondsPerDay);
+  auto iana = audit(rss::DistributionSource::IanaWebsite,
+                    util::make_time(2023, 7, 11), util::make_time(2024, 2, 14),
+                    6 * 3600);
+
+  util::TextTable table({"Channel", "files", "no ZONEMD", "unverifiable",
+                         "verified", "DNSSEC fail", "first ZONEMD",
+                         "verifies from"});
+  auto row = [&](const char* name, const ChannelStats& s) {
+    table.add_row({name, std::to_string(s.files), std::to_string(s.no_zonemd),
+                   std::to_string(s.unverifiable), std::to_string(s.verified),
+                   std::to_string(s.dnssec_failures),
+                   s.first_zonemd ? util::format_date(s.first_zonemd) : "-",
+                   s.first_verified ? util::format_date(s.first_verified) : "-"});
+  };
+  row("ICANN CZDS (daily)", czds);
+  row("IANA website (6h stride)", iana);
+  std::printf("%s\n", table.render().c_str());
+  std::printf("[paper: 194 CZDS files, ZONEMD from 2023-09-21, validating from\n"
+              " 2023-12-07 on; 23,823 IANA files, first ZONEMD record\n"
+              " 2023-09-21T13:30, validating from 2023-12-06T20:30; *no*\n"
+              " issues found in either download channel — unlike AXFR]\n");
+  return 0;
+}

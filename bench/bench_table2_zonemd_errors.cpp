@@ -1,0 +1,34 @@
+// Table 2: ZONEMD/RRSIG validation errors for zones obtained via AXFR —
+// the full audit over the fault plan plus sampled clean transfers.
+#include "analysis/zonemd_report.h"
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace rootsim;
+
+int main() {
+  bench::print_header("Table 2 — ZONEMD validation errors for zones from AXFRs",
+                      "The Roots Go Deep, Table 2 + Section 7");
+  const measure::Campaign& campaign = bench::paper_campaign();
+  auto observations = campaign.run_zone_audit(/*clean_samples=*/400);
+  auto report = analysis::summarize_zone_audit(observations);
+
+  util::TextTable table({"Reason", "#SOA", "First Obs.", "Last Obs.", "#Obs.",
+                         "Server", "VPid"});
+  for (const auto& row : report.rows) {
+    table.add_row({row.reason, std::to_string(row.distinct_soas),
+                   util::format_datetime(row.first_observed),
+                   util::format_datetime(row.last_observed),
+                   std::to_string(row.observations), row.servers, row.vp_ids});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("total transfers audited : %zu\n", report.total_observations);
+  std::printf("clean                   : %zu\n", report.clean_observations);
+  std::printf("failing                 : %zu\n", report.failing_observations);
+  std::printf("catchable by ZONEMD     : %zu\n", report.catchable_by_zonemd);
+  std::printf("\n[paper: 6 time-related errors on 2 VPs; 8 bitflipped transfers\n"
+              " on 3 VPs over 5 servers; stale zones at 2 d.root sites (Tokyo\n"
+              " 3 VPs/12 obs, Leeds 7 VPs/40 obs); 15 distinct bad zone files\n"
+              " from 66 observations out of 75.7M transfers]\n");
+  return 0;
+}

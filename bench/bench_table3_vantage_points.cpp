@@ -1,0 +1,32 @@
+// Table 3: distribution of vantage points per region.
+#include "bench_common.h"
+#include "measure/vantage.h"
+#include "util/table.h"
+
+using namespace rootsim;
+
+int main() {
+  bench::print_header("Table 3 — Distribution of vantage points per region",
+                      "The Roots Go Deep, Table 3");
+  const measure::Campaign& campaign = bench::paper_campaign();
+  auto summary = measure::summarize_regions(campaign.vantage_points());
+
+  util::TextTable table(
+      {"", "Africa", "Asia", "Europe", "N. America", "S. America", "Oceania"});
+  auto row = [&](const char* label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (util::Region region : util::all_regions())
+      cells.push_back(std::to_string(getter(summary[static_cast<size_t>(region)])));
+    table.add_row(cells);
+  };
+  row("#Vantage Points",
+      [](const measure::RegionSummary& s) { return s.vantage_points; });
+  row("Unique Countries",
+      [](const measure::RegionSummary& s) { return s.unique_countries; });
+  row("Unique Networks",
+      [](const measure::RegionSummary& s) { return s.unique_networks; });
+  std::printf("%s\n", table.render().c_str());
+  std::printf("[paper: 10/52/435/133/13/32 VPs, 4/19/29/3/3/4 countries,\n"
+              " 9/31/386/94/12/22 networks — reproduced exactly by design]\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Table 4: coverage of root sites per region (global/local/total per root).
+#include "analysis/coverage.h"
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace rootsim;
+
+int main() {
+  bench::print_header("Table 4 — Coverage of root sites per region",
+                      "The Roots Go Deep, Table 4 (appendix C)");
+  const measure::Campaign& campaign = bench::paper_campaign();
+  auto report = analysis::compute_coverage(campaign);
+
+  for (util::Region region : util::all_regions()) {
+    std::printf("--- %s ---\n", std::string(util::region_name(region)).c_str());
+    util::TextTable table({"Root", "G#", "GCov", "G%", "L#", "LCov", "L%", "T#",
+                           "TCov", "T%"});
+    for (const auto& root : report.per_region[static_cast<size_t>(region)]) {
+      if (root.total().sites == 0) continue;
+      auto pct = [](const analysis::CoverageCell& cell) {
+        return cell.sites > 0 ? util::TextTable::num(cell.percent(), 1) : "-";
+      };
+      auto total = root.total();
+      table.add_row({std::string(1, root.letter ? root.letter : '?'),
+                     std::to_string(root.global.sites),
+                     std::to_string(root.global.covered), pct(root.global),
+                     std::to_string(root.local.sites),
+                     std::to_string(root.local.covered), pct(root.local),
+                     std::to_string(total.sites), std::to_string(total.covered),
+                     pct(total)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf("[paper: Europe best covered (j 88.5%%, l 93.9%% global);\n"
+              " Africa/South America local coverage low (f 4-18%%)]\n");
+  return 0;
+}

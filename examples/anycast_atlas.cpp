@@ -1,0 +1,83 @@
+// anycast_atlas: traceroute all 13 roots from chosen vantage points and show
+// the catchment view a RING node operator would see — selected instance,
+// distance vs the geographically closest replica, RTT per family, and which
+// roots share last-hop infrastructure (the paper's RQ1 perspective).
+//
+// Usage: anycast_atlas [vp_index ...]   (defaults to one VP per region)
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "measure/campaign.h"
+#include "util/table.h"
+
+using namespace rootsim;
+
+static void atlas_for(const measure::Campaign& campaign,
+                      const measure::VantagePoint& vp) {
+  std::printf("=== %s — %s, AS%u ===\n", vp.node_name.c_str(),
+              std::string(util::region_name(vp.view.region)).c_str(),
+              vp.view.asn);
+  util::TextTable table({"Root", "Instance", "Type", "km (v4)", "opt km",
+                         "RTT v4", "RTT v6", "2nd-to-last hop"});
+  std::map<netsim::RouterId, std::vector<char>> sharing;
+  for (uint32_t root = 0; root < rss::kRootCount; ++root) {
+    netsim::RouteResult v4 = campaign.router().route(vp.view, root,
+                                                     util::IpFamily::V4);
+    netsim::RouteResult v6 = campaign.router().route(vp.view, root,
+                                                     util::IpFamily::V6);
+    const netsim::AnycastSite& site = campaign.topology().sites[v4.site_id];
+    const netsim::AnycastSite& closest =
+        campaign.router().closest_global_site(vp.view, root);
+    char hop_text[32];
+    if (v4.second_to_last_hop == 0)
+      std::snprintf(hop_text, sizeof hop_text, "* (no answer)");
+    else
+      std::snprintf(hop_text, sizeof hop_text, "%016llx",
+                    static_cast<unsigned long long>(v4.second_to_last_hop));
+    table.add_row(
+        {std::string(1, 'a' + root) + ".root", site.identity,
+         site.type == netsim::SiteType::Global ? "global" : "local",
+         util::TextTable::num(campaign.router().distance_km(vp.view, v4.site_id), 0),
+         util::TextTable::num(
+             util::haversine_km(vp.view.location, closest.location), 0),
+         util::TextTable::num(v4.rtt_ms, 1), util::TextTable::num(v6.rtt_ms, 1),
+         hop_text});
+    if (v4.second_to_last_hop != 0)
+      sharing[v4.second_to_last_hop].push_back(static_cast<char>('a' + root));
+  }
+  std::printf("%s", table.render().c_str());
+  bool any = false;
+  for (const auto& [hop, roots] : sharing) {
+    if (roots.size() < 2) continue;
+    any = true;
+    std::printf("co-located behind %016llx:",
+                static_cast<unsigned long long>(hop));
+    for (char c : roots) std::printf(" %c.root", c);
+    std::printf("  (reduced redundancy +%zu)\n", roots.size() - 1);
+  }
+  if (!any) std::printf("no co-location observed from this VP (IPv4)\n");
+  std::printf("\n");
+}
+
+int main(int argc, char** argv) {
+  measure::CampaignConfig config;
+  config.zone.tld_count = 40;
+  measure::Campaign campaign(config);
+  const auto& vps = campaign.vantage_points();
+
+  std::vector<size_t> indices;
+  for (int i = 1; i < argc; ++i) {
+    size_t index = static_cast<size_t>(std::atoll(argv[i]));
+    if (index < vps.size()) indices.push_back(index);
+  }
+  if (indices.empty()) {
+    // Default: the first VP of each region.
+    std::set<util::Region> seen;
+    for (size_t i = 0; i < vps.size(); ++i)
+      if (seen.insert(vps[i].view.region).second) indices.push_back(i);
+  }
+  for (size_t index : indices) atlas_for(campaign, vps[index]);
+  return 0;
+}

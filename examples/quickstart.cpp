@@ -1,0 +1,85 @@
+// Quickstart: bring up the simulated root server system, send real DNS
+// queries to it from a vantage point, and validate the zone you transfer.
+//
+// This walks the library's three layers in ~80 lines:
+//   1. rss::       — the 13 root deployments + the signed root zone,
+//   2. netsim::    — anycast routing from your vantage point,
+//   3. dns/dnssec:: — wire-format messages and full DNSSEC+ZONEMD validation.
+#include <cstdio>
+
+#include "dnssec/validator.h"
+#include "measure/campaign.h"
+
+using namespace rootsim;
+
+int main() {
+  // One Campaign wires everything together, deterministically (seed 42).
+  measure::CampaignConfig config;
+  config.zone.tld_count = 60;  // a small synthetic root zone
+  measure::Campaign campaign(config);
+
+  std::printf("simulated root server system is up:\n");
+  std::printf("  %zu anycast sites across %zu facilities, %zu vantage points\n\n",
+              campaign.topology().sites.size(),
+              campaign.topology().facilities.size(),
+              campaign.vantage_points().size());
+
+  // Pick a vantage point and a moment in time.
+  const measure::VantagePoint& vp = campaign.vantage_points()[100];
+  util::UnixTime now = util::make_time(2023, 12, 10, 12, 0);
+  std::printf("vantage point: %s (%s)\n", vp.node_name.c_str(),
+              std::string(util::region_name(vp.view.region)).c_str());
+
+  // Query ". NS" at k.root — a real wire-format DNS exchange.
+  const rss::RootServer& k = campaign.catalog().by_letter('k');
+  measure::ProbeRecord probe = campaign.prober().probe(
+      vp, k.ipv4, now, campaign.schedule().round_at(now));
+  std::printf("queried %s (%s): answered by instance '%s', rtt %.1f ms\n",
+              k.name.c_str(), k.ipv4.to_string().c_str(),
+              probe.instance_identity.c_str(), probe.rtt_ms);
+
+  // Show the ". NS" answer from the probe's query results.
+  for (const auto& query : probe.queries) {
+    if (!(query.question.qname.is_root() &&
+          query.question.qtype == dns::RRType::NS))
+      continue;
+    std::printf("'. NS' -> %s, %zu records:\n",
+                rcode_to_string(query.rcode).c_str(), query.answers.size());
+    for (size_t i = 0; i < query.answers.size() && i < 3; ++i)
+      std::printf("  %s\n", dns::record_to_string(query.answers[i]).c_str());
+    std::printf("  ... (%zu more)\n", query.answers.size() - 3);
+    break;
+  }
+
+  // The probe also transferred the zone (AXFR). Validate it end to end:
+  // every RRSIG against the trust anchors, plus the RFC 8976 ZONEMD digest.
+  auto zone = dns::Zone::from_axfr(probe.axfr->records, dns::Name());
+  if (!zone) {
+    std::printf("AXFR framing broken?!\n");
+    return 1;
+  }
+  std::printf("\ntransferred zone: serial %u, %zu records\n", zone->serial(),
+              zone->record_count());
+  auto result = dnssec::validate_zone(*zone, campaign.authority().trust_anchors(),
+                                      vp.local_clock(now));
+  std::printf("DNSSEC validation: %zu RRsets, %zu signatures checked, %s\n",
+              result.rrsets_checked, result.signatures_checked,
+              result.fully_valid() ? "all valid" : "FAILURES");
+  std::printf("ZONEMD: %s\n", to_string(result.zonemd).c_str());
+
+  // Where does this VP's traffic actually go, per family?
+  std::printf("\nyour catchments for b.root and f.root:\n");
+  for (char letter : {'b', 'f'}) {
+    uint32_t root = static_cast<uint32_t>(letter - 'a');
+    for (util::IpFamily family : {util::IpFamily::V4, util::IpFamily::V6}) {
+      netsim::RouteResult route = campaign.router().route(vp.view, root, family);
+      const netsim::AnycastSite& site = campaign.topology().sites[route.site_id];
+      std::printf("  %c.root %s -> %-28s %6.0f km  %5.1f ms%s\n", letter,
+                  family == util::IpFamily::V4 ? "v4" : "v6",
+                  site.identity.c_str(),
+                  campaign.router().distance_km(vp.view, route.site_id),
+                  route.rtt_ms, route.via_detour ? "  (via detour AS)" : "");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,154 @@
+// rootdig: a dig-like command-line client for the simulated root system.
+//
+//   rootdig [@server] [qname] [qtype] [+options]
+//
+//   @server   a root service address (default 193.0.14.129 = k.root)
+//   qname     query name (default ".")
+//   qtype     A AAAA NS SOA TXT DNSKEY DS NSEC ZONEMD or AXFR (default NS)
+//   +dnssec   set the DO bit (attach RRSIGs)
+//   +norec    clear RD (default for authoritatives anyway)
+//   +vp=N     use vantage point N (default 0) — changes anycast catchment
+//   +time=YYYY-MM-DD  query at a specific campaign date (default 2023-12-10)
+//
+// Examples:
+//   rootdig @199.9.14.201 . SOA            # old b.root address
+//   rootdig . ZONEMD +dnssec
+//   rootdig @2001:7fd::1 hostname.bind TXT # CHAOS identity
+//   rootdig . AXFR | head
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "measure/campaign.h"
+#include "util/strings.h"
+
+using namespace rootsim;
+
+int main(int argc, char** argv) {
+  std::string server = "193.0.14.129";
+  std::string qname = ".";
+  std::string qtype_text = "NS";
+  bool dnssec = false;
+  size_t vp_index = 0;
+  std::string date = "2023-12-10";
+
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.size() > 1 && arg[0] == '@') {
+      server = arg.substr(1);
+    } else if (arg == "+dnssec") {
+      dnssec = true;
+    } else if (arg == "+norec") {
+      // authoritative queries never recurse; accepted for dig compatibility
+    } else if (util::starts_with(arg, "+vp=")) {
+      vp_index = static_cast<size_t>(std::atoll(arg.c_str() + 4));
+    } else if (util::starts_with(arg, "+time=")) {
+      date = arg.substr(6);
+    } else if (arg == "-h" || arg == "--help") {
+      std::printf("usage: rootdig [@server] [qname] [qtype] [+dnssec] [+vp=N] "
+                  "[+time=YYYY-MM-DD]\n");
+      return 0;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() >= 1) qname = positional[0];
+  if (positional.size() >= 2) qtype_text = positional[1];
+
+  auto address = util::IpAddress::parse(server);
+  if (!address) {
+    std::fprintf(stderr, "rootdig: bad server address '%s'\n", server.c_str());
+    return 1;
+  }
+  auto parsed_name = dns::Name::parse(qname);
+  if (!parsed_name) {
+    std::fprintf(stderr, "rootdig: bad qname '%s'\n", qname.c_str());
+    return 1;
+  }
+  auto fields = util::split(date, '-');
+  if (fields.size() != 3) {
+    std::fprintf(stderr, "rootdig: bad +time (want YYYY-MM-DD)\n");
+    return 1;
+  }
+  util::UnixTime when =
+      util::make_time(std::atoi(fields[0].c_str()), std::atoi(fields[1].c_str()),
+                      std::atoi(fields[2].c_str()), 12, 0);
+
+  measure::CampaignConfig config;
+  config.zone.tld_count = 60;
+  measure::Campaign campaign(config);
+  if (campaign.catalog().index_of_address(*address) < 0) {
+    std::fprintf(stderr, "rootdig: '%s' is not a root service address\n",
+                 server.c_str());
+    return 1;
+  }
+  if (vp_index >= campaign.vantage_points().size()) {
+    std::fprintf(stderr, "rootdig: vp index out of range (max %zu)\n",
+                 campaign.vantage_points().size() - 1);
+    return 1;
+  }
+  const auto& vp = campaign.vantage_points()[vp_index];
+  uint64_t round = campaign.schedule().round_at(when);
+
+  measure::ProbeRecord probe =
+      campaign.prober().probe(vp, *address, when, round);
+
+  dns::RRType qtype = dns::rrtype_from_string(qtype_text);
+  if (qtype == dns::RRType::AXFR) {
+    if (!probe.axfr || probe.axfr->refused) {
+      std::printf("; transfer failed\n");
+      return 1;
+    }
+    for (const auto& rr : probe.axfr->records)
+      std::printf("%s\n", dns::record_to_string(rr).c_str());
+    std::printf("; transfer size: %zu records, serial %u\n",
+                probe.axfr->records.size(), probe.axfr->soa_serial);
+    return 0;
+  }
+
+  // Issue the one query directly against the instance this VP reaches.
+  const auto& site = campaign.topology().sites[probe.site_id];
+  rss::RootServerInstance instance(
+      campaign.authority(), campaign.catalog(),
+      static_cast<uint32_t>(probe.root_index), site.identity);
+  bool chaos = util::ends_with(util::to_lower(qname), ".bind.") ||
+               util::ends_with(util::to_lower(qname), ".bind") ||
+               util::starts_with(util::to_lower(qname), "id.server") ||
+               util::starts_with(util::to_lower(qname), "hostname.bind") ||
+               util::starts_with(util::to_lower(qname), "version.");
+  dns::Message query = dns::make_query(
+      static_cast<uint16_t>(when & 0xFFFF), *parsed_name, qtype,
+      chaos ? dns::RRClass::CH : dns::RRClass::IN, dnssec);
+  dns::Message response = instance.handle_udp_query(query, when);
+  bool via_tcp = false;
+  if (response.tc) {
+    response = instance.handle_query(query, when);
+    via_tcp = true;
+  }
+
+  std::printf("; <<>> rootsim rootdig <<>> @%s %s %s%s\n", server.c_str(),
+              qname.c_str(), qtype_text.c_str(), dnssec ? " +dnssec" : "");
+  std::printf(";; ->>HEADER<<- opcode: QUERY, status: %s, id: %u\n",
+              rcode_to_string(response.rcode).c_str(), response.id);
+  std::printf(";; flags: qr%s%s; QUERY: %zu, ANSWER: %zu, AUTHORITY: %zu, "
+              "ADDITIONAL: %zu\n",
+              response.aa ? " aa" : "", response.tc ? " tc" : "",
+              response.questions.size(), response.answers.size(),
+              response.authority.size(), response.additional.size());
+  auto dump = [](const char* section, const std::vector<dns::ResourceRecord>& rrs) {
+    if (rrs.empty()) return;
+    std::printf("\n;; %s SECTION:\n", section);
+    for (const auto& rr : rrs)
+      std::printf("%s\n", dns::record_to_string(rr).c_str());
+  };
+  dump("ANSWER", response.answers);
+  dump("AUTHORITY", response.authority);
+  std::printf("\n;; Query time: %.0f msec%s\n", probe.rtt_ms,
+              via_tcp ? " (retried over TCP)" : "");
+  std::printf(";; SERVER: %s (%s, instance %s)\n", server.c_str(),
+              probe.family == util::IpFamily::V4 ? "UDP+TCP" : "UDP+TCP",
+              site.identity.c_str());
+  std::printf(";; WHEN: %s\n", util::format_datetime(when).c_str());
+  return 0;
+}

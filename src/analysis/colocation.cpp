@@ -1,0 +1,63 @@
+#include "analysis/colocation.h"
+
+#include <algorithm>
+#include <map>
+
+namespace rootsim::analysis {
+
+ColocationReport compute_colocation(const measure::Campaign& campaign,
+                                    const ColocationOptions& options) {
+  ColocationReport report;
+  const netsim::AnycastRouter& router = campaign.router();
+  uint64_t unique_counter = 1;  // synthetic ids for missed hops
+
+  size_t vps_with_colocation = 0;
+  for (const auto& vp : campaign.vantage_points()) {
+    VpColocation row;
+    row.vp_id = vp.view.vp_id;
+    row.region = vp.view.region;
+    int max_cluster = 1;
+    for (util::IpFamily family : {util::IpFamily::V4, util::IpFamily::V6}) {
+      std::map<netsim::RouterId, int> hop_counts;
+      int total = 0;
+      for (uint32_t root = 0; root < rss::kRootCount; ++root) {
+        netsim::RouteResult route = router.route(vp.view, root, family);
+        netsim::RouterId hop = route.second_to_last_hop;
+        if (hop == 0) {
+          // Traceroute missed the hop.
+          if (options.missed_hops_are_unique)
+            hop = 0xFFFF000000000000ULL + unique_counter++;
+          else
+            continue;  // ablation: drop the measurement entirely
+        }
+        ++hop_counts[hop];
+        ++total;
+      }
+      int unique = static_cast<int>(hop_counts.size());
+      int reduced = total - unique;
+      for (const auto& [hop, count] : hop_counts)
+        max_cluster = std::max(max_cluster, count);
+      if (family == util::IpFamily::V4)
+        row.reduced_redundancy_v4 = reduced;
+      else
+        row.reduced_redundancy_v6 = reduced;
+    }
+    row.max_cluster = max_cluster;
+    size_t region = static_cast<size_t>(row.region);
+    report.histogram_v4[region].add(row.reduced_redundancy_v4);
+    report.histogram_v6[region].add(row.reduced_redundancy_v6);
+    if (row.reduced_redundancy_v4 >= 1 || row.reduced_redundancy_v6 >= 1)
+      ++vps_with_colocation;
+    report.max_colocated_roots =
+        std::max(report.max_colocated_roots, row.max_cluster);
+    report.per_vp.push_back(row);
+  }
+  report.fraction_vps_with_colocation =
+      report.per_vp.empty()
+          ? 0
+          : static_cast<double>(vps_with_colocation) /
+                static_cast<double>(report.per_vp.size());
+  return report;
+}
+
+}  // namespace rootsim::analysis

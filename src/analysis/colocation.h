@@ -1,0 +1,52 @@
+// Server co-location analysis (paper §5, Fig. 4, RQ1).
+//
+// For each vantage point and address family, traceroute all 13 roots and
+// compare second-to-last hops. Reduced redundancy = total roots - unique
+// second-to-last hops; hops that traceroute missed count as unique, making
+// the result a lower bound (the paper's rule).
+#pragma once
+
+#include <array>
+
+#include "measure/campaign.h"
+#include "util/stats.h"
+
+namespace rootsim::analysis {
+
+struct VpColocation {
+  uint32_t vp_id = 0;
+  util::Region region = util::Region::Europe;
+  int reduced_redundancy_v4 = 0;
+  int reduced_redundancy_v6 = 0;
+  /// Size of the largest co-located group seen by this VP (any family).
+  int max_cluster = 1;
+};
+
+struct ColocationReport {
+  std::vector<VpColocation> per_vp;
+  /// Histograms per region per family (Fig. 4 panels).
+  std::array<util::IntHistogram, util::kRegionCount> histogram_v4{};
+  std::array<util::IntHistogram, util::kRegionCount> histogram_v6{};
+  /// Headline: fraction of VPs observing co-location of >= 2 roots.
+  double fraction_vps_with_colocation = 0;
+  int max_colocated_roots = 0;
+
+  double region_mean_v4(util::Region r) const {
+    return histogram_v4[static_cast<size_t>(r)].mean();
+  }
+  double region_mean_v6(util::Region r) const {
+    return histogram_v6[static_cast<size_t>(r)].mean();
+  }
+};
+
+struct ColocationOptions {
+  /// If true, hops missed by traceroute are treated as unique (the paper's
+  /// lower-bound rule). Turning this off is the ablation: it shows how much
+  /// reduced redundancy the rule hides.
+  bool missed_hops_are_unique = true;
+};
+
+ColocationReport compute_colocation(const measure::Campaign& campaign,
+                                    const ColocationOptions& options = {});
+
+}  // namespace rootsim::analysis

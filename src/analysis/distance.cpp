@@ -1,0 +1,88 @@
+#include "analysis/distance.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+
+namespace rootsim::analysis {
+
+DistanceReport compute_distance(const measure::Campaign& campaign,
+                                int root_index, util::IpFamily family) {
+  DistanceReport report;
+  report.letter = static_cast<char>('a' + root_index);
+  report.family = family;
+  const netsim::AnycastRouter& router = campaign.router();
+  const netsim::Topology& topology = campaign.topology();
+
+  for (const auto& vp : campaign.vantage_points()) {
+    DistanceSample sample;
+    sample.vp_id = vp.view.vp_id;
+    sample.region = vp.view.region;
+    const netsim::AnycastSite& closest =
+        router.closest_global_site(vp.view, static_cast<uint32_t>(root_index));
+    sample.closest_global_km = util::haversine_km(vp.view.location, closest.location);
+    netsim::RouteResult route =
+        router.route(vp.view, static_cast<uint32_t>(root_index), family);
+    const netsim::AnycastSite& actual = topology.sites[route.site_id];
+    sample.actual_km = util::haversine_km(vp.view.location, actual.location);
+    sample.via_local_site = actual.type == netsim::SiteType::Local;
+    report.samples.push_back(sample);
+  }
+  return report;
+}
+
+double DistanceReport::fraction_optimal(double tolerance_km) const {
+  if (samples.empty()) return 0;
+  size_t optimal = 0;
+  for (const auto& sample : samples)
+    if (sample.inflation_km() <= tolerance_km) ++optimal;
+  return static_cast<double>(optimal) / static_cast<double>(samples.size());
+}
+
+double DistanceReport::fraction_clients_below(double threshold_km) const {
+  if (samples.empty()) return 0;
+  size_t below = 0;
+  for (const auto& sample : samples)
+    if (sample.inflation_km() < threshold_km) ++below;
+  return static_cast<double>(below) / static_cast<double>(samples.size());
+}
+
+std::string DistanceReport::render_heatmap(double max_km, int bins) const {
+  // Rows: distance to actual site (top = far). Columns: distance to closest
+  // global site. Density rendered as ' .:+#@'.
+  std::vector<std::vector<int>> grid(static_cast<size_t>(bins),
+                                     std::vector<int>(static_cast<size_t>(bins), 0));
+  int peak = 1;
+  for (const auto& sample : samples) {
+    int col = std::min(bins - 1, static_cast<int>(sample.closest_global_km /
+                                                  max_km * bins));
+    int row = std::min(bins - 1, static_cast<int>(sample.actual_km / max_km * bins));
+    int& cell = grid[static_cast<size_t>(bins - 1 - row)][static_cast<size_t>(col)];
+    ++cell;
+    peak = std::max(peak, cell);
+  }
+  const char* shades = " .:+#@";
+  std::string out;
+  for (int row = 0; row < bins; ++row) {
+    out += util::format("%7.0f |", max_km * (bins - 1 - row) / bins);
+    for (int col = 0; col < bins; ++col) {
+      int value = grid[static_cast<size_t>(row)][static_cast<size_t>(col)];
+      int shade =
+          value == 0 ? 0
+                     : 1 + static_cast<int>(4.0 * std::min(1.0, std::log1p(value) /
+                                                                    std::log1p(peak)));
+      out += shades[shade];
+      // Mark the diagonal so optimal routing is visible.
+      if (col == bins - 1 - row) out.back() = value == 0 ? '\\' : out.back();
+    }
+    out += '\n';
+  }
+  out += "         ";
+  out.append(static_cast<size_t>(bins), '-');
+  out += util::format("\n         0 km  ->  closest global site (max %.0f km)\n",
+                      max_km);
+  return out;
+}
+
+}  // namespace rootsim::analysis

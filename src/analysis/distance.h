@@ -1,0 +1,42 @@
+// Geographic distance / route inflation analysis (paper §6, Fig. 5).
+//
+// For each (VP, root, family) request, records the distance to the selected
+// site vs. the distance to the geographically closest *global* site.
+// Requests on the diagonal reached their closest global replica; below it,
+// an even closer local replica; above it, a suboptimally distant one.
+#pragma once
+
+#include <vector>
+
+#include "measure/campaign.h"
+
+namespace rootsim::analysis {
+
+struct DistanceSample {
+  uint32_t vp_id = 0;
+  util::Region region = util::Region::Europe;
+  double closest_global_km = 0;
+  double actual_km = 0;
+  bool via_local_site = false;
+  double inflation_km() const { return actual_km - closest_global_km; }
+};
+
+struct DistanceReport {
+  char letter = 'a';
+  util::IpFamily family = util::IpFamily::V4;
+  std::vector<DistanceSample> samples;
+
+  /// Fraction of requests routed to the closest global replica or closer
+  /// (inflation <= tolerance_km) — the paper reports 78-82% for b/m.root.
+  double fraction_optimal(double tolerance_km = 150.0) const;
+  /// Fraction of clients with mean extra distance below a threshold
+  /// (the paper: 79.5% of b.root clients < 1,000 km).
+  double fraction_clients_below(double threshold_km) const;
+  /// 2D histogram bucketed for terminal rendering (Fig. 5 heatmap).
+  std::string render_heatmap(double max_km = 15000, int bins = 24) const;
+};
+
+DistanceReport compute_distance(const measure::Campaign& campaign,
+                                int root_index, util::IpFamily family);
+
+}  // namespace rootsim::analysis

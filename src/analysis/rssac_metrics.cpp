@@ -1,0 +1,121 @@
+#include "analysis/rssac_metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/propagation.h"
+
+namespace rootsim::analysis {
+
+RssacReport compute_rssac_metrics(const measure::Campaign& campaign,
+                                  const RssacOptions& options) {
+  RssacReport report;
+  const netsim::AnycastRouter& router = campaign.router();
+  const measure::Schedule& schedule = campaign.schedule();
+  util::UnixTime start = schedule.config().start;
+  util::UnixTime end = schedule.config().end;
+
+  // Publication latency reuses the propagation experiment (one zone edit).
+  PropagationOptions propagation_options;
+  propagation_options.max_instances_per_root = options.propagation_instances;
+  auto propagation = measure_soa_propagation(
+      campaign, util::make_time(2023, 10, 10, 12, 0), propagation_options);
+
+  for (uint32_t root = 0; root < rss::kRootCount; ++root) {
+    RootServiceMetrics& metrics = report.per_root[root];
+    metrics.letter = static_cast<char>('a' + root);
+    std::array<std::vector<double>, 2> rtts;  // [family]
+    std::array<size_t, 2> answered{};
+    std::array<size_t, 2> probes{};
+    for (const auto& vp : campaign.vantage_points()) {
+      for (util::IpFamily family : {util::IpFamily::V4, util::IpFamily::V6}) {
+        size_t f = family == util::IpFamily::V4 ? 0 : 1;
+        auto selection = router.prepare_selection(vp.view, root, family);
+        netsim::RouteResult route = router.route(vp.view, root, family);
+        rtts[f].push_back(route.rtt_ms);
+        // Sample rounds: the probe fails when the selected site is dark.
+        for (size_t s = 0; s < options.sampled_rounds; ++s) {
+          uint64_t round =
+              (s * 1009 + vp.view.vp_id) % schedule.round_count();
+          uint32_t site =
+              netsim::AnycastRouter::site_at_round(selection, round);
+          util::UnixTime when = schedule.round_time(round);
+          ++probes[f];
+          if (rss::site_available(site, when, start, end, options.outages))
+            ++answered[f];
+        }
+      }
+    }
+    metrics.availability_v4 =
+        probes[0] ? static_cast<double>(answered[0]) / probes[0] : 1.0;
+    metrics.availability_v6 =
+        probes[1] ? static_cast<double>(answered[1]) / probes[1] : 1.0;
+    metrics.median_rtt_v4 = util::percentile(rtts[0], 0.5);
+    metrics.median_rtt_v6 = util::percentile(rtts[1], 0.5);
+    metrics.p95_rtt_v4 = util::percentile(rtts[0], 0.95);
+    metrics.p95_rtt_v6 = util::percentile(rtts[1], 0.95);
+    metrics.median_publication_latency_s =
+        propagation.per_root[root].summary.median;
+    report.worst_availability =
+        std::min({report.worst_availability, metrics.availability_v4,
+                  metrics.availability_v6});
+  }
+  return report;
+}
+
+ClusterFailureImpact simulate_cluster_failure(const measure::Campaign& campaign) {
+  ClusterFailureImpact impact;
+  const netsim::Topology& topology = campaign.topology();
+  const netsim::AnycastRouter& router = campaign.router();
+
+  // Find the facility hosting the most distinct roots (the §5 cluster).
+  std::map<netsim::FacilityId, std::set<uint32_t>> roots_at;
+  for (const auto& site : topology.sites)
+    roots_at[site.facility].insert(site.root_index);
+  for (const auto& [facility, roots] : roots_at) {
+    if (roots.size() > impact.roots_hosted) {
+      impact.roots_hosted = roots.size();
+      impact.facility = facility;
+    }
+  }
+
+  std::vector<double> deltas;
+  for (const auto& vp : campaign.vantage_points()) {
+    for (uint32_t root = 0; root < rss::kRootCount; ++root) {
+      for (util::IpFamily family : {util::IpFamily::V4, util::IpFamily::V6}) {
+        ++impact.selections_total;
+        netsim::RouteResult route = router.route(vp.view, root, family);
+        const netsim::AnycastSite& selected = topology.sites[route.site_id];
+        if (selected.facility != impact.facility) continue;
+        // The selected site went dark: fail over to the best announced route
+        // at a different facility. Compare like-with-like using the fiber
+        // RTT of the respective distances (jitter cancels in expectation).
+        auto routes = router.announced_routes(vp.view, root, family, 16);
+        const netsim::AnycastSite* fallback = nullptr;
+        for (const auto& candidate : routes) {
+          const netsim::AnycastSite& site = topology.sites[candidate.site_id];
+          if (site.facility != impact.facility) {
+            fallback = &site;
+            break;
+          }
+        }
+        ++impact.selections_moved;
+        if (!fallback) continue;  // nowhere to go: counted as moved anyway
+        double old_rtt =
+            util::fiber_rtt_ms(util::haversine_km(vp.view.location,
+                                                  selected.location)) +
+            2.0;
+        double new_rtt =
+            util::fiber_rtt_ms(util::haversine_km(vp.view.location,
+                                                  fallback->location)) +
+            2.0;
+        deltas.push_back(new_rtt - old_rtt);
+      }
+    }
+  }
+  impact.rtt_delta_ms = util::summarize(deltas);
+  return impact;
+}
+
+}  // namespace rootsim::analysis

@@ -1,0 +1,63 @@
+// RSSAC047-style service metrics computed from the campaign's vantage
+// points, tying the measurement back to the governance goals (RSSAC037)
+// the paper's introduction frames the root server system with:
+//   * availability     — fraction of probes answered per root (each root's
+//     selected site may be in an outage window);
+//   * response latency — median/95th RTT per root per family;
+//   * publication latency — how long a new serial takes to reach instances
+//     (from the propagation analysis);
+//   * clustered-site stress test — the §5 what-if: take the most co-located
+//     facility offline and measure how many (VP, root) selections move and
+//     how much their RTT changes.
+#pragma once
+
+#include <array>
+
+#include "measure/campaign.h"
+#include "rss/outages.h"
+#include "util/stats.h"
+
+namespace rootsim::analysis {
+
+struct RootServiceMetrics {
+  char letter = 'a';
+  double availability_v4 = 1.0;
+  double availability_v6 = 1.0;
+  double median_rtt_v4 = 0;
+  double median_rtt_v6 = 0;
+  double p95_rtt_v4 = 0;
+  double p95_rtt_v6 = 0;
+  double median_publication_latency_s = 0;
+};
+
+struct RssacReport {
+  std::array<RootServiceMetrics, rss::kRootCount> per_root{};
+  /// RSSAC047's availability target is 99.96% for the service as a whole.
+  double worst_availability = 1.0;
+};
+
+struct RssacOptions {
+  rss::OutageModelConfig outages;
+  /// Rounds sampled per (VP, root, family) for availability estimation.
+  size_t sampled_rounds = 40;
+  /// Instances sampled per root for publication latency.
+  size_t propagation_instances = 16;
+};
+
+RssacReport compute_rssac_metrics(const measure::Campaign& campaign,
+                                  const RssacOptions& options = {});
+
+/// The §5 stress test: all instances at the facility hosting the most roots
+/// go dark; reports how many (VP, root, family) selections shift and the
+/// RTT deltas those clients experience.
+struct ClusterFailureImpact {
+  netsim::FacilityId facility = 0;
+  size_t roots_hosted = 0;
+  size_t selections_total = 0;
+  size_t selections_moved = 0;
+  util::Summary rtt_delta_ms;  // over moved selections (new - old)
+};
+
+ClusterFailureImpact simulate_cluster_failure(const measure::Campaign& campaign);
+
+}  // namespace rootsim::analysis

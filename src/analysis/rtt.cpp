@@ -1,0 +1,90 @@
+#include "analysis/rtt.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace rootsim::analysis {
+
+std::string rtt_column_label(size_t column) {
+  if (column == 0) return "a.root";
+  if (column == 1) return "b.root (new)";
+  if (column == 2) return "b.root (old)";
+  return util::format("%c.root", static_cast<char>('a' + column - 1));
+}
+
+namespace {
+
+// Maps a column index to the catalog root index (b appears twice).
+uint32_t column_root(size_t column) {
+  if (column == 0) return 0;
+  if (column == 1 || column == 2) return 1;
+  return static_cast<uint32_t>(column - 1);
+}
+
+}  // namespace
+
+RttReport compute_rtt(const measure::Campaign& campaign) {
+  RttReport report;
+  const netsim::AnycastRouter& router = campaign.router();
+  for (const auto& vp : campaign.vantage_points()) {
+    size_t region = static_cast<size_t>(vp.view.region);
+    for (size_t column = 0; column < kRttColumns; ++column) {
+      uint32_t root = column_root(column);
+      for (util::IpFamily family : {util::IpFamily::V4, util::IpFamily::V6}) {
+        netsim::RouteResult route = router.route(vp.view, root, family);
+        RttCell& cell = report.cells[region][column];
+        // The old b.root address keeps answering from the same catchment:
+        // same sites, marginally different jitter realization.
+        double rtt = route.rtt_ms;
+        if (column == 2) rtt *= 1.02;
+        if (family == util::IpFamily::V4)
+          cell.samples_v4.push_back(rtt);
+        else
+          cell.samples_v6.push_back(rtt);
+      }
+    }
+  }
+  for (auto& region_row : report.cells)
+    for (auto& cell : region_row) {
+      cell.summary_v4 = util::summarize(cell.samples_v4);
+      cell.summary_v6 = util::summarize(cell.samples_v6);
+    }
+  return report;
+}
+
+std::string RttReport::render_region(util::Region region) const {
+  // One line per root per family: log-scale box rendering 1ms..1000ms.
+  auto bar = [](const util::Summary& s) {
+    const int width = 48;  // maps log10(1)..log10(1000) onto columns
+    std::string line(width, ' ');
+    auto position = [&](double ms) {
+      double clamped = std::min(std::max(ms, 1.0), 1000.0);
+      return std::min(width - 1,
+                      static_cast<int>(std::log10(clamped) / 3.0 * width));
+    };
+    if (s.count == 0) return line;
+    int lo = position(s.p25), mid = position(s.median), hi = position(s.p75);
+    int min_pos = position(s.min), max_pos = position(s.max);
+    for (int i = min_pos; i <= max_pos; ++i) line[static_cast<size_t>(i)] = '-';
+    for (int i = lo; i <= hi; ++i) line[static_cast<size_t>(i)] = '=';
+    line[static_cast<size_t>(mid)] = '|';
+    return line;
+  };
+  std::string out = util::format("%s (RTT ms, log scale 1..1000)\n",
+                                 std::string(util::region_name(region)).c_str());
+  out += "                 1ms            10ms            100ms          1s\n";
+  for (size_t column = 0; column < kRttColumns; ++column) {
+    const RttCell& c = cell(region, column);
+    out += util::format("%-13s v4 [%s] n=%zu med=%.1f\n",
+                        rtt_column_label(column).c_str(),
+                        bar(c.summary_v4).c_str(), c.summary_v4.count,
+                        c.summary_v4.median);
+    out += util::format("%-13s v6 [%s] n=%zu med=%.1f\n", "",
+                        bar(c.summary_v6).c_str(), c.summary_v6.count,
+                        c.summary_v6.median);
+  }
+  return out;
+}
+
+}  // namespace rootsim::analysis

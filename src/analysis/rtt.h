@@ -1,0 +1,46 @@
+// RTT analysis per continent, root and address family (paper §6,
+// Figs. 6/14/15 and the per-root regional comparisons).
+//
+// RTT samples come from the routing layer's latency model: fiber distance
+// plus access/jitter terms on normal paths, calibrated detour distributions
+// where the paper attributes effects to specific transit ASes (AS6939,
+// AS12956).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "measure/campaign.h"
+#include "util/stats.h"
+
+namespace rootsim::analysis {
+
+/// b.root appears twice in the figures (new and old address rows); we model
+/// both addresses with the same catchment, so the report has 14 columns like
+/// the paper's plots.
+inline constexpr size_t kRttColumns = 14;
+
+std::string rtt_column_label(size_t column);
+
+struct RttCell {
+  std::vector<double> samples_v4;
+  std::vector<double> samples_v6;
+  util::Summary summary_v4;
+  util::Summary summary_v6;
+};
+
+struct RttReport {
+  /// [region][column] with columns a, b(new), b(old), c..m.
+  std::array<std::array<RttCell, kRttColumns>, util::kRegionCount> cells{};
+
+  const RttCell& cell(util::Region region, size_t column) const {
+    return cells[static_cast<size_t>(region)][column];
+  }
+  /// Text violin/box rendering of one region's row (Figs. 6/14/15).
+  std::string render_region(util::Region region) const;
+};
+
+RttReport compute_rtt(const measure::Campaign& campaign);
+
+}  // namespace rootsim::analysis

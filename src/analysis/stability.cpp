@@ -1,0 +1,56 @@
+#include "analysis/stability.h"
+
+#include <algorithm>
+
+namespace rootsim::analysis {
+
+StabilityReport compute_stability(const measure::Campaign& campaign,
+                                  const StabilityOptions& options) {
+  StabilityReport report;
+  const netsim::AnycastRouter& router = campaign.router();
+  const size_t rounds = campaign.schedule().round_count();
+  const size_t stride = std::max<size_t>(1, options.round_stride);
+
+  for (uint32_t root = 0; root < rss::kRootCount; ++root) {
+    RootStability& stability = report.per_root[root];
+    stability.letter = static_cast<char>('a' + root);
+    for (const auto& vp : campaign.vantage_points()) {
+      for (util::IpFamily family : {util::IpFamily::V4, util::IpFamily::V6}) {
+        auto selection = router.prepare_selection(vp.view, root, family);
+        uint64_t changes = 0;
+        uint32_t previous =
+            netsim::AnycastRouter::site_at_round(selection, 0);
+        for (size_t round = stride; round < rounds; round += stride) {
+          uint32_t current =
+              netsim::AnycastRouter::site_at_round(selection, round);
+          if (current != previous) ++changes;
+          previous = current;
+        }
+        // Subsampling underestimates change counts; scale to full campaign.
+        double estimated = static_cast<double>(changes) * static_cast<double>(stride);
+        if (family == util::IpFamily::V4)
+          stability.changes_v4.push_back(estimated);
+        else
+          stability.changes_v6.push_back(estimated);
+      }
+    }
+    stability.median_v4 = util::percentile(stability.changes_v4, 0.5);
+    stability.median_v6 = util::percentile(stability.changes_v6, 0.5);
+  }
+  return report;
+}
+
+std::vector<StabilityReport::CecdfPoint> StabilityReport::cecdf(
+    int root_index, const std::vector<double>& thresholds) const {
+  const RootStability& stability = per_root[static_cast<size_t>(root_index)];
+  util::Ecdf ecdf_v4(stability.changes_v4);
+  util::Ecdf ecdf_v6(stability.changes_v6);
+  std::vector<CecdfPoint> points;
+  points.reserve(thresholds.size());
+  for (double threshold : thresholds)
+    points.push_back({threshold, ecdf_v4.complementary(threshold),
+                      ecdf_v6.complementary(threshold)});
+  return points;
+}
+
+}  // namespace rootsim::analysis

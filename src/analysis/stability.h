@@ -1,0 +1,47 @@
+// Site stability analysis (paper §4.2, Fig. 3).
+//
+// For every (VP, root, family) we replay the campaign's rounds and count
+// changes: two subsequent measurements reaching different sites. The output
+// is the per-root complementary eCDF of per-VP change counts plus the
+// medians the paper highlights (b.root 8/8; g.root 36 v4 / 64 v6).
+#pragma once
+
+#include <array>
+
+#include "measure/campaign.h"
+#include "util/stats.h"
+
+namespace rootsim::analysis {
+
+struct RootStability {
+  char letter = 'a';
+  std::vector<double> changes_v4;  // per VP
+  std::vector<double> changes_v6;
+  double median_v4 = 0;
+  double median_v6 = 0;
+};
+
+struct StabilityReport {
+  std::array<RootStability, rss::kRootCount> per_root{};
+
+  /// Complementary eCDF values at chosen thresholds (the Fig. 3 axes).
+  struct CecdfPoint {
+    double threshold;
+    double fraction_v4;  // P[changes > threshold]
+    double fraction_v6;
+  };
+  std::vector<CecdfPoint> cecdf(int root_index,
+                                const std::vector<double>& thresholds) const;
+};
+
+struct StabilityOptions {
+  /// Round subsampling stride (1 = every round). Change counts are scaled
+  /// back to full-campaign estimates; stride > 1 trades tail resolution for
+  /// speed in tests.
+  size_t round_stride = 1;
+};
+
+StabilityReport compute_stability(const measure::Campaign& campaign,
+                                  const StabilityOptions& options = {});
+
+}  // namespace rootsim::analysis

@@ -1,0 +1,122 @@
+#include "analysis/traffic_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/strings.h"
+
+namespace rootsim::analysis {
+
+std::vector<BrootShare> broot_shares(
+    const std::vector<traffic::DailyTraffic>& days) {
+  std::vector<BrootShare> out;
+  out.reserve(days.size());
+  for (const auto& day : days) {
+    BrootShare share;
+    share.day = day.day;
+    double total = 0;
+    for (const auto& [key, flows] : day.flows)
+      if (key.root_index == 1) total += flows;
+    if (total > 0) {
+      auto value = [&](util::IpFamily family, bool old_subnet) {
+        auto it = day.flows.find({1, family, old_subnet});
+        return it == day.flows.end() ? 0.0 : it->second / total;
+      };
+      share.v4_old = value(util::IpFamily::V4, true);
+      share.v4_new = value(util::IpFamily::V4, false);
+      share.v6_old = value(util::IpFamily::V6, true);
+      share.v6_new = value(util::IpFamily::V6, false);
+    }
+    out.push_back(share);
+  }
+  return out;
+}
+
+ShiftRatio shift_ratio(const std::vector<traffic::DailyTraffic>& days) {
+  double v4_old = 0, v4_new = 0, v6_old = 0, v6_new = 0;
+  for (const auto& day : days) {
+    for (const auto& [key, flows] : day.flows) {
+      if (key.root_index != 1) continue;
+      if (key.family == util::IpFamily::V4)
+        (key.old_b_subnet ? v4_old : v4_new) += flows;
+      else
+        (key.old_b_subnet ? v6_old : v6_new) += flows;
+    }
+  }
+  ShiftRatio ratio;
+  ratio.v4 = (v4_old + v4_new) > 0 ? v4_new / (v4_old + v4_new) : 0;
+  ratio.v6 = (v6_old + v6_new) > 0 ? v6_new / (v6_old + v6_new) : 0;
+  return ratio;
+}
+
+RootShares root_shares(const std::vector<traffic::DailyTraffic>& days) {
+  RootShares shares;
+  double total = 0;
+  for (const auto& day : days)
+    for (const auto& [key, flows] : day.flows) {
+      shares.share[static_cast<size_t>(key.root_index)] += flows;
+      total += flows;
+    }
+  if (total > 0)
+    for (auto& share : shares.share) share /= total;
+  return shares;
+}
+
+std::vector<ClientFlowCdf> client_flow_cdfs(
+    const std::vector<traffic::ClientDayRecord>& records, int days) {
+  // Collect per-subnet distribution of per-client-day flow counts.
+  std::map<traffic::SubnetKey, std::vector<double>> flows_by_subnet;
+  std::map<traffic::SubnetKey, size_t> single_contacts;
+  for (const auto& record : records) {
+    flows_by_subnet[record.subnet].push_back(record.flows);
+    if (record.flows <= 1.5) ++single_contacts[record.subnet];
+  }
+  std::vector<double> thresholds;
+  for (double t = 1; t <= 100000; t *= std::sqrt(10.0)) thresholds.push_back(t);
+
+  std::vector<ClientFlowCdf> out;
+  for (auto& [subnet, flows] : flows_by_subnet) {
+    ClientFlowCdf cdf;
+    cdf.subnet = subnet;
+    cdf.thresholds = thresholds;
+    std::sort(flows.begin(), flows.end());
+    for (double threshold : thresholds) {
+      auto it = std::upper_bound(flows.begin(), flows.end(), threshold);
+      cdf.cumulative_fraction.push_back(
+          static_cast<double>(it - flows.begin()) /
+          static_cast<double>(flows.size()));
+    }
+    cdf.single_contact_fraction =
+        static_cast<double>(single_contacts[subnet]) /
+        static_cast<double>(flows.size());
+    out.push_back(std::move(cdf));
+  }
+  (void)days;
+  return out;
+}
+
+std::string render_share_series(const std::vector<BrootShare>& days) {
+  // Four stacked sparklines, one per (family, subnet age).
+  auto spark = [&](auto getter) {
+    const char* levels = " _.-=#";
+    std::string line;
+    for (const auto& day : days) {
+      double v = std::clamp(getter(day), 0.0, 1.0);
+      line += levels[static_cast<size_t>(v * 4.999)];
+    }
+    return line;
+  };
+  std::string out;
+  out += "v4new |" + spark([](const BrootShare& s) { return s.v4_new; }) + "|\n";
+  out += "v4old |" + spark([](const BrootShare& s) { return s.v4_old; }) + "|\n";
+  out += "v6new |" + spark([](const BrootShare& s) { return s.v6_new; }) + "|\n";
+  out += "v6old |" + spark([](const BrootShare& s) { return s.v6_old; }) + "|\n";
+  if (!days.empty())
+    out += util::format("       %s .. %s (%zu buckets)\n",
+                        util::format_date(days.front().day).c_str(),
+                        util::format_date(days.back().day).c_str(), days.size());
+  return out;
+}
+
+}  // namespace rootsim::analysis

@@ -1,0 +1,55 @@
+// Passive traffic reporting (paper §6 + Appendix D: Figs. 7, 8, 9, 12, 13).
+//
+// Turns collector output into the normalized per-day series the paper plots
+// and the headline adoption statistics (in-family shift ratios, regional
+// IPv6 eagerness).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "traffic/collectors.h"
+
+namespace rootsim::analysis {
+
+/// One day of normalized b.root traffic (Fig. 7 / Fig. 9 series).
+struct BrootShare {
+  util::UnixTime day = 0;
+  double v4_old = 0;
+  double v4_new = 0;
+  double v6_old = 0;
+  double v6_new = 0;
+};
+
+std::vector<BrootShare> broot_shares(const std::vector<traffic::DailyTraffic>& days);
+
+/// In-family shift ratio over a window: new / (new + old), per family
+/// (paper: ISP 87.1% v4, 96.3% v6; IXP-EU 60.8% v6, IXP-NA 16.5% v6).
+struct ShiftRatio {
+  double v4 = 0;
+  double v6 = 0;
+};
+ShiftRatio shift_ratio(const std::vector<traffic::DailyTraffic>& days);
+
+/// Normalized per-root traffic shares over a window (Figs. 12/13 stack).
+struct RootShares {
+  std::array<double, 13> share{};
+};
+RootShares root_shares(const std::vector<traffic::DailyTraffic>& days);
+
+/// Fig. 8: mean number of unique client prefixes per day whose daily flow
+/// count to a subnet is <= x, as a CDF over log-spaced thresholds.
+struct ClientFlowCdf {
+  traffic::SubnetKey subnet;
+  std::vector<double> thresholds;  // flows per client per day
+  std::vector<double> cumulative_fraction;
+  double single_contact_fraction = 0;  // clients with exactly ~1 flow/day
+};
+
+std::vector<ClientFlowCdf> client_flow_cdfs(
+    const std::vector<traffic::ClientDayRecord>& records, int days);
+
+/// Text sparkline of a daily share series (for the bench output).
+std::string render_share_series(const std::vector<BrootShare>& days);
+
+}  // namespace rootsim::analysis

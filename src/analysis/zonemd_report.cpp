@@ -1,0 +1,169 @@
+#include "analysis/zonemd_report.h"
+
+#include "dns/zone_diff.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace rootsim::analysis {
+
+namespace {
+
+std::string server_tag(const measure::ZoneAuditObservation& obs) {
+  if (obs.root_index < 0) return "?";
+  char letter = static_cast<char>('a' + obs.root_index);
+  const char* family = obs.family == util::IpFamily::V4 ? "v4" : "v6";
+  if (obs.old_b_address) return util::format("%c(old %s)", letter, family);
+  return util::format("%c(%s)", letter, family);
+}
+
+std::string reason_of(dnssec::ValidationStatus status) {
+  switch (status) {
+    case dnssec::ValidationStatus::SignatureNotIncepted:
+      return "Sig. not incepted";
+    case dnssec::ValidationStatus::SignatureExpired:
+      return "Signature expired";
+    case dnssec::ValidationStatus::BogusSignature:
+      return "Bogus Signature";
+    default:
+      return to_string(status);
+  }
+}
+
+}  // namespace
+
+ZonemdAuditReport summarize_zone_audit(
+    const std::vector<measure::ZoneAuditObservation>& observations) {
+  ZonemdAuditReport report;
+  report.total_observations = observations.size();
+
+  // Group failing observations by (reason, table2 vp bucket).
+  struct Bucket {
+    std::set<uint32_t> soas;
+    util::UnixTime first = 0, last = 0;
+    size_t count = 0;
+    std::set<std::string> servers;
+    std::set<int> vp_ids;
+    bool all_servers = false;
+  };
+  std::map<std::pair<std::string, int>, Bucket> buckets;
+
+  for (const auto& obs : observations) {
+    if (obs.verdict == dnssec::ValidationStatus::Valid) {
+      ++report.clean_observations;
+      continue;
+    }
+    ++report.failing_observations;
+    // Every failure class in Table 2 is detectable via ZONEMD verification
+    // except when the ZONEMD record itself predates the rollout entirely.
+    if (obs.zonemd != dnssec::ZonemdStatus::NoZonemd ||
+        obs.verdict != dnssec::ValidationStatus::Valid)
+      ++report.catchable_by_zonemd;
+    std::string reason = reason_of(obs.verdict);
+    // Clock-skew buckets group per VP; others group per VP bucket too, so
+    // the key mirrors Table 2's row structure.
+    Bucket& bucket = buckets[{reason, obs.table2_vp_id}];
+    bucket.soas.insert(obs.soa_serial);
+    if (bucket.count == 0 || obs.when < bucket.first) bucket.first = obs.when;
+    if (obs.when > bucket.last) bucket.last = obs.when;
+    ++bucket.count;
+    bucket.servers.insert(server_tag(obs));
+    bucket.vp_ids.insert(obs.table2_vp_id);
+    if (obs.affects_all_servers || bucket.servers.size() >= 10)
+      bucket.all_servers = true;
+  }
+
+  // Merge consecutive VP buckets with identical (reason, servers, soa count)
+  // the way Table 2 prints "6-8" / "9-16".
+  struct MergedRow {
+    Table2Row row;
+    std::set<int> vps;
+    std::string servers_key;
+  };
+  std::vector<MergedRow> merged;
+  for (const auto& [key, bucket] : buckets) {
+    std::string servers = bucket.all_servers
+                              ? "all"
+                              : util::join({bucket.servers.begin(),
+                                            bucket.servers.end()},
+                                           ", ");
+    bool absorbed = false;
+    for (auto& m : merged) {
+      if (m.row.reason == key.first && m.servers_key == servers &&
+          m.row.distinct_soas == bucket.soas.size()) {
+        m.vps.insert(bucket.vp_ids.begin(), bucket.vp_ids.end());
+        m.row.observations += bucket.count;
+        m.row.first_observed = std::min(m.row.first_observed, bucket.first);
+        m.row.last_observed = std::max(m.row.last_observed, bucket.last);
+        absorbed = true;
+        break;
+      }
+    }
+    if (absorbed) continue;
+    MergedRow m;
+    m.row.reason = key.first;
+    m.row.distinct_soas = bucket.soas.size();
+    m.row.first_observed = bucket.first;
+    m.row.last_observed = bucket.last;
+    m.row.observations = bucket.count;
+    m.row.servers = servers;
+    m.servers_key = servers;
+    m.vps = bucket.vp_ids;
+    merged.push_back(std::move(m));
+  }
+  for (auto& m : merged) {
+    // Render VP id set as ranges ("6-8").
+    std::vector<int> ids(m.vps.begin(), m.vps.end());
+    std::string text;
+    for (size_t i = 0; i < ids.size();) {
+      size_t j = i;
+      while (j + 1 < ids.size() && ids[j + 1] == ids[j] + 1) ++j;
+      if (!text.empty()) text += ", ";
+      text += j > i ? util::format("%d-%d", ids[i], ids[j])
+                    : util::format("%d", ids[i]);
+      i = j + 1;
+    }
+    m.row.vp_ids = text;
+    report.rows.push_back(m.row);
+  }
+  std::sort(report.rows.begin(), report.rows.end(),
+            [](const Table2Row& a, const Table2Row& b) {
+              if (a.reason != b.reason) return a.reason < b.reason;
+              return a.first_observed < b.first_observed;
+            });
+  return report;
+}
+
+std::string render_bitflip_example(const measure::Campaign& campaign) {
+  // Produce one genuine corrupted transfer and print the affected RRSIG in
+  // presentation format, before and after, Fig. 10-style.
+  const auto& vps = campaign.vantage_points();
+  const auto& catalog = campaign.catalog();
+  util::UnixTime when = util::make_time(2023, 11, 18, 7, 30);
+  measure::Prober::FaultKnobs knobs;
+  knobs.inject_bitflip = true;
+  knobs.bitflip_seed = 7;  // seed chosen to hit an RRSIG signature byte
+  measure::ProbeRecord clean = campaign.prober().probe(
+      vps[0], catalog.server(6).ipv6, when, campaign.schedule().round_at(when));
+  measure::ProbeRecord corrupt = campaign.prober().probe(
+      vps[0], catalog.server(6).ipv6, when, campaign.schedule().round_at(when),
+      knobs);
+  if (!clean.axfr || !corrupt.axfr) return "(no transfer)";
+  std::string out;
+  out += "bitflip note: " + corrupt.axfr->bitflip_note + "\n\n";
+  dns::ZoneDiff diff =
+      dns::diff_records(clean.axfr->records, corrupt.axfr->records);
+  if (diff.empty()) return "(transfer identical)";
+  if (!diff.removed.empty())
+    out += "as served (intact):\n  " + dns::record_to_string(diff.removed[0]) +
+           "\n";
+  if (!diff.added.empty())
+    out += "as received (bitflipped):\n  " +
+           dns::record_to_string(diff.added[0]) + "\n";
+  return out;
+}
+
+}  // namespace rootsim::analysis

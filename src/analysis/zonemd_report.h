@@ -1,0 +1,42 @@
+// ZONEMD audit reporting (paper §7, Table 2).
+//
+// Buckets the campaign's zone-audit observations into the paper's Table 2
+// rows: reason, number of distinct SOAs, first/last observation, observation
+// count, affected servers, VP ids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "measure/campaign.h"
+
+namespace rootsim::analysis {
+
+struct Table2Row {
+  std::string reason;
+  size_t distinct_soas = 0;
+  util::UnixTime first_observed = 0;
+  util::UnixTime last_observed = 0;
+  size_t observations = 0;
+  std::string servers;  // "all", "d(v6)", "g(v6), b(old v4)", ...
+  std::string vp_ids;   // "1", "6-8", ...
+};
+
+struct ZonemdAuditReport {
+  std::vector<Table2Row> rows;
+  size_t total_observations = 0;
+  size_t clean_observations = 0;
+  size_t failing_observations = 0;
+  /// How many of the failing transfers ZONEMD validation would have caught
+  /// had the verifiable record been in place (the paper's §7 argument).
+  size_t catchable_by_zonemd = 0;
+};
+
+ZonemdAuditReport summarize_zone_audit(
+    const std::vector<measure::ZoneAuditObservation>& observations);
+
+/// Renders the before/after presentation lines of a bitflipped RRSIG — the
+/// paper's Fig. 10 demonstration — for the first bogus transfer in the audit.
+std::string render_bitflip_example(const measure::Campaign& campaign);
+
+}  // namespace rootsim::analysis

@@ -1,0 +1,370 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rootsim::crypto {
+
+namespace {
+using U128 = unsigned __int128;
+}
+
+BigNum::BigNum(uint64_t value) {
+  if (value) limbs_.push_back(value);
+}
+
+void BigNum::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigNum BigNum::from_bytes(std::span<const uint8_t> big_endian) {
+  BigNum n;
+  size_t nbytes = big_endian.size();
+  size_t nlimbs = (nbytes + 7) / 8;
+  n.limbs_.assign(nlimbs, 0);
+  for (size_t i = 0; i < nbytes; ++i) {
+    // big_endian[0] is the most significant byte.
+    size_t bit_pos = (nbytes - 1 - i);
+    n.limbs_[bit_pos / 8] |= static_cast<uint64_t>(big_endian[i]) << (8 * (bit_pos % 8));
+  }
+  n.normalize();
+  return n;
+}
+
+std::vector<uint8_t> BigNum::to_bytes() const {
+  if (limbs_.empty()) return {0};
+  size_t bits = bit_length();
+  size_t nbytes = (bits + 7) / 8;
+  std::vector<uint8_t> out(nbytes);
+  for (size_t i = 0; i < nbytes; ++i) {
+    size_t pos = nbytes - 1 - i;  // position from least significant
+    out[i] = static_cast<uint8_t>(limbs_[pos / 8] >> (8 * (pos % 8)));
+  }
+  return out;
+}
+
+std::vector<uint8_t> BigNum::to_bytes_padded(size_t width) const {
+  std::vector<uint8_t> raw = to_bytes();
+  if (raw.size() == 1 && raw[0] == 0) raw.clear();
+  if (raw.size() > width) return {};
+  std::vector<uint8_t> out(width, 0);
+  std::copy(raw.begin(), raw.end(), out.begin() + static_cast<long>(width - raw.size()));
+  return out;
+}
+
+BigNum BigNum::from_hex(std::string_view hex) {
+  BigNum n;
+  for (char c : hex) {
+    int v;
+    if (c >= '0' && c <= '9') v = c - '0';
+    else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+    else continue;
+    n = (n << 4) + BigNum(static_cast<uint64_t>(v));
+  }
+  return n;
+}
+
+std::string BigNum::to_hex() const {
+  if (limbs_.empty()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  bool leading = true;
+  for (size_t i = limbs_.size(); i > 0; --i) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      unsigned nibble = static_cast<unsigned>(limbs_[i - 1] >> shift) & 0xF;
+      if (leading && nibble == 0) continue;
+      leading = false;
+      out += digits[nibble];
+    }
+  }
+  return out.empty() ? "0" : out;
+}
+
+size_t BigNum::bit_length() const {
+  if (limbs_.empty()) return 0;
+  uint64_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 64;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigNum::bit(size_t index) const {
+  size_t limb = index / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (index % 64)) & 1;
+}
+
+int BigNum::compare(const BigNum& other) const {
+  if (limbs_.size() != other.limbs_.size())
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  for (size_t i = limbs_.size(); i > 0; --i) {
+    if (limbs_[i - 1] != other.limbs_[i - 1])
+      return limbs_[i - 1] < other.limbs_[i - 1] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigNum BigNum::operator+(const BigNum& other) const {
+  BigNum out;
+  size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.assign(n + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    U128 sum = static_cast<U128>(i < limbs_.size() ? limbs_[i] : 0) +
+               (i < other.limbs_.size() ? other.limbs_[i] : 0) + carry;
+    out.limbs_[i] = static_cast<uint64_t>(sum);
+    carry = static_cast<uint64_t>(sum >> 64);
+  }
+  out.limbs_[n] = carry;
+  out.normalize();
+  return out;
+}
+
+BigNum BigNum::operator-(const BigNum& other) const {
+  assert(*this >= other && "BigNum subtraction underflow");
+  BigNum out;
+  out.limbs_.assign(limbs_.size(), 0);
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t rhs = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    U128 lhs = limbs_[i];
+    U128 sub = static_cast<U128>(rhs) + borrow;
+    if (lhs >= sub) {
+      out.limbs_[i] = static_cast<uint64_t>(lhs - sub);
+      borrow = 0;
+    } else {
+      out.limbs_[i] = static_cast<uint64_t>((static_cast<U128>(1) << 64) + lhs - sub);
+      borrow = 1;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigNum BigNum::operator*(const BigNum& other) const {
+  if (limbs_.empty() || other.limbs_.empty()) return BigNum();
+  BigNum out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      U128 cur = static_cast<U128>(limbs_[i]) * other.limbs_[j] +
+                 out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    size_t k = i + other.limbs_.size();
+    while (carry) {
+      U128 cur = static_cast<U128>(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+      ++k;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigNum BigNum::operator<<(size_t bits) const {
+  if (limbs_.empty()) return BigNum();
+  size_t limb_shift = bits / 64;
+  size_t bit_shift = bits % 64;
+  BigNum out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= bit_shift ? (limbs_[i] << bit_shift) : limbs_[i];
+    if (bit_shift)
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+  }
+  out.normalize();
+  return out;
+}
+
+BigNum BigNum::operator>>(size_t bits) const {
+  size_t limb_shift = bits / 64;
+  size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return BigNum();
+  BigNum out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = bit_shift ? (limbs_[i + limb_shift] >> bit_shift)
+                              : limbs_[i + limb_shift];
+    if (bit_shift && i + limb_shift + 1 < limbs_.size())
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+  }
+  out.normalize();
+  return out;
+}
+
+BigNum::DivMod BigNum::divmod(const BigNum& divisor) const {
+  assert(!divisor.is_zero() && "BigNum division by zero");
+  DivMod result;
+  if (*this < divisor) {
+    result.remainder = *this;
+    return result;
+  }
+  const size_t n = divisor.limbs_.size();
+  // Single-limb divisor: one pass with 128-bit division.
+  if (n == 1) {
+    uint64_t d = divisor.limbs_[0];
+    BigNum quot;
+    quot.limbs_.assign(limbs_.size(), 0);
+    U128 rem = 0;
+    for (size_t i = limbs_.size(); i > 0; --i) {
+      U128 cur = (rem << 64) | limbs_[i - 1];
+      quot.limbs_[i - 1] = static_cast<uint64_t>(cur / d);
+      rem = cur % d;
+    }
+    quot.normalize();
+    result.quotient = std::move(quot);
+    result.remainder = BigNum(static_cast<uint64_t>(rem));
+    return result;
+  }
+  // Knuth TAOCP vol. 2, Algorithm D, base 2^64.
+  const size_t m = limbs_.size() - n;
+  int shift = 63;
+  {
+    uint64_t top = divisor.limbs_.back();
+    shift = 0;
+    while (!(top & (1ULL << 63))) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  // D1: normalize so the divisor's top limb has its high bit set.
+  std::vector<uint64_t> u(limbs_.size() + 1, 0);
+  std::vector<uint64_t> v(n, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    u[i] |= shift ? (limbs_[i] << shift) : limbs_[i];
+    if (shift && i + 1 <= limbs_.size()) u[i + 1] = limbs_[i] >> (64 - shift);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = shift ? (divisor.limbs_[i] << shift) : divisor.limbs_[i];
+    if (shift && i > 0) v[i] |= divisor.limbs_[i - 1] >> (64 - shift);
+  }
+  std::vector<uint64_t> q(m + 1, 0);
+  // D2..D7: main loop.
+  for (size_t j = m + 1; j > 0; --j) {
+    size_t jj = j - 1;
+    // D3: estimate qhat from the top two limbs of the current window.
+    U128 numerator = (static_cast<U128>(u[jj + n]) << 64) | u[jj + n - 1];
+    U128 qhat = numerator / v[n - 1];
+    U128 rhat = numerator % v[n - 1];
+    while (qhat >= (static_cast<U128>(1) << 64) ||
+           qhat * v[n - 2] > ((rhat << 64) | u[jj + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= (static_cast<U128>(1) << 64)) break;
+    }
+    // D4: multiply and subtract qhat * v from the window.
+    U128 borrow = 0;
+    U128 carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      U128 product = qhat * v[i] + carry;
+      carry = product >> 64;
+      uint64_t plo = static_cast<uint64_t>(product);
+      U128 sub = static_cast<U128>(u[jj + i]) - plo - borrow;
+      u[jj + i] = static_cast<uint64_t>(sub);
+      borrow = (sub >> 64) ? 1 : 0;
+    }
+    U128 sub = static_cast<U128>(u[jj + n]) - carry - borrow;
+    u[jj + n] = static_cast<uint64_t>(sub);
+    bool negative = (sub >> 64) != 0;
+    // D5/D6: if we overshot, add the divisor back and decrement qhat.
+    if (negative) {
+      --qhat;
+      U128 c = 0;
+      for (size_t i = 0; i < n; ++i) {
+        U128 sum = static_cast<U128>(u[jj + i]) + v[i] + c;
+        u[jj + i] = static_cast<uint64_t>(sum);
+        c = sum >> 64;
+      }
+      u[jj + n] = static_cast<uint64_t>(u[jj + n] + static_cast<uint64_t>(c));
+    }
+    q[jj] = static_cast<uint64_t>(qhat);
+  }
+  BigNum quot;
+  quot.limbs_ = std::move(q);
+  quot.normalize();
+  // D8: denormalize the remainder.
+  BigNum rem;
+  rem.limbs_.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    rem.limbs_[i] = shift ? (u[i] >> shift) : u[i];
+    if (shift && i + 1 < n + 1) rem.limbs_[i] |= u[i + 1] << (64 - shift);
+  }
+  rem.normalize();
+  result.quotient = std::move(quot);
+  result.remainder = std::move(rem);
+  return result;
+}
+
+BigNum BigNum::operator/(const BigNum& d) const { return divmod(d).quotient; }
+BigNum BigNum::operator%(const BigNum& d) const { return divmod(d).remainder; }
+
+BigNum BigNum::mod_pow(const BigNum& exponent, const BigNum& modulus) const {
+  assert(!modulus.is_zero());
+  BigNum base = *this % modulus;
+  BigNum result(1);
+  if (modulus == BigNum(1)) return BigNum();
+  size_t bits = exponent.bit_length();
+  // Left-to-right square and multiply.
+  for (size_t i = bits; i > 0; --i) {
+    result = (result * result) % modulus;
+    if (exponent.bit(i - 1)) result = (result * base) % modulus;
+  }
+  return result;
+}
+
+BigNum BigNum::gcd(BigNum a, BigNum b) {
+  while (!b.is_zero()) {
+    BigNum r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigNum BigNum::mod_inverse(const BigNum& modulus) const {
+  // Extended Euclid on non-negative values, tracking coefficients with an
+  // explicit sign since BigNum is unsigned.
+  if (modulus.is_zero()) return BigNum();
+  BigNum r0 = modulus, r1 = *this % modulus;
+  BigNum t0, t1(1);
+  bool t0_neg = false, t1_neg = false;
+  while (!r1.is_zero()) {
+    DivMod qr = r0.divmod(r1);
+    // t2 = t0 - q * t1, with sign handling.
+    BigNum q_t1 = qr.quotient * t1;
+    BigNum t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      // Same sign: t0 - q*t1 flips sign if q*t1 > t0 in magnitude.
+      if (t0 >= q_t1) {
+        t2 = t0 - q_t1;
+        t2_neg = t0_neg;
+      } else {
+        t2 = q_t1 - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0 + q_t1;
+      t2_neg = t0_neg;
+    }
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+    r0 = std::move(r1);
+    r1 = std::move(qr.remainder);
+  }
+  if (!(r0 == BigNum(1))) return BigNum();  // not invertible
+  if (t0_neg) return modulus - (t0 % modulus);
+  return t0 % modulus;
+}
+
+}  // namespace rootsim::crypto

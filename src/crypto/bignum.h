@@ -1,0 +1,79 @@
+// Arbitrary-precision unsigned integers, sized for RSA (512–2048 bit moduli).
+//
+// The root zone's DNSSEC chain uses RSA (algorithm 8, RSASHA256, for the KSK
+// and ZSK), so signing and validating our simulated root zone needs modular
+// arithmetic on big integers. This is a deliberately small, well-tested
+// implementation: 64-bit limbs (little-endian), schoolbook multiplication,
+// Knuth Algorithm D division, binary extended GCD, and left-to-right square
+// and multiply for modexp. Performance is adequate: signing the root zone
+// twice per serial is microseconds-to-milliseconds, far from the bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rootsim::crypto {
+
+/// Unsigned big integer. Value semantics, normalized (no high zero limbs).
+class BigNum {
+ public:
+  BigNum() = default;
+  explicit BigNum(uint64_t value);
+
+  /// Big-endian byte import/export (the DNS wire convention for key material).
+  static BigNum from_bytes(std::span<const uint8_t> big_endian);
+  std::vector<uint8_t> to_bytes() const;
+  /// Fixed-width export, left-padded with zeros; used to emit signatures of
+  /// exactly modulus size. Returns empty vector if the value does not fit.
+  std::vector<uint8_t> to_bytes_padded(size_t width) const;
+
+  static BigNum from_hex(std::string_view hex);
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  size_t bit_length() const;
+  bool bit(size_t index) const;
+  uint64_t low_u64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+  int compare(const BigNum& other) const;
+  bool operator==(const BigNum& other) const { return compare(other) == 0; }
+  bool operator<(const BigNum& other) const { return compare(other) < 0; }
+  bool operator<=(const BigNum& other) const { return compare(other) <= 0; }
+  bool operator>(const BigNum& other) const { return compare(other) > 0; }
+  bool operator>=(const BigNum& other) const { return compare(other) >= 0; }
+
+  BigNum operator+(const BigNum& other) const;
+  /// Subtraction requires *this >= other (unsigned type).
+  BigNum operator-(const BigNum& other) const;
+  BigNum operator*(const BigNum& other) const;
+  BigNum operator<<(size_t bits) const;
+  BigNum operator>>(size_t bits) const;
+
+  /// Quotient and remainder in one pass (Knuth Algorithm D).
+  struct DivMod;
+  DivMod divmod(const BigNum& divisor) const;
+  BigNum operator/(const BigNum& d) const;
+  BigNum operator%(const BigNum& d) const;
+
+  /// (this ^ exponent) mod modulus; modulus must be nonzero.
+  BigNum mod_pow(const BigNum& exponent, const BigNum& modulus) const;
+
+  /// Modular inverse; returns zero BigNum if gcd(this, modulus) != 1.
+  BigNum mod_inverse(const BigNum& modulus) const;
+
+  static BigNum gcd(BigNum a, BigNum b);
+
+ private:
+  void normalize();
+  std::vector<uint64_t> limbs_;  // little-endian
+};
+
+struct BigNum::DivMod {
+  BigNum quotient;
+  BigNum remainder;
+};
+
+}  // namespace rootsim::crypto

@@ -1,0 +1,196 @@
+#include "crypto/rsa.h"
+
+#include <algorithm>
+
+#include "crypto/sha2.h"
+
+namespace rootsim::crypto {
+
+namespace {
+
+// Small primes for fast trial division before Miller–Rabin.
+constexpr uint32_t kSmallPrimes[] = {
+    3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,  53,
+    59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109, 113, 127,
+    131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+    211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283};
+
+BigNum random_bits(util::Rng& rng, size_t bits) {
+  size_t nbytes = (bits + 7) / 8;
+  std::vector<uint8_t> bytes(nbytes);
+  for (auto& b : bytes) b = static_cast<uint8_t>(rng.next());
+  // Clear excess high bits, then force the top bit so the value has exactly
+  // `bits` bits.
+  size_t excess = nbytes * 8 - bits;
+  bytes[0] &= static_cast<uint8_t>(0xFF >> excess);
+  bytes[0] |= static_cast<uint8_t>(0x80 >> excess);
+  return BigNum::from_bytes(bytes);
+}
+
+BigNum random_below(util::Rng& rng, const BigNum& bound) {
+  size_t bits = bound.bit_length();
+  while (true) {
+    size_t nbytes = (bits + 7) / 8;
+    std::vector<uint8_t> bytes(nbytes);
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.next());
+    size_t excess = nbytes * 8 - bits;
+    bytes[0] &= static_cast<uint8_t>(0xFF >> excess);
+    BigNum v = BigNum::from_bytes(bytes);
+    if (v < bound) return v;
+  }
+}
+
+BigNum generate_prime(util::Rng& rng, size_t bits) {
+  while (true) {
+    BigNum candidate = random_bits(rng, bits);
+    // Force odd.
+    if (!candidate.is_odd()) candidate = candidate + BigNum(1);
+    bool divisible = false;
+    for (uint32_t p : kSmallPrimes) {
+      if ((candidate % BigNum(p)).is_zero()) {
+        divisible = true;
+        break;
+      }
+    }
+    if (divisible) continue;
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+// DER-encoded DigestInfo prefixes for PKCS#1 v1.5 (RFC 8017 §9.2 notes).
+const std::vector<uint8_t>& digest_info_prefix(RsaHash hash) {
+  static const std::vector<uint8_t> sha256_prefix = {
+      0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+      0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20};
+  static const std::vector<uint8_t> sha512_prefix = {
+      0x30, 0x51, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+      0x65, 0x03, 0x04, 0x02, 0x03, 0x05, 0x00, 0x04, 0x40};
+  return hash == RsaHash::Sha256 ? sha256_prefix : sha512_prefix;
+}
+
+std::vector<uint8_t> hash_message(RsaHash hash, std::span<const uint8_t> message) {
+  return hash == RsaHash::Sha256 ? sha256(message) : sha512(message);
+}
+
+// EMSA-PKCS1-v1_5 encoding: 0x00 0x01 FF..FF 0x00 DigestInfo.
+std::vector<uint8_t> emsa_encode(RsaHash hash, std::span<const uint8_t> message,
+                                 size_t em_len) {
+  std::vector<uint8_t> digest = hash_message(hash, message);
+  const auto& prefix = digest_info_prefix(hash);
+  size_t t_len = prefix.size() + digest.size();
+  if (em_len < t_len + 11) return {};
+  std::vector<uint8_t> em(em_len, 0xFF);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[em_len - t_len - 1] = 0x00;
+  std::copy(prefix.begin(), prefix.end(), em.end() - static_cast<long>(t_len));
+  std::copy(digest.begin(), digest.end(), em.end() - static_cast<long>(digest.size()));
+  return em;
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigNum& candidate, util::Rng& rng, int rounds) {
+  if (candidate < BigNum(2)) return false;
+  if (candidate == BigNum(2) || candidate == BigNum(3)) return true;
+  if (!candidate.is_odd()) return false;
+  // candidate - 1 = d * 2^r with d odd.
+  BigNum n_minus_1 = candidate - BigNum(1);
+  BigNum d = n_minus_1;
+  size_t r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    BigNum a = random_below(rng, candidate - BigNum(3)) + BigNum(2);
+    BigNum x = a.mod_pow(d, candidate);
+    if (x == BigNum(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (size_t i = 1; i < r; ++i) {
+      x = (x * x) % candidate;
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+RsaPrivateKey generate_rsa_key(util::Rng& rng, size_t modulus_bits) {
+  const BigNum e(65537);
+  while (true) {
+    BigNum p = generate_prime(rng, modulus_bits / 2);
+    BigNum q = generate_prime(rng, modulus_bits - modulus_bits / 2);
+    if (p == q) continue;
+    BigNum n = p * q;
+    if (n.bit_length() != modulus_bits) continue;
+    BigNum phi = (p - BigNum(1)) * (q - BigNum(1));
+    if (!(BigNum::gcd(e, phi) == BigNum(1))) continue;
+    BigNum d = e.mod_inverse(phi);
+    if (d.is_zero()) continue;
+    RsaPrivateKey key;
+    key.public_key.n = std::move(n);
+    key.public_key.e = e;
+    key.d = std::move(d);
+    key.p = std::move(p);
+    key.q = std::move(q);
+    return key;
+  }
+}
+
+std::vector<uint8_t> RsaPublicKey::to_dnskey_wire() const {
+  // RFC 3110: one-byte exponent length (exponents < 256 bytes), exponent,
+  // modulus.
+  std::vector<uint8_t> exp_bytes = e.to_bytes();
+  std::vector<uint8_t> mod_bytes = n.to_bytes();
+  std::vector<uint8_t> out;
+  out.reserve(1 + exp_bytes.size() + mod_bytes.size());
+  out.push_back(static_cast<uint8_t>(exp_bytes.size()));
+  out.insert(out.end(), exp_bytes.begin(), exp_bytes.end());
+  out.insert(out.end(), mod_bytes.begin(), mod_bytes.end());
+  return out;
+}
+
+RsaPublicKey RsaPublicKey::from_dnskey_wire(std::span<const uint8_t> wire) {
+  RsaPublicKey key;
+  if (wire.empty()) return key;
+  size_t exp_len = wire[0];
+  size_t offset = 1;
+  if (exp_len == 0 && wire.size() >= 3) {
+    // RFC 3110 long form: 0 followed by a two-byte length.
+    exp_len = static_cast<size_t>(wire[1]) << 8 | wire[2];
+    offset = 3;
+  }
+  if (offset + exp_len > wire.size()) return key;
+  key.e = BigNum::from_bytes(wire.subspan(offset, exp_len));
+  key.n = BigNum::from_bytes(wire.subspan(offset + exp_len));
+  return key;
+}
+
+std::vector<uint8_t> rsa_sign(const RsaPrivateKey& key, RsaHash hash,
+                              std::span<const uint8_t> message) {
+  size_t k = key.public_key.modulus_bytes();
+  std::vector<uint8_t> em = emsa_encode(hash, message, k);
+  if (em.empty()) return {};
+  BigNum m = BigNum::from_bytes(em);
+  BigNum s = m.mod_pow(key.d, key.public_key.n);
+  return s.to_bytes_padded(k);
+}
+
+bool rsa_verify(const RsaPublicKey& key, RsaHash hash,
+                std::span<const uint8_t> message,
+                std::span<const uint8_t> signature) {
+  size_t k = key.modulus_bytes();
+  if (signature.size() != k || key.n.is_zero()) return false;
+  BigNum s = BigNum::from_bytes(signature);
+  if (s >= key.n) return false;
+  BigNum m = s.mod_pow(key.e, key.n);
+  std::vector<uint8_t> em = m.to_bytes_padded(k);
+  std::vector<uint8_t> expected = emsa_encode(hash, message, k);
+  return !expected.empty() && em == expected;
+}
+
+}  // namespace rootsim::crypto

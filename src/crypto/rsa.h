@@ -1,0 +1,58 @@
+// RSA with PKCS#1 v1.5 signatures, as used by the root zone's DNSSEC chain
+// (RRSIG algorithm 8 = RSASHA256, algorithm 10 = RSASHA512, RFC 5702).
+//
+// Key generation uses our own Miller–Rabin over deterministic randomness, so
+// a simulated root zone's keys — and therefore every signature and every
+// validation failure in the Table 2 reproduction — are reproducible from the
+// experiment seed. Default modulus is 1024 bits: cryptographically obsolete
+// but structurally identical to the real root's 2048-bit keys, and an order
+// of magnitude faster for the 75M-zone-transfer-scale simulation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/bignum.h"
+#include "util/rng.h"
+
+namespace rootsim::crypto {
+
+/// Hash algorithm selector for PKCS#1 v1.5 DigestInfo.
+enum class RsaHash : uint8_t { Sha256, Sha512 };
+
+struct RsaPublicKey {
+  BigNum n;  ///< modulus
+  BigNum e;  ///< public exponent (65537)
+
+  size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+
+  /// DNSKEY RDATA public-key field per RFC 3110: exponent length, exponent,
+  /// modulus.
+  std::vector<uint8_t> to_dnskey_wire() const;
+  static RsaPublicKey from_dnskey_wire(std::span<const uint8_t> wire);
+};
+
+struct RsaPrivateKey {
+  RsaPublicKey public_key;
+  BigNum d;  ///< private exponent
+  BigNum p;
+  BigNum q;
+};
+
+/// Generates a keypair with the given modulus size. Deterministic in `rng`.
+RsaPrivateKey generate_rsa_key(util::Rng& rng, size_t modulus_bits = 1024);
+
+/// Miller–Rabin primality test with `rounds` random bases.
+bool is_probable_prime(const BigNum& candidate, util::Rng& rng, int rounds = 24);
+
+/// PKCS#1 v1.5 signature over `message` (hashes internally).
+std::vector<uint8_t> rsa_sign(const RsaPrivateKey& key, RsaHash hash,
+                              std::span<const uint8_t> message);
+
+/// Verifies a PKCS#1 v1.5 signature; false on any mismatch or malformed input.
+bool rsa_verify(const RsaPublicKey& key, RsaHash hash,
+                std::span<const uint8_t> message,
+                std::span<const uint8_t> signature);
+
+}  // namespace rootsim::crypto

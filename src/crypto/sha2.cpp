@@ -1,0 +1,254 @@
+#include "crypto/sha2.h"
+
+#include <bit>
+#include <cstring>
+
+namespace rootsim::crypto {
+
+namespace {
+
+// FIPS 180-4 round constants: fractional parts of cube roots of the first
+// 64 primes (32-bit) / 80 primes (64-bit).
+constexpr uint32_t kK256[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+constexpr uint64_t kK512[80] = {
+    0x428a2f98d728ae22ULL, 0x7137449123ef65cdULL, 0xb5c0fbcfec4d3b2fULL,
+    0xe9b5dba58189dbbcULL, 0x3956c25bf348b538ULL, 0x59f111f1b605d019ULL,
+    0x923f82a4af194f9bULL, 0xab1c5ed5da6d8118ULL, 0xd807aa98a3030242ULL,
+    0x12835b0145706fbeULL, 0x243185be4ee4b28cULL, 0x550c7dc3d5ffb4e2ULL,
+    0x72be5d74f27b896fULL, 0x80deb1fe3b1696b1ULL, 0x9bdc06a725c71235ULL,
+    0xc19bf174cf692694ULL, 0xe49b69c19ef14ad2ULL, 0xefbe4786384f25e3ULL,
+    0x0fc19dc68b8cd5b5ULL, 0x240ca1cc77ac9c65ULL, 0x2de92c6f592b0275ULL,
+    0x4a7484aa6ea6e483ULL, 0x5cb0a9dcbd41fbd4ULL, 0x76f988da831153b5ULL,
+    0x983e5152ee66dfabULL, 0xa831c66d2db43210ULL, 0xb00327c898fb213fULL,
+    0xbf597fc7beef0ee4ULL, 0xc6e00bf33da88fc2ULL, 0xd5a79147930aa725ULL,
+    0x06ca6351e003826fULL, 0x142929670a0e6e70ULL, 0x27b70a8546d22ffcULL,
+    0x2e1b21385c26c926ULL, 0x4d2c6dfc5ac42aedULL, 0x53380d139d95b3dfULL,
+    0x650a73548baf63deULL, 0x766a0abb3c77b2a8ULL, 0x81c2c92e47edaee6ULL,
+    0x92722c851482353bULL, 0xa2bfe8a14cf10364ULL, 0xa81a664bbc423001ULL,
+    0xc24b8b70d0f89791ULL, 0xc76c51a30654be30ULL, 0xd192e819d6ef5218ULL,
+    0xd69906245565a910ULL, 0xf40e35855771202aULL, 0x106aa07032bbd1b8ULL,
+    0x19a4c116b8d2d0c8ULL, 0x1e376c085141ab53ULL, 0x2748774cdf8eeb99ULL,
+    0x34b0bcb5e19b48a8ULL, 0x391c0cb3c5c95a63ULL, 0x4ed8aa4ae3418acbULL,
+    0x5b9cca4f7763e373ULL, 0x682e6ff3d6b2b8a3ULL, 0x748f82ee5defb2fcULL,
+    0x78a5636f43172f60ULL, 0x84c87814a1f0ab72ULL, 0x8cc702081a6439ecULL,
+    0x90befffa23631e28ULL, 0xa4506cebde82bde9ULL, 0xbef9a3f7b2c67915ULL,
+    0xc67178f2e372532bULL, 0xca273eceea26619cULL, 0xd186b8c721c0c207ULL,
+    0xeada7dd6cde0eb1eULL, 0xf57d4f7fee6ed178ULL, 0x06f067aa72176fbaULL,
+    0x0a637dc5a2c898a6ULL, 0x113f9804bef90daeULL, 0x1b710b35131c471bULL,
+    0x28db77f523047d84ULL, 0x32caab7b40c72493ULL, 0x3c9ebe0a15c9bebcULL,
+    0x431d67c49c100d4cULL, 0x4cc5d4becb3e42b6ULL, 0x597f299cfc657e2aULL,
+    0x5fcb6fab3ad6faecULL, 0x6c44198c4a475817ULL,
+};
+
+template <typename T>
+T load_be(const uint8_t* p) {
+  T v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) v = static_cast<T>(v << 8 | p[i]);
+  return v;
+}
+
+template <typename T>
+void store_be(uint8_t* p, T v) {
+  for (size_t i = sizeof(T); i > 0; --i) {
+    p[i - 1] = static_cast<uint8_t>(v);
+    v >>= 8;
+  }
+}
+
+}  // namespace
+
+Sha256::Sha256()
+    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f,
+             0x9b05688c, 0x1f83d9ab, 0x5be0cd19},
+      buffer_{} {}
+
+void Sha256::process_block(const uint8_t* block) {
+  uint32_t w[64];
+  for (int i = 0; i < 16; ++i) w[i] = load_be<uint32_t>(block + 4 * i);
+  for (int i = 16; i < 64; ++i) {
+    uint32_t s0 = std::rotr(w[i - 15], 7) ^ std::rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    uint32_t s1 = std::rotr(w[i - 2], 17) ^ std::rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (int i = 0; i < 64; ++i) {
+    uint32_t s1 = std::rotr(e, 6) ^ std::rotr(e, 11) ^ std::rotr(e, 25);
+    uint32_t ch = (e & f) ^ (~e & g);
+    uint32_t t1 = h + s1 + ch + kK256[i] + w[i];
+    uint32_t s0 = std::rotr(a, 2) ^ std::rotr(a, 13) ^ std::rotr(a, 22);
+    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    uint32_t t2 = s0 + maj;
+    h = g; g = f; f = e; e = d + t1;
+    d = c; c = b; b = a; a = t1 + t2;
+  }
+  state_[0] += a; state_[1] += b; state_[2] += c; state_[3] += d;
+  state_[4] += e; state_[5] += f; state_[6] += g; state_[7] += h;
+}
+
+void Sha256::update(std::span<const uint8_t> data) {
+  total_bytes_ += data.size();
+  size_t offset = 0;
+  if (buffered_ > 0) {
+    size_t take = std::min(data.size(), buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+std::array<uint8_t, Sha256::kDigestSize> Sha256::finish() {
+  uint64_t bit_len = total_bytes_ * 8;
+  uint8_t pad[72] = {0x80};
+  size_t pad_len = (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  update({pad, pad_len});
+  uint8_t len_be[8];
+  store_be<uint64_t>(len_be, bit_len);
+  // update() counted the padding into total_bytes_, which is fine: bit_len was
+  // captured first.
+  update({len_be, 8});
+  std::array<uint8_t, kDigestSize> out{};
+  for (int i = 0; i < 8; ++i) store_be<uint32_t>(out.data() + 4 * i, state_[i]);
+  return out;
+}
+
+Sha512::Sha512()
+    : Sha512(std::array<uint64_t, 8>{
+          0x6a09e667f3bcc908ULL, 0xbb67ae8584caa73bULL, 0x3c6ef372fe94f82bULL,
+          0xa54ff53a5f1d36f1ULL, 0x510e527fade682d1ULL, 0x9b05688c2b3e6c1fULL,
+          0x1f83d9abfb41bd6bULL, 0x5be0cd19137e2179ULL}) {}
+
+Sha512::Sha512(const std::array<uint64_t, 8>& iv) : state_(iv), buffer_{} {}
+
+void Sha512::process_block(const uint8_t* block) {
+  uint64_t w[80];
+  for (int i = 0; i < 16; ++i) w[i] = load_be<uint64_t>(block + 8 * i);
+  for (int i = 16; i < 80; ++i) {
+    uint64_t s0 = std::rotr(w[i - 15], 1) ^ std::rotr(w[i - 15], 8) ^ (w[i - 15] >> 7);
+    uint64_t s1 = std::rotr(w[i - 2], 19) ^ std::rotr(w[i - 2], 61) ^ (w[i - 2] >> 6);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  uint64_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  uint64_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (int i = 0; i < 80; ++i) {
+    uint64_t s1 = std::rotr(e, 14) ^ std::rotr(e, 18) ^ std::rotr(e, 41);
+    uint64_t ch = (e & f) ^ (~e & g);
+    uint64_t t1 = h + s1 + ch + kK512[i] + w[i];
+    uint64_t s0 = std::rotr(a, 28) ^ std::rotr(a, 34) ^ std::rotr(a, 39);
+    uint64_t maj = (a & b) ^ (a & c) ^ (b & c);
+    uint64_t t2 = s0 + maj;
+    h = g; g = f; f = e; e = d + t1;
+    d = c; c = b; b = a; a = t1 + t2;
+  }
+  state_[0] += a; state_[1] += b; state_[2] += c; state_[3] += d;
+  state_[4] += e; state_[5] += f; state_[6] += g; state_[7] += h;
+}
+
+void Sha512::update(std::span<const uint8_t> data) {
+  total_bytes_ += data.size();
+  size_t offset = 0;
+  if (buffered_ > 0) {
+    size_t take = std::min(data.size(), buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 128 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 128;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+std::array<uint8_t, Sha512::kDigestSize> Sha512::finish() {
+  // SHA-512 appends a 128-bit length; the high 64 bits are zero for any
+  // message this library can hold in memory.
+  uint64_t bit_len = total_bytes_ * 8;
+  uint8_t pad[144] = {0x80};
+  size_t pad_len = (buffered_ < 112) ? (112 - buffered_) : (240 - buffered_);
+  update({pad, pad_len});
+  uint8_t len_be[16] = {};
+  store_be<uint64_t>(len_be + 8, bit_len);
+  update({len_be, 16});
+  std::array<uint8_t, kDigestSize> out{};
+  for (int i = 0; i < 8; ++i) store_be<uint64_t>(out.data() + 8 * i, state_[i]);
+  return out;
+}
+
+Sha384::Sha384()
+    : Sha512(std::array<uint64_t, 8>{
+          0xcbbb9d5dc1059ed8ULL, 0x629a292a367cd507ULL, 0x9159015a3070dd17ULL,
+          0x152fecd8f70e5939ULL, 0x67332667ffc00b31ULL, 0x8eb44a8768581511ULL,
+          0xdb0c2e0d64f98fa7ULL, 0x47b5481dbefa4fa4ULL}) {}
+
+std::array<uint8_t, Sha384::kDigestSize> Sha384::finish() {
+  auto full = Sha512::finish();
+  std::array<uint8_t, kDigestSize> out{};
+  std::memcpy(out.data(), full.data(), kDigestSize);
+  return out;
+}
+
+std::vector<uint8_t> sha256(std::span<const uint8_t> data) {
+  Sha256 h;
+  h.update(data);
+  auto d = h.finish();
+  return {d.begin(), d.end()};
+}
+
+std::vector<uint8_t> sha384(std::span<const uint8_t> data) {
+  Sha384 h;
+  h.update(data);
+  auto d = h.finish();
+  return {d.begin(), d.end()};
+}
+
+std::vector<uint8_t> sha512(std::span<const uint8_t> data) {
+  Sha512 h;
+  h.update(data);
+  auto d = h.finish();
+  return {d.begin(), d.end()};
+}
+
+namespace {
+std::span<const uint8_t> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+}  // namespace
+
+std::vector<uint8_t> sha256_str(const std::string& s) { return sha256(as_bytes(s)); }
+std::vector<uint8_t> sha384_str(const std::string& s) { return sha384(as_bytes(s)); }
+std::vector<uint8_t> sha512_str(const std::string& s) { return sha512(as_bytes(s)); }
+
+}  // namespace rootsim::crypto

@@ -1,0 +1,74 @@
+// SHA-2 family (FIPS 180-4): SHA-256 for RRSIG algorithm 8 (RSASHA256) and
+// DS digests, SHA-384 for ZONEMD scheme 1/hash 1 (RFC 8976) and the ZONEMD
+// roll-out the paper studies, SHA-512 as the internal engine for SHA-384 and
+// for RSASHA512 (algorithm 10). Implemented from the FIPS specification; test
+// vectors from the NIST examples are in tests/crypto/sha2_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rootsim::crypto {
+
+/// Incremental SHA-256. Also usable as a one-shot via the free functions below.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+
+  Sha256();
+  void update(std::span<const uint8_t> data);
+  std::array<uint8_t, kDigestSize> finish();
+
+ private:
+  void process_block(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffered_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+/// Incremental SHA-512; SHA-384 below reuses this engine with different IVs.
+class Sha512 {
+ public:
+  static constexpr size_t kDigestSize = 64;
+
+  Sha512();
+  void update(std::span<const uint8_t> data);
+  std::array<uint8_t, kDigestSize> finish();
+
+ protected:
+  explicit Sha512(const std::array<uint64_t, 8>& iv);
+
+ private:
+  void process_block(const uint8_t* block);
+
+  std::array<uint64_t, 8> state_;
+  std::array<uint8_t, 128> buffer_;
+  size_t buffered_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+/// Incremental SHA-384 (SHA-512 truncated to 48 bytes with distinct IV).
+class Sha384 : private Sha512 {
+ public:
+  static constexpr size_t kDigestSize = 48;
+
+  Sha384();
+  void update(std::span<const uint8_t> data) { Sha512::update(data); }
+  std::array<uint8_t, kDigestSize> finish();
+};
+
+std::vector<uint8_t> sha256(std::span<const uint8_t> data);
+std::vector<uint8_t> sha384(std::span<const uint8_t> data);
+std::vector<uint8_t> sha512(std::span<const uint8_t> data);
+
+/// Convenience overloads for string payloads (used by tests).
+std::vector<uint8_t> sha256_str(const std::string& s);
+std::vector<uint8_t> sha384_str(const std::string& s);
+std::vector<uint8_t> sha512_str(const std::string& s);
+
+}  // namespace rootsim::crypto

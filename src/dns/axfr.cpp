@@ -1,0 +1,84 @@
+#include "dns/axfr.h"
+
+#include "util/strings.h"
+
+namespace rootsim::dns {
+
+std::vector<uint8_t> encode_axfr_stream(const std::vector<ResourceRecord>& records,
+                                        const Question& question,
+                                        const AxfrStreamOptions& options) {
+  std::vector<uint8_t> stream;
+  uint16_t message_id = options.first_message_id;
+  size_t index = 0;
+  bool first_message = true;
+  while (index < records.size()) {
+    Message msg;
+    msg.id = message_id++;
+    msg.qr = true;
+    msg.aa = true;
+    // Only the first message carries the question (RFC 5936 §2.2.1).
+    if (first_message) msg.questions.push_back(question);
+    first_message = false;
+    // Greedily pack answers until the size budget is reached. Encoding is
+    // re-done per candidate count; fine for simulation-scale zones.
+    size_t count = 0;
+    std::vector<uint8_t> wire;
+    while (index + count < records.size()) {
+      msg.answers.push_back(records[index + count]);
+      std::vector<uint8_t> candidate = msg.encode();
+      if (candidate.size() > options.max_message_bytes && count > 0) {
+        msg.answers.pop_back();
+        break;
+      }
+      wire = std::move(candidate);
+      ++count;
+      if (wire.size() > options.max_message_bytes) break;  // single huge RR
+    }
+    index += count;
+    stream.push_back(static_cast<uint8_t>(wire.size() >> 8));
+    stream.push_back(static_cast<uint8_t>(wire.size()));
+    stream.insert(stream.end(), wire.begin(), wire.end());
+  }
+  return stream;
+}
+
+AxfrParseResult decode_axfr_stream(std::span<const uint8_t> stream) {
+  AxfrParseResult result;
+  size_t offset = 0;
+  while (offset < stream.size()) {
+    if (offset + 2 > stream.size()) {
+      result.error = "truncated length prefix";
+      return result;
+    }
+    size_t length = static_cast<size_t>(stream[offset]) << 8 | stream[offset + 1];
+    offset += 2;
+    if (offset + length > stream.size()) {
+      result.error = util::format("message %zu truncated (want %zu bytes)",
+                                  result.message_count, length);
+      return result;
+    }
+    auto message = Message::decode(stream.subspan(offset, length));
+    offset += length;
+    if (!message) {
+      result.error = util::format("message %zu failed to parse",
+                                  result.message_count);
+      return result;
+    }
+    if (message->rcode != Rcode::NoError) {
+      result.error = util::format("server returned %s",
+                                  rcode_to_string(message->rcode).c_str());
+      return result;
+    }
+    ++result.message_count;
+    for (auto& rr : message->answers) result.records.push_back(std::move(rr));
+  }
+  if (result.records.size() < 2 ||
+      result.records.front().type != RRType::SOA ||
+      result.records.back().type != RRType::SOA) {
+    result.error = "stream not SOA-delimited";
+    return result;
+  }
+  return result;
+}
+
+}  // namespace rootsim::dns

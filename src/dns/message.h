@@ -1,0 +1,76 @@
+// DNS messages (RFC 1035 §4): header, question, answer/authority/additional
+// sections, with EDNS(0) OPT handling (RFC 6891).
+//
+// This is the unit the simulated prober exchanges with simulated root server
+// instances — the same wire bytes a real `dig @198.41.0.4 . NS +dnssec`
+// exchange would carry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/codec.h"
+#include "dns/rdata.h"
+
+namespace rootsim::dns {
+
+enum class Opcode : uint8_t { Query = 0, Notify = 4, Update = 5 };
+
+enum class Rcode : uint8_t {
+  NoError = 0,
+  FormErr = 1,
+  ServFail = 2,
+  NxDomain = 3,
+  NotImp = 4,
+  Refused = 5,
+};
+
+std::string rcode_to_string(Rcode rcode);
+
+struct Question {
+  Name qname;
+  RRType qtype = RRType::A;
+  RRClass qclass = RRClass::IN;
+  bool operator==(const Question&) const = default;
+};
+
+/// A full DNS message. Flags are individual booleans rather than a packed
+/// word; packing happens only at the wire boundary.
+struct Message {
+  uint16_t id = 0;
+  bool qr = false;  // response flag
+  Opcode opcode = Opcode::Query;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = false;  // recursion desired
+  bool ra = false;  // recursion available
+  bool ad = false;  // authentic data
+  bool cd = false;  // checking disabled
+  Rcode rcode = Rcode::NoError;
+
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authority;
+  std::vector<ResourceRecord> additional;
+
+  /// True if the additional section carries an OPT record with DO set.
+  bool dnssec_ok() const;
+  /// Appends an EDNS OPT record (idempotent layout; call once).
+  void add_edns(uint16_t udp_payload_size = 1232, bool dnssec_ok = false);
+
+  /// Serializes to wire format with name compression.
+  std::vector<uint8_t> encode() const;
+
+  /// Parses from wire format; nullopt on malformed input.
+  static std::optional<Message> decode(std::span<const uint8_t> data);
+};
+
+/// Builds a query message in the shape the measurement script's
+/// `dig @server <qname> <qtype>` would produce.
+Message make_query(uint16_t id, const Name& qname, RRType qtype,
+                   RRClass qclass = RRClass::IN, bool dnssec_ok = false);
+
+}  // namespace rootsim::dns

@@ -1,0 +1,178 @@
+#include "dns/rdata.h"
+
+#include "crypto/encoding.h"
+#include "util/strings.h"
+
+namespace rootsim::dns {
+
+std::string rrtype_to_string(RRType type) {
+  switch (type) {
+    case RRType::A: return "A";
+    case RRType::NS: return "NS";
+    case RRType::CNAME: return "CNAME";
+    case RRType::SOA: return "SOA";
+    case RRType::PTR: return "PTR";
+    case RRType::MX: return "MX";
+    case RRType::TXT: return "TXT";
+    case RRType::AAAA: return "AAAA";
+    case RRType::OPT: return "OPT";
+    case RRType::DS: return "DS";
+    case RRType::RRSIG: return "RRSIG";
+    case RRType::NSEC: return "NSEC";
+    case RRType::DNSKEY: return "DNSKEY";
+    case RRType::ZONEMD: return "ZONEMD";
+    case RRType::AXFR: return "AXFR";
+    case RRType::ANY: return "ANY";
+  }
+  return util::format("TYPE%u", static_cast<unsigned>(type));
+}
+
+RRType rrtype_from_string(std::string_view text) {
+  std::string upper;
+  for (char c : text)
+    upper += (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+  if (upper == "A") return RRType::A;
+  if (upper == "NS") return RRType::NS;
+  if (upper == "CNAME") return RRType::CNAME;
+  if (upper == "SOA") return RRType::SOA;
+  if (upper == "PTR") return RRType::PTR;
+  if (upper == "MX") return RRType::MX;
+  if (upper == "TXT") return RRType::TXT;
+  if (upper == "AAAA") return RRType::AAAA;
+  if (upper == "OPT") return RRType::OPT;
+  if (upper == "DS") return RRType::DS;
+  if (upper == "RRSIG") return RRType::RRSIG;
+  if (upper == "NSEC") return RRType::NSEC;
+  if (upper == "DNSKEY") return RRType::DNSKEY;
+  if (upper == "ZONEMD") return RRType::ZONEMD;
+  if (upper == "AXFR") return RRType::AXFR;
+  return RRType::ANY;
+}
+
+std::string rrclass_to_string(RRClass rclass) {
+  switch (rclass) {
+    case RRClass::IN: return "IN";
+    case RRClass::CH: return "CH";
+    case RRClass::ANY: return "ANY";
+  }
+  return util::format("CLASS%u", static_cast<unsigned>(rclass));
+}
+
+uint16_t DnskeyData::key_tag() const {
+  // RFC 4034 Appendix B: ones-complement-style sum over the RDATA.
+  std::vector<uint8_t> rdata;
+  rdata.push_back(static_cast<uint8_t>(flags >> 8));
+  rdata.push_back(static_cast<uint8_t>(flags));
+  rdata.push_back(protocol);
+  rdata.push_back(algorithm);
+  rdata.insert(rdata.end(), public_key.begin(), public_key.end());
+  uint32_t acc = 0;
+  for (size_t i = 0; i < rdata.size(); ++i)
+    acc += (i & 1) ? rdata[i] : static_cast<uint32_t>(rdata[i]) << 8;
+  acc += (acc >> 16) & 0xFFFF;
+  return static_cast<uint16_t>(acc & 0xFFFF);
+}
+
+RRType rdata_type(const Rdata& rdata) {
+  struct Visitor {
+    RRType operator()(const SoaData&) const { return RRType::SOA; }
+    RRType operator()(const NsData&) const { return RRType::NS; }
+    RRType operator()(const CnameData&) const { return RRType::CNAME; }
+    RRType operator()(const AData&) const { return RRType::A; }
+    RRType operator()(const AaaaData&) const { return RRType::AAAA; }
+    RRType operator()(const TxtData&) const { return RRType::TXT; }
+    RRType operator()(const MxData&) const { return RRType::MX; }
+    RRType operator()(const DsData&) const { return RRType::DS; }
+    RRType operator()(const DnskeyData&) const { return RRType::DNSKEY; }
+    RRType operator()(const RrsigData&) const { return RRType::RRSIG; }
+    RRType operator()(const NsecData&) const { return RRType::NSEC; }
+    RRType operator()(const ZonemdData&) const { return RRType::ZONEMD; }
+    RRType operator()(const OptData&) const { return RRType::OPT; }
+    RRType operator()(const GenericData& g) const {
+      return static_cast<RRType>(g.type_code);
+    }
+  };
+  return std::visit(Visitor{}, rdata);
+}
+
+namespace {
+
+std::string quote_txt(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string rdata_to_string(const Rdata& rdata) {
+  struct Visitor {
+    std::string operator()(const SoaData& soa) const {
+      return util::format("%s %s %u %u %u %u %u", soa.mname.to_string().c_str(),
+                          soa.rname.to_string().c_str(), soa.serial, soa.refresh,
+                          soa.retry, soa.expire, soa.minimum);
+    }
+    std::string operator()(const NsData& ns) const { return ns.nsdname.to_string(); }
+    std::string operator()(const CnameData& c) const { return c.target.to_string(); }
+    std::string operator()(const AData& a) const { return a.address.to_string(); }
+    std::string operator()(const AaaaData& a) const { return a.address.to_string(); }
+    std::string operator()(const TxtData& txt) const {
+      std::vector<std::string> parts;
+      parts.reserve(txt.strings.size());
+      for (const auto& s : txt.strings) parts.push_back(quote_txt(s));
+      return util::join(parts, " ");
+    }
+    std::string operator()(const MxData& mx) const {
+      return util::format("%u %s", mx.preference, mx.exchange.to_string().c_str());
+    }
+    std::string operator()(const DsData& ds) const {
+      return util::format("%u %u %u %s", ds.key_tag, ds.algorithm, ds.digest_type,
+                          crypto::to_hex(ds.digest).c_str());
+    }
+    std::string operator()(const DnskeyData& key) const {
+      return util::format("%u %u %u %s", key.flags, key.protocol, key.algorithm,
+                          crypto::to_base64(key.public_key).c_str());
+    }
+    std::string operator()(const RrsigData& sig) const {
+      return util::format("%s %u %u %u %u %u %u %s %s",
+                          rrtype_to_string(sig.type_covered).c_str(), sig.algorithm,
+                          sig.labels, sig.original_ttl, sig.expiration,
+                          sig.inception, sig.key_tag,
+                          sig.signer.to_string().c_str(),
+                          crypto::to_base64(sig.signature).c_str());
+    }
+    std::string operator()(const NsecData& nsec) const {
+      std::string out = nsec.next.to_string();
+      for (RRType t : nsec.types) {
+        out += ' ';
+        out += rrtype_to_string(t);
+      }
+      return out;
+    }
+    std::string operator()(const ZonemdData& z) const {
+      return util::format("%u %u %u %s", z.serial, z.scheme, z.hash_algorithm,
+                          crypto::to_hex(z.digest).c_str());
+    }
+    std::string operator()(const OptData& opt) const {
+      return util::format("; udp=%u do=%d", opt.udp_payload_size, opt.dnssec_ok);
+    }
+    std::string operator()(const GenericData& g) const {
+      return util::format("\\# %zu %s", g.bytes.size(),
+                          crypto::to_hex(g.bytes).c_str());
+    }
+  };
+  return std::visit(Visitor{}, rdata);
+}
+
+std::string record_to_string(const ResourceRecord& rr) {
+  return util::format("%s %u %s %s %s", rr.name.to_string().c_str(), rr.ttl,
+                      rrclass_to_string(rr.rclass).c_str(),
+                      rrtype_to_string(rr.type).c_str(),
+                      rdata_to_string(rr.rdata).c_str());
+}
+
+}  // namespace rootsim::dns

@@ -1,0 +1,157 @@
+#include "dns/wire.h"
+
+#include "util/strings.h"
+
+namespace rootsim::dns {
+
+void WireWriter::put_u8(uint8_t value) { buffer_.push_back(value); }
+
+void WireWriter::put_u16(uint16_t value) {
+  buffer_.push_back(static_cast<uint8_t>(value >> 8));
+  buffer_.push_back(static_cast<uint8_t>(value));
+}
+
+void WireWriter::put_u32(uint32_t value) {
+  put_u16(static_cast<uint16_t>(value >> 16));
+  put_u16(static_cast<uint16_t>(value));
+}
+
+void WireWriter::put_bytes(std::span<const uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void WireWriter::put_name(const Name& name, bool compress) {
+  // Try to compress each suffix in turn: "f.root-servers.net." checks
+  // "f.root-servers.net.", then "root-servers.net.", then "net.".
+  const auto& labels = name.labels();
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (compress) {
+      // Key suffixes case-folded: compression must be case-insensitive.
+      std::string key;
+      for (size_t k = i; k < labels.size(); ++k) {
+        key += util::to_lower(labels[k]);
+        key += '.';
+      }
+      auto it = compression_offsets_.find(key);
+      if (it != compression_offsets_.end()) {
+        put_u16(static_cast<uint16_t>(0xC000 | it->second));
+        return;
+      }
+      if (buffer_.size() < 0x4000)
+        compression_offsets_.emplace(std::move(key),
+                                     static_cast<uint16_t>(buffer_.size()));
+    }
+    put_u8(static_cast<uint8_t>(labels[i].size()));
+    put_bytes({reinterpret_cast<const uint8_t*>(labels[i].data()), labels[i].size()});
+  }
+  put_u8(0);
+}
+
+void WireWriter::put_name_canonical(const Name& name) {
+  put_name(name.to_lower(), /*compress=*/false);
+}
+
+void WireWriter::patch_u16(size_t offset, uint16_t value) {
+  buffer_[offset] = static_cast<uint8_t>(value >> 8);
+  buffer_[offset + 1] = static_cast<uint8_t>(value);
+}
+
+uint8_t WireReader::get_u8() {
+  if (!ok_ || offset_ + 1 > data_.size()) {
+    ok_ = false;
+    return 0;
+  }
+  return data_[offset_++];
+}
+
+uint16_t WireReader::get_u16() {
+  uint16_t hi = get_u8();
+  uint16_t lo = get_u8();
+  return static_cast<uint16_t>(hi << 8 | lo);
+}
+
+uint32_t WireReader::get_u32() {
+  uint32_t hi = get_u16();
+  uint32_t lo = get_u16();
+  return hi << 16 | lo;
+}
+
+std::vector<uint8_t> WireReader::get_bytes(size_t count) {
+  if (!ok_ || offset_ + count > data_.size()) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<uint8_t> out(data_.begin() + static_cast<long>(offset_),
+                           data_.begin() + static_cast<long>(offset_ + count));
+  offset_ += count;
+  return out;
+}
+
+Name WireReader::get_name() {
+  std::vector<std::string> labels;
+  size_t cursor = offset_;
+  bool jumped = false;
+  size_t jumps = 0;
+  size_t after_first_pointer = 0;
+  while (true) {
+    if (!ok_ || cursor >= data_.size()) {
+      ok_ = false;
+      return Name();
+    }
+    uint8_t len = data_[cursor];
+    if ((len & 0xC0) == 0xC0) {
+      if (cursor + 1 >= data_.size() || ++jumps > 64) {
+        ok_ = false;
+        return Name();
+      }
+      size_t target = static_cast<size_t>(len & 0x3F) << 8 | data_[cursor + 1];
+      if (target >= cursor) {  // forward/self pointers are malformed
+        ok_ = false;
+        return Name();
+      }
+      if (!jumped) after_first_pointer = cursor + 2;
+      jumped = true;
+      cursor = target;
+      continue;
+    }
+    if ((len & 0xC0) != 0) {  // reserved label types
+      ok_ = false;
+      return Name();
+    }
+    if (len == 0) {
+      ++cursor;
+      break;
+    }
+    if (cursor + 1 + len > data_.size()) {
+      ok_ = false;
+      return Name();
+    }
+    labels.emplace_back(reinterpret_cast<const char*>(data_.data() + cursor + 1), len);
+    cursor += 1 + static_cast<size_t>(len);
+  }
+  offset_ = jumped ? after_first_pointer : cursor;
+  auto name = Name::from_labels(std::move(labels));
+  if (!name) {
+    ok_ = false;
+    return Name();
+  }
+  return *name;
+}
+
+void WireReader::seek(size_t offset) {
+  if (offset > data_.size()) {
+    ok_ = false;
+    return;
+  }
+  offset_ = offset;
+}
+
+void WireReader::skip(size_t count) {
+  if (!ok_ || offset_ + count > data_.size()) {
+    ok_ = false;
+    return;
+  }
+  offset_ += count;
+}
+
+}  // namespace rootsim::dns

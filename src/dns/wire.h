@@ -1,0 +1,77 @@
+// DNS wire-format primitives (RFC 1035 §4.1): big-endian integer fields, name
+// encoding with message compression, and bounds-checked reading.
+//
+// WireReader is deliberately forgiving in what it reports (an `ok()` flag
+// rather than exceptions) because the measurement pipeline must parse the
+// corrupted AXFR payloads our fault injector produces — a parse failure is a
+// *result*, not an error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/name.h"
+
+namespace rootsim::dns {
+
+/// Serializes DNS wire data. Compression is opt-in per name so the same
+/// writer serves messages (compression allowed) and DNSSEC canonical form
+/// (compression and case folding forbidden).
+class WireWriter {
+ public:
+  void put_u8(uint8_t value);
+  void put_u16(uint16_t value);
+  void put_u32(uint32_t value);
+  void put_bytes(std::span<const uint8_t> bytes);
+
+  /// Writes a name, compressing against earlier names if `compress` is true
+  /// and a suffix match exists at an offset < 0x4000.
+  void put_name(const Name& name, bool compress = true);
+
+  /// Writes a name in DNSSEC canonical form: uncompressed, lower-cased.
+  void put_name_canonical(const Name& name);
+
+  /// Patches a previously written u16 (used for RDLENGTH back-filling).
+  void patch_u16(size_t offset, uint16_t value);
+
+  size_t size() const { return buffer_.size(); }
+  const std::vector<uint8_t>& data() const { return buffer_; }
+  std::vector<uint8_t> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  std::unordered_map<std::string, uint16_t> compression_offsets_;
+};
+
+/// Bounds-checked reader with compression-pointer chasing.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const uint8_t> data) : data_(data) {}
+
+  uint8_t get_u8();
+  uint16_t get_u16();
+  uint32_t get_u32();
+  std::vector<uint8_t> get_bytes(size_t count);
+
+  /// Reads a possibly-compressed name. Guards against pointer loops and
+  /// forward pointers (compression targets must point backwards).
+  Name get_name();
+
+  /// True while no read has overrun or hit malformed data.
+  bool ok() const { return ok_; }
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return ok_ ? data_.size() - offset_ : 0; }
+  void seek(size_t offset);
+  void skip(size_t count);
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t offset_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace rootsim::dns

@@ -1,0 +1,80 @@
+#include "dns/zone_diff.h"
+
+#include <algorithm>
+
+#include "dns/codec.h"
+#include "dns/wire.h"
+
+namespace rootsim::dns {
+
+namespace {
+
+// Canonical wire form as a sortable/comparable key.
+std::vector<uint8_t> record_key(const ResourceRecord& rr) {
+  WireWriter writer;
+  encode_record_canonical(writer, rr);
+  return writer.take();
+}
+
+std::vector<std::pair<std::vector<uint8_t>, const ResourceRecord*>> keyed(
+    const std::vector<ResourceRecord>& records) {
+  std::vector<std::pair<std::vector<uint8_t>, const ResourceRecord*>> out;
+  out.reserve(records.size());
+  for (const auto& rr : records) out.emplace_back(record_key(rr), &rr);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace
+
+ZoneDiff diff_records(const std::vector<ResourceRecord>& before,
+                      const std::vector<ResourceRecord>& after) {
+  ZoneDiff diff;
+  auto b = keyed(before);
+  auto a = keyed(after);
+  size_t i = 0, j = 0;
+  while (i < b.size() || j < a.size()) {
+    if (i >= b.size()) {
+      diff.added.push_back(*a[j++].second);
+    } else if (j >= a.size()) {
+      diff.removed.push_back(*b[i++].second);
+    } else if (b[i].first == a[j].first) {
+      ++i;
+      ++j;
+    } else if (b[i].first < a[j].first) {
+      diff.removed.push_back(*b[i++].second);
+    } else {
+      diff.added.push_back(*a[j++].second);
+    }
+  }
+  return diff;
+}
+
+ZoneDiff diff_zones(const Zone& before, const Zone& after) {
+  auto flatten = [](const Zone& zone) {
+    std::vector<ResourceRecord> records;
+    for (const RRset* set : zone.rrsets())
+      for (const auto& rr : set->to_records()) records.push_back(rr);
+    return records;
+  };
+  return diff_records(flatten(before), flatten(after));
+}
+
+std::string ZoneDiff::to_string(size_t max_lines) const {
+  std::string out;
+  size_t lines = 0;
+  for (const auto& rr : removed) {
+    if (lines++ >= max_lines) break;
+    out += "- " + record_to_string(rr) + "\n";
+  }
+  for (const auto& rr : added) {
+    if (lines++ >= max_lines) break;
+    out += "+ " + record_to_string(rr) + "\n";
+  }
+  if (lines >= max_lines && size() > max_lines)
+    out += "... (" + std::to_string(size() - max_lines) + " more)\n";
+  return out;
+}
+
+}  // namespace rootsim::dns

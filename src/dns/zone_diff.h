@@ -1,0 +1,34 @@
+// Zone diffing: which records were added/removed between two zone copies.
+//
+// Used for (a) rendering the Fig. 10 intact-vs-received bitflip comparison,
+// (b) watching what a zone edit actually changed (the b.root renumbering
+// flips exactly the two address records and the affected DNSSEC material),
+// and (c) debugging transfer corruption in general.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dns/zone.h"
+
+namespace rootsim::dns {
+
+struct ZoneDiff {
+  std::vector<ResourceRecord> added;    // in `after`, not in `before`
+  std::vector<ResourceRecord> removed;  // in `before`, not in `after`
+
+  bool empty() const { return added.empty() && removed.empty(); }
+  size_t size() const { return added.size() + removed.size(); }
+
+  /// Unified-diff-style rendering ("+ rr", "- rr"), canonical order.
+  std::string to_string(size_t max_lines = 50) const;
+};
+
+/// Computes the record-level difference between two zones.
+ZoneDiff diff_zones(const Zone& before, const Zone& after);
+
+/// Same, over raw record vectors (e.g. two AXFR payloads).
+ZoneDiff diff_records(const std::vector<ResourceRecord>& before,
+                      const std::vector<ResourceRecord>& after);
+
+}  // namespace rootsim::dns

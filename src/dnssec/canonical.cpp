@@ -1,0 +1,59 @@
+#include "dnssec/canonical.h"
+
+#include <algorithm>
+
+#include "dns/codec.h"
+#include "dns/wire.h"
+
+namespace rootsim::dnssec {
+
+std::vector<uint8_t> canonical_rdata(const dns::Rdata& rdata) {
+  return dns::encode_rdata(rdata, /*canonical=*/true);
+}
+
+std::vector<dns::Rdata> sort_rdatas_canonically(
+    const std::vector<dns::Rdata>& rdatas) {
+  std::vector<std::pair<std::vector<uint8_t>, const dns::Rdata*>> keyed;
+  keyed.reserve(rdatas.size());
+  for (const auto& rdata : rdatas) keyed.emplace_back(canonical_rdata(rdata), &rdata);
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<dns::Rdata> out;
+  out.reserve(rdatas.size());
+  for (const auto& [key, ptr] : keyed) out.push_back(*ptr);
+  return out;
+}
+
+std::vector<uint8_t> signing_payload(const dns::RrsigData& rrsig_template,
+                                     const dns::RRset& rrset) {
+  dns::WireWriter writer;
+  // RRSIG RDATA with the Signature field omitted (RFC 4034 §3.1.8.1).
+  writer.put_u16(static_cast<uint16_t>(rrsig_template.type_covered));
+  writer.put_u8(rrsig_template.algorithm);
+  writer.put_u8(rrsig_template.labels);
+  writer.put_u32(rrsig_template.original_ttl);
+  writer.put_u32(rrsig_template.expiration);
+  writer.put_u32(rrsig_template.inception);
+  writer.put_u16(rrsig_template.key_tag);
+  writer.put_name_canonical(rrsig_template.signer);
+  // Each RR of the set: name | type | class | OrigTTL | RDATA length | RDATA,
+  // in canonical RDATA order.
+  for (const auto& rdata : sort_rdatas_canonically(rrset.rdatas)) {
+    writer.put_name_canonical(rrset.name);
+    writer.put_u16(static_cast<uint16_t>(rrset.type));
+    writer.put_u16(static_cast<uint16_t>(rrset.rclass));
+    writer.put_u32(rrsig_template.original_ttl);
+    auto rdata_bytes = canonical_rdata(rdata);
+    writer.put_u16(static_cast<uint16_t>(rdata_bytes.size()));
+    writer.put_bytes(rdata_bytes);
+  }
+  return writer.take();
+}
+
+std::vector<uint8_t> canonical_record(const dns::ResourceRecord& rr) {
+  dns::WireWriter writer;
+  dns::encode_record_canonical(writer, rr);
+  return writer.take();
+}
+
+}  // namespace rootsim::dnssec

@@ -1,0 +1,36 @@
+// DNSSEC canonical form and ordering (RFC 4034 §6).
+//
+// Signatures (RFC 4034 §3.1.8.1) and ZONEMD digests (RFC 8976 §3.3) are both
+// computed over RRsets serialized in canonical form: owner names lower-cased
+// and uncompressed, RDATA in canonical form, and the RRs of an RRset sorted
+// by their canonical RDATA byte strings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/rdata.h"
+#include "dns/zone.h"
+
+namespace rootsim::dnssec {
+
+/// Canonical RDATA encoding of one record (lower-cased embedded names, no
+/// compression).
+std::vector<uint8_t> canonical_rdata(const dns::Rdata& rdata);
+
+/// Sorts an RRset's rdatas by canonical RDATA byte order (RFC 4034 §6.3) and
+/// returns the sorted copies.
+std::vector<dns::Rdata> sort_rdatas_canonically(const std::vector<dns::Rdata>& rdatas);
+
+/// The exact byte string RRSIG(RRset) signatures cover:
+///   RRSIG_RDATA (minus signature) || canonical RRs, sorted.
+/// The caller provides the RRSIG fields already filled in (except signature).
+std::vector<uint8_t> signing_payload(const dns::RrsigData& rrsig_template,
+                                     const dns::RRset& rrset);
+
+/// Full canonical wire form of one RR (owner/type/class/ttl/rdlength/rdata),
+/// used by ZONEMD hashing. `ttl_override` substitutes the TTL (RRSIG RRs in
+/// signing use the original TTL).
+std::vector<uint8_t> canonical_record(const dns::ResourceRecord& rr);
+
+}  // namespace rootsim::dnssec

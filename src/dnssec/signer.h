@@ -1,0 +1,58 @@
+// Zone signing (RFC 4035 §2): builds NSEC chains, signs every authoritative
+// RRset with the ZSK, signs the DNSKEY RRset with the KSK, and computes
+// ZONEMD placement per RFC 8976 §3 (digest computed over the zone with the
+// ZONEMD digest field zeroed/placeholder, then patched in, then signed).
+//
+// This is the machinery the simulated root zone maintainer runs on each new
+// serial; it mirrors what Verisign does for '.' twice a day.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/rsa.h"
+#include "dns/zone.h"
+#include "util/timeutil.h"
+
+namespace rootsim::dnssec {
+
+/// A DNSSEC signing key: RSA pair + its DNSKEY record fields.
+struct SigningKey {
+  crypto::RsaPrivateKey rsa;
+  uint16_t flags = 256;    // 256 = ZSK, 257 = KSK
+  uint8_t algorithm = 8;   // RSASHA256
+
+  dns::DnskeyData to_dnskey() const;
+  uint16_t key_tag() const { return to_dnskey().key_tag(); }
+};
+
+/// Generates a ZSK/KSK pair deterministically from `rng`.
+SigningKey make_zsk(util::Rng& rng, size_t modulus_bits = 1024);
+SigningKey make_ksk(util::Rng& rng, size_t modulus_bits = 1024);
+
+struct SigningPolicy {
+  util::UnixTime inception;    // signature inception
+  util::UnixTime expiration;   // signature expiration (~2 weeks for the root)
+  bool add_nsec = true;
+  /// ZONEMD behaviour, mirroring the roll-out stages of Fig. 2:
+  /// None — pre-2023-09-13; Private — placeholder with private hash algorithm
+  /// (not verifiable); Sha384 — verifiable, post-2023-12-06.
+  enum class ZonemdMode { None, PrivateAlgorithm, Sha384 } zonemd = ZonemdMode::Sha384;
+};
+
+/// Signs `zone` in place: strips old NSEC/RRSIG/ZONEMD/DNSKEY, installs the
+/// DNSKEY RRset, NSEC chain and ZONEMD, and signs all authoritative RRsets.
+/// Delegation NS RRsets and glue are not signed (RFC 4035 §2.2) — exactly the
+/// gap ZONEMD closes and the reason the paper calls it valuable.
+void sign_zone(dns::Zone& zone, const SigningKey& ksk, const SigningKey& zsk,
+               const SigningPolicy& policy);
+
+/// Computes the RFC 8976 SIMPLE/SHA-384 digest over the zone (ignoring the
+/// apex ZONEMD RRset's RRSIG and zeroing nothing: the caller must pass a zone
+/// whose ZONEMD digest field is already a placeholder, per §3.3.1).
+std::vector<uint8_t> compute_zonemd_digest(const dns::Zone& zone,
+                                           uint8_t hash_algorithm);
+
+/// True if `name` is a delegation point in `zone` (has NS but no SOA at it).
+bool is_delegation(const dns::Zone& zone, const dns::Name& name);
+
+}  // namespace rootsim::dnssec

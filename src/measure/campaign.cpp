@@ -1,0 +1,151 @@
+#include "measure/campaign.h"
+
+#include <algorithm>
+
+namespace rootsim::measure {
+
+namespace {
+
+// Shrinks the VP set proportionally per region (for fast unit tests).
+std::vector<VantagePoint> scale_vps(std::vector<VantagePoint> vps, double scale) {
+  if (scale >= 1.0) return vps;
+  std::vector<VantagePoint> kept;
+  std::array<int, util::kRegionCount> seen{}, budget{};
+  for (const RegionQuota& quota : table3_quotas())
+    budget[static_cast<size_t>(quota.region)] = std::max(
+        1, static_cast<int>(quota.vantage_points * scale));
+  for (auto& vp : vps) {
+    size_t region = static_cast<size_t>(vp.view.region);
+    if (seen[region] < budget[region]) {
+      ++seen[region];
+      kept.push_back(std::move(vp));
+    }
+  }
+  return kept;
+}
+
+}  // namespace
+
+Campaign::Campaign(CampaignConfig config)
+    : config_(std::move(config)), schedule_(config_.schedule) {
+  config_.topology.seed = config_.seed;
+  config_.router.seed = config_.seed;
+  config_.vantage.seed = config_.seed;
+  config_.zone.seed = config_.seed;
+  config_.router.campaign_rounds = schedule_.round_count();
+  if (config_.router.churn == std::array<netsim::ChurnSpec, 13>{})
+    config_.router.churn = netsim::default_churn_specs();
+
+  authority_ = std::make_unique<rss::ZoneAuthority>(catalog_, config_.zone);
+  topology_ = netsim::build_topology(config_.topology,
+                                     catalog_.all_deployment_specs(),
+                                     rss::paper_detour_rules());
+  router_ = std::make_unique<netsim::AnycastRouter>(topology_, config_.router);
+  vps_ = scale_vps(generate_vantage_points(topology_, config_.vantage),
+                   config_.vp_scale);
+  prober_ = std::make_unique<Prober>(*authority_, catalog_, *router_);
+  faults_ = default_fault_plan();
+}
+
+std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
+    size_t clean_samples) const {
+  std::vector<ZoneAuditObservation> observations;
+  dnssec::TrustAnchors anchors = authority_->trust_anchors();
+  util::Rng rng = util::Rng(config_.seed).fork("zone-audit");
+
+  auto vp_by_id = [&](uint32_t vp_id) -> const VantagePoint& {
+    return vps_[vp_id % vps_.size()];
+  };
+
+  auto validate_probe = [&](const ProbeRecord& probe,
+                            const FaultEvent* fault) -> ZoneAuditObservation {
+    ZoneAuditObservation obs;
+    obs.vp_id = probe.vp_id;
+    obs.table2_vp_id = fault ? fault->table2_vp_id : 0;
+    obs.root_index = probe.root_index;
+    obs.family = probe.family;
+    obs.old_b_address = probe.old_b_address;
+    obs.when = probe.true_time;
+    if (!probe.axfr || probe.axfr->refused) {
+      obs.note = "axfr-refused";
+      return obs;
+    }
+    obs.soa_serial = probe.axfr->soa_serial;
+    auto zone = dns::Zone::from_axfr(probe.axfr->records, dns::Name());
+    if (!zone) {
+      // Corruption broke the framing itself (possible if the SOA owner name
+      // got hit); report as bogus.
+      obs.verdict = dnssec::ValidationStatus::BogusSignature;
+      obs.note = "axfr-framing-broken: " + probe.axfr->bitflip_note;
+      return obs;
+    }
+    // Validation uses the VP's own clock — exactly how skew turns into
+    // "signature not incepted" verdicts.
+    auto result = dnssec::validate_zone(*zone, anchors, probe.vp_time);
+    obs.verdict = result.dominant_failure();
+    obs.zonemd = result.zonemd;
+    if (probe.axfr->bitflip_injected) obs.note = probe.axfr->bitflip_note;
+    return obs;
+  };
+
+  // Planned fault events: full-fidelity probes with the fault knobs set.
+  for (const FaultEvent& event : faults_) {
+    std::vector<std::pair<int, util::IpAddress>> targets;
+    const auto& renumbering = catalog_.renumbering();
+    bool all_servers = event.root_index < 0;
+    if (all_servers) {
+      // "all servers": the VP's whole round is affected (clock skew). One
+      // representative transfer per event stands for the round; Table 2
+      // counts zone files, not addresses.
+      targets.emplace_back(10, catalog_.server(10).ipv4);  // k.root
+    } else if (event.old_b_address) {
+      targets.emplace_back(1, event.family == util::IpFamily::V4
+                                  ? renumbering.old_ipv4
+                                  : renumbering.old_ipv6);
+    } else {
+      const auto& server = catalog_.server(static_cast<size_t>(event.root_index));
+      targets.emplace_back(event.root_index,
+                           event.family == util::IpFamily::V4 ? server.ipv4
+                                                              : server.ipv6);
+    }
+    for (const auto& [root_index, address] : targets) {
+      VantagePoint vp = vp_by_id(event.vp_id);
+      vp.view.vp_id = event.vp_id;  // keep the plan's VP identity
+      if (event.kind == FaultEvent::Kind::ClockSkew)
+        vp.clock_offset_s = event.clock_offset_s;
+      Prober::FaultKnobs knobs;
+      if (event.kind == FaultEvent::Kind::Bitflip) {
+        knobs.inject_bitflip = true;
+        knobs.bitflip_seed = rng.next();
+        knobs.bitflip_prefer_signed = true;  // the detected subset, as in §7
+      }
+      if (event.kind == FaultEvent::Kind::StaleServer)
+        knobs.server_frozen_at = event.server_frozen_at;
+      ProbeRecord probe =
+          prober_->probe(vp, address, event.when,
+                         schedule_.round_at(event.when), knobs);
+      ZoneAuditObservation obs = validate_probe(probe, &event);
+      obs.affects_all_servers = all_servers;
+      observations.push_back(std::move(obs));
+    }
+  }
+
+  // Clean transfers sampled across the campaign and the address set.
+  auto addresses = catalog_.service_addresses(schedule_.config().end);
+  for (size_t i = 0; i < clean_samples; ++i) {
+    const VantagePoint& vp = vps_[rng.uniform(vps_.size())];
+    size_t round = rng.uniform(schedule_.round_count());
+    const auto& address = addresses[rng.uniform(addresses.size())];
+    ProbeRecord probe =
+        prober_->probe(vp, address, schedule_.round_time(round), round, {});
+    observations.push_back(validate_probe(probe, nullptr));
+  }
+
+  std::sort(observations.begin(), observations.end(),
+            [](const ZoneAuditObservation& a, const ZoneAuditObservation& b) {
+              return a.when < b.when;
+            });
+  return observations;
+}
+
+}  // namespace rootsim::measure

@@ -1,0 +1,80 @@
+// Campaign assembly: wires catalog + zone authority + topology + router +
+// vantage points + schedule + fault plan into one reproducible experiment.
+//
+// Everything downstream (the analysis module, the bench harnesses, the
+// examples) starts from a Campaign. A campaign is a pure function of its
+// config; the default config is the paper's setup.
+#pragma once
+
+#include <memory>
+
+#include "measure/faults.h"
+#include "measure/prober.h"
+#include "measure/schedule.h"
+#include "measure/vantage.h"
+#include "netsim/routing.h"
+#include "rss/catalog.h"
+#include "rss/zone_authority.h"
+
+namespace rootsim::measure {
+
+struct CampaignConfig {
+  uint64_t seed = 42;
+  netsim::TopologyConfig topology;
+  netsim::RouterConfig router;
+  VantageSetConfig vantage;
+  ScheduleConfig schedule;
+  rss::ZoneAuthorityConfig zone;
+  /// Scale factor < 1 shrinks the VP set for fast tests (keeps proportions).
+  double vp_scale = 1.0;
+};
+
+/// One observation in the ZONEMD audit dataset (paper §7 / Table 2).
+struct ZoneAuditObservation {
+  uint32_t vp_id = 0;
+  int table2_vp_id = 0;  // 0 = not a planned fault (clean sample)
+  int root_index = -1;
+  util::IpFamily family = util::IpFamily::V4;
+  bool old_b_address = false;
+  util::UnixTime when = 0;
+  uint32_t soa_serial = 0;
+  dnssec::ValidationStatus verdict = dnssec::ValidationStatus::Valid;
+  dnssec::ZonemdStatus zonemd = dnssec::ZonemdStatus::NoZonemd;
+  /// A VP-wide fault (bad clock) affects every server of the round; Table 2
+  /// prints such rows with server = "all".
+  bool affects_all_servers = false;
+  std::string note;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config = {});
+
+  const CampaignConfig& config() const { return config_; }
+  const rss::RootCatalog& catalog() const { return catalog_; }
+  const rss::ZoneAuthority& authority() const { return *authority_; }
+  const netsim::Topology& topology() const { return topology_; }
+  const netsim::AnycastRouter& router() const { return *router_; }
+  const std::vector<VantagePoint>& vantage_points() const { return vps_; }
+  const Schedule& schedule() const { return schedule_; }
+  const Prober& prober() const { return *prober_; }
+  const std::vector<FaultEvent>& fault_plan() const { return faults_; }
+
+  /// Runs the ZONEMD audit: executes every planned fault event as a full
+  /// AXFR + validation, plus `clean_samples` healthy transfers spread over
+  /// the campaign (sampling the 75M-transfer corpus the paper validated).
+  std::vector<ZoneAuditObservation> run_zone_audit(size_t clean_samples = 200) const;
+
+ private:
+  CampaignConfig config_;
+  rss::RootCatalog catalog_;
+  std::unique_ptr<rss::ZoneAuthority> authority_;
+  netsim::Topology topology_;
+  std::unique_ptr<netsim::AnycastRouter> router_;
+  std::vector<VantagePoint> vps_;
+  Schedule schedule_;
+  std::unique_ptr<Prober> prober_;
+  std::vector<FaultEvent> faults_;
+};
+
+}  // namespace rootsim::measure

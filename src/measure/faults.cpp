@@ -1,0 +1,128 @@
+#include "measure/faults.h"
+
+namespace rootsim::measure {
+
+std::vector<FaultEvent> default_fault_plan() {
+  using util::IpFamily;
+  using util::make_time;
+  std::vector<FaultEvent> events;
+
+  // Row 1: "Sig. not incepted", 5 SOAs over 5 observations, 23-12-21 10:35 ..
+  // 23-12-23 10:35, all servers, VPid 1. A VP whose clock runs days behind
+  // validates freshly-signed zones before their inception.
+  for (int i = 0; i < 5; ++i) {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::ClockSkew;
+    e.vp_id = 101;
+    e.root_index = -1;
+    e.when = make_time(2023, 12, 21, 10, 35) + i * 12 * 3600;
+    e.clock_offset_s = -3 * util::kSecondsPerDay;  // 3 days slow
+    e.table2_vp_id = 1;
+    events.push_back(e);
+  }
+  // Row 2: one observation, 23-10-02 22:00, all servers, VPid 2.
+  {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::ClockSkew;
+    e.vp_id = 202;
+    e.root_index = -1;
+    e.when = make_time(2023, 10, 2, 22, 0);
+    e.clock_offset_s = -2 * util::kSecondsPerDay;
+    e.table2_vp_id = 2;
+    events.push_back(e);
+  }
+
+  // Bogus-signature rows: bitflips on three faulty-RAM VPs.
+  // Row 3: d.root (v6), 2 SOAs, 3 observations, 23-09-26 .. 23-10-24, VPid 3.
+  {
+    util::UnixTime times[3] = {make_time(2023, 9, 26, 21, 46),
+                               make_time(2023, 10, 11, 8, 0),
+                               make_time(2023, 10, 24, 10, 0)};
+    for (auto t : times) {
+      FaultEvent e;
+      e.kind = FaultEvent::Kind::Bitflip;
+      e.vp_id = 303;
+      e.root_index = 3;  // d
+      e.family = IpFamily::V6;
+      e.when = t;
+      e.table2_vp_id = 3;
+      events.push_back(e);
+    }
+  }
+  // Row 4: g.root (v6) and b.root (old v4), 2 SOAs, 2 obs, VPid 4.
+  {
+    FaultEvent e1;
+    e1.kind = FaultEvent::Kind::Bitflip;
+    e1.vp_id = 404;
+    e1.root_index = 6;  // g
+    e1.family = IpFamily::V6;
+    e1.when = make_time(2023, 11, 18, 7, 30);
+    e1.table2_vp_id = 4;
+    events.push_back(e1);
+    FaultEvent e2 = e1;
+    e2.root_index = 1;  // b
+    e2.family = IpFamily::V4;
+    e2.old_b_address = true;
+    e2.when = make_time(2023, 11, 21, 6, 16);
+    events.push_back(e2);
+  }
+  // Row 5: c.root (v6) and g.root (v4), 3 SOAs, 3 obs, VPid 5.
+  {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::Bitflip;
+    e.vp_id = 505;
+    e.table2_vp_id = 5;
+    e.root_index = 2;  // c
+    e.family = IpFamily::V6;
+    e.when = make_time(2023, 9, 26, 10, 15);
+    events.push_back(e);
+    e.root_index = 6;  // g
+    e.family = IpFamily::V4;
+    e.when = make_time(2023, 10, 3, 9, 0);
+    events.push_back(e);
+    e.when = make_time(2023, 10, 9, 7, 0);
+    events.push_back(e);
+  }
+
+  // Signature-expired rows: stale d.root instances.
+  // Tokyo: 1 SOA, 12 observations, 23-08-16 10:00..11:31, 3 VPs (6-8).
+  {
+    int table2_id = 6;
+    for (uint32_t vp : {606u, 607u, 608u}) {
+      for (int i = 0; i < 4; ++i) {
+        FaultEvent e;
+        e.kind = FaultEvent::Kind::StaleServer;
+        e.vp_id = vp;
+        e.root_index = 3;  // d
+        e.family = IpFamily::V6;
+        e.when = make_time(2023, 8, 16, 10, 0) + i * 1800;
+        e.server_frozen_at = make_time(2023, 7, 28);  // ~19 days stale
+        e.table2_vp_id = table2_id;
+        events.push_back(e);
+      }
+      ++table2_id;
+    }
+  }
+  // Leeds: 1 SOA, 40 observations, 23-10-06 10:00..13:31, 8 VPs (9-16),
+  // both families.
+  {
+    int table2_id = 9;
+    for (uint32_t vp = 609; vp <= 616; ++vp) {
+      for (int i = 0; i < 5; ++i) {
+        FaultEvent e;
+        e.kind = FaultEvent::Kind::StaleServer;
+        e.vp_id = vp;
+        e.root_index = 3;  // d
+        e.family = (i % 2 == 0) ? IpFamily::V4 : IpFamily::V6;
+        e.when = make_time(2023, 10, 6, 10, 0) + i * 1800;
+        e.server_frozen_at = make_time(2023, 9, 18);
+        e.table2_vp_id = table2_id;
+        events.push_back(e);
+      }
+      ++table2_id;
+    }
+  }
+  return events;
+}
+
+}  // namespace rootsim::measure

@@ -1,0 +1,43 @@
+// The campaign's fault plan: the hardware/operational reality behind the
+// paper's Table 2, expressed as scheduled events.
+//
+// Reality supplied these faults for free; the simulation injects them so the
+// validation pipeline exercises the same detection paths:
+//   * two VPs with bad clocks -> "Sig. not incepted" verdicts (6 cases);
+//   * three VPs with faulty RAM -> bitflipped AXFR payloads (8 transfers,
+//     5 servers) -> "Bogus Signature" verdicts;
+//   * two stale d.root instances (Tokyo: 3 VPs/12 obs; Leeds: 7 VPs/40 obs)
+//     -> "Signature expired" verdicts.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ip.h"
+#include "util/timeutil.h"
+
+namespace rootsim::measure {
+
+/// One scheduled faulty zone transfer.
+struct FaultEvent {
+  enum class Kind { ClockSkew, Bitflip, StaleServer };
+  Kind kind = Kind::Bitflip;
+  uint32_t vp_id = 0;
+  /// Root whose transfer is affected; -1 = all roots probed this round.
+  int root_index = -1;
+  util::IpFamily family = util::IpFamily::V4;
+  bool old_b_address = false;
+  util::UnixTime when = 0;
+  /// ClockSkew: the VP's offset in seconds at this event.
+  int64_t clock_offset_s = 0;
+  /// StaleServer: the time the instance's zone copy froze.
+  std::optional<util::UnixTime> server_frozen_at;
+  /// Table 2 VPid bucket for reporting.
+  int table2_vp_id = 0;
+};
+
+/// The default plan reproducing Table 2's rows.
+std::vector<FaultEvent> default_fault_plan();
+
+}  // namespace rootsim::measure

@@ -1,0 +1,188 @@
+#include "measure/prober.h"
+
+#include "dns/axfr.h"
+#include "util/strings.h"
+
+namespace rootsim::measure {
+
+Prober::Prober(const rss::ZoneAuthority& authority, const rss::RootCatalog& catalog,
+               const netsim::AnycastRouter& router)
+    : authority_(&authority), catalog_(&catalog), router_(&router) {}
+
+std::vector<dns::Question> Prober::query_list() {
+  std::vector<dns::Question> questions;
+  // ZONEMD ., NS ., NS root-servers.net (+dnssec).
+  questions.push_back({dns::Name(), dns::RRType::ZONEMD, dns::RRClass::IN});
+  questions.push_back({dns::Name(), dns::RRType::NS, dns::RRClass::IN});
+  questions.push_back({*dns::Name::parse("root-servers.net."), dns::RRType::NS,
+                       dns::RRClass::IN});
+  // The four CHAOS identity queries.
+  for (const char* qname :
+       {"hostname.bind.", "id.server.", "version.bind.", "version.server."})
+    questions.push_back({*dns::Name::parse(qname), dns::RRType::TXT,
+                         dns::RRClass::CH});
+  // A/AAAA/TXT for every root server name.
+  for (char c = 'a'; c <= 'm'; ++c) {
+    dns::Name name =
+        *dns::Name::parse(util::format("%c.root-servers.net.", c));
+    questions.push_back({name, dns::RRType::A, dns::RRClass::IN});
+    questions.push_back({name, dns::RRType::AAAA, dns::RRClass::IN});
+    questions.push_back({name, dns::RRType::TXT, dns::RRClass::IN});
+  }
+  // Total: 3 + 4 + 39 = 46; the AXFR request is the 47th query of App. F.
+  return questions;
+}
+
+std::string inject_bitflip(std::vector<dns::ResourceRecord>& records,
+                           uint64_t seed, bool prefer_signed) {
+  util::Rng rng(seed);
+  // Prefer an RRSIG signature byte (the Fig. 10 case), else a TLD owner-name
+  // character (the .ruhr case), else any A-record octet.
+  std::vector<size_t> rrsig_indices, name_indices, other_indices;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].type == dns::RRType::RRSIG)
+      rrsig_indices.push_back(i);
+    else if (records[i].type == dns::RRType::NS &&
+             records[i].name.label_count() == 1)
+      name_indices.push_back(i);
+    else if (records[i].type == dns::RRType::A)
+      other_indices.push_back(i);
+  }
+  double which = prefer_signed ? 0.0 : rng.uniform01();
+  if (which < 0.6 && !rrsig_indices.empty()) {
+    size_t idx = rrsig_indices[rng.uniform(rrsig_indices.size())];
+    auto& sig = std::get<dns::RrsigData>(records[idx].rdata);
+    if (!sig.signature.empty()) {
+      size_t byte = rng.uniform(sig.signature.size());
+      uint8_t bit = static_cast<uint8_t>(1u << rng.uniform(8));
+      sig.signature[byte] ^= bit;
+      return util::format("RRSIG(%s) over %s: bit %02x flipped at byte %zu",
+                          rrtype_to_string(sig.type_covered).c_str(),
+                          records[idx].name.to_string().c_str(), bit, byte);
+    }
+  }
+  if (which < 0.9 && !name_indices.empty()) {
+    size_t idx = name_indices[rng.uniform(name_indices.size())];
+    // Flip bit 0x10 in the first character of the TLD label: 'r' -> 'b',
+    // exactly the class of the .ruhr incident.
+    std::string label = records[idx].name.labels()[0];
+    std::string original = label;
+    label[0] = static_cast<char>(label[0] ^ 0x10);
+    auto flipped = dns::Name::parse(label + ".");
+    if (flipped) {
+      records[idx].name = *flipped;
+      return util::format("owner name .%s became .%s", original.c_str(),
+                          label.c_str());
+    }
+  }
+  if (!other_indices.empty()) {
+    size_t idx = other_indices[rng.uniform(other_indices.size())];
+    auto& a = std::get<dns::AData>(records[idx].rdata);
+    auto bytes = a.address.bytes();
+    bytes[3] ^= 0x01;
+    a.address = util::IpAddress::v4(bytes[0], bytes[1], bytes[2], bytes[3]);
+    return "glue A record address bit flipped";
+  }
+  return "no flippable record";
+}
+
+ProbeRecord Prober::probe(const VantagePoint& vp, const util::IpAddress& address,
+                          util::UnixTime now, uint64_t round,
+                          const FaultKnobs& faults) const {
+  ProbeRecord record;
+  record.vp_id = vp.view.vp_id;
+  record.true_time = now;
+  record.vp_time = vp.local_clock(now);
+  record.family = address.family();
+  record.root_index = catalog_->index_of_address(address);
+  const auto& renumbering = catalog_->renumbering();
+  record.old_b_address =
+      address == renumbering.old_ipv4 || address == renumbering.old_ipv6;
+  if (record.root_index < 0) return record;
+
+  // Route to the anycast site answering this address for this VP.
+  netsim::RouteResult route = router_->route_at(
+      vp.view, static_cast<uint32_t>(record.root_index), address.family(), round);
+  record.site_id = route.site_id;
+  record.rtt_ms = route.rtt_ms;
+  record.second_to_last_hop = route.second_to_last_hop;
+  record.traceroute_hops = route.hops;
+
+  const netsim::AnycastSite& site = router_->topology().sites[route.site_id];
+  rss::InstanceBehavior behavior;
+  behavior.frozen_at = faults.server_frozen_at;
+  rss::RootServerInstance instance(*authority_, *catalog_,
+                                   static_cast<uint32_t>(record.root_index),
+                                   site.identity, behavior);
+
+  // The 46 dig queries, through real wire encode/decode.
+  uint16_t query_id = static_cast<uint16_t>(round * 131 + vp.view.vp_id);
+  for (const dns::Question& question : query_list()) {
+    dns::Message query = dns::make_query(query_id++, question.qname,
+                                         question.qtype, question.qclass,
+                                         /*dnssec_ok=*/true);
+    auto wire = query.encode();
+    auto parsed_query = dns::Message::decode(wire);
+    QueryResult result;
+    result.question = question;
+    if (!parsed_query) {
+      result.timed_out = true;
+      record.queries.push_back(std::move(result));
+      continue;
+    }
+    // UDP first; on truncation retry over TCP — the dig default.
+    dns::Message response = instance.handle_udp_query(*parsed_query, now);
+    if (response.tc) {
+      response = instance.handle_query(*parsed_query, now);
+      result.retried_over_tcp = true;
+    }
+    auto response_wire = response.encode();
+    auto parsed_response = dns::Message::decode(response_wire);
+    if (!parsed_response) {
+      result.timed_out = true;
+    } else {
+      result.rcode = parsed_response->rcode;
+      result.rtt_ms = route.rtt_ms;
+      result.answers = parsed_response->answers;
+      if (question.qclass == dns::RRClass::CH &&
+          !parsed_response->answers.empty()) {
+        const auto* txt =
+            std::get_if<dns::TxtData>(&parsed_response->answers[0].rdata);
+        std::string qname = util::to_lower(question.qname.to_string());
+        if (txt && !txt->strings.empty() &&
+            (qname == "hostname.bind." || qname == "id.server."))
+          record.instance_identity = txt->strings[0];
+      }
+    }
+    record.queries.push_back(std::move(result));
+  }
+
+  // The AXFR (query 47): framed over simulated TCP (RFC 5936) and parsed
+  // back, so every transferred byte traverses the wire codec.
+  AxfrResult axfr;
+  auto transfer = instance.handle_axfr(now);
+  if (transfer.empty()) {
+    axfr.refused = true;
+  } else {
+    dns::Question axfr_question{dns::Name(), dns::RRType::AXFR, dns::RRClass::IN};
+    auto stream = dns::encode_axfr_stream(transfer, axfr_question);
+    auto parsed = dns::decode_axfr_stream(stream);
+    if (!parsed.ok()) {
+      axfr.refused = true;  // treated as a failed transfer
+      record.axfr = std::move(axfr);
+      return record;
+    }
+    if (faults.inject_bitflip) {
+      axfr.bitflip_note = inject_bitflip(parsed.records, faults.bitflip_seed,
+                                         faults.bitflip_prefer_signed);
+      axfr.bitflip_injected = true;
+    }
+    axfr.records = std::move(parsed.records);
+    if (const auto* soa = std::get_if<dns::SoaData>(&axfr.records.front().rdata))
+      axfr.soa_serial = soa->serial;
+  }
+  record.axfr = std::move(axfr);
+  return record;
+}
+
+}  // namespace rootsim::measure

@@ -1,0 +1,112 @@
+// The per-round measurement procedure, a functional port of the paper's
+// Appendix F collection script.
+//
+// For each root service address the script runs, per round:
+//   * one traceroute (mtr -c 1),
+//   * an AXFR of the root zone,
+//   * ZONEMD, NS ., NS root-servers.net queries (+dnssec),
+//   * the four CHAOS identity queries,
+//   * A/AAAA/TXT for each of the 13 root server names (39 queries),
+// i.e. 47 DNS queries + 1 AXFR + 1 traceroute per address (paper §B).
+//
+// The prober runs this against the *simulated* server instance selected by
+// the routing layer, over real wire-format messages, and returns structured
+// results. Fault injection (bitflips, stale servers, skewed clocks) happens
+// on exactly the paths it would in reality: the transfer payload and the
+// validator's clock.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "measure/vantage.h"
+#include "rss/server.h"
+
+namespace rootsim::measure {
+
+/// Result of one DNS query.
+struct QueryResult {
+  dns::Question question;
+  dns::Rcode rcode = dns::Rcode::NoError;
+  bool timed_out = false;
+  /// The UDP response came back truncated and was retried over TCP.
+  bool retried_over_tcp = false;
+  double rtt_ms = 0;
+  std::vector<dns::ResourceRecord> answers;
+};
+
+/// Result of one AXFR attempt, including raw records so corruption survives
+/// into the analysis exactly as it would in a stored .dig file.
+struct AxfrResult {
+  bool refused = false;
+  uint32_t soa_serial = 0;
+  std::vector<dns::ResourceRecord> records;
+  bool bitflip_injected = false;
+  std::string bitflip_note;
+};
+
+/// Everything one (vp, address, round) measurement produces.
+struct ProbeRecord {
+  uint32_t vp_id = 0;
+  int root_index = -1;
+  util::IpFamily family = util::IpFamily::V4;
+  bool old_b_address = false;
+  util::UnixTime true_time = 0;   // wall clock
+  util::UnixTime vp_time = 0;     // the VP's possibly skewed clock
+  uint32_t site_id = 0;           // anycast site that answered
+  std::string instance_identity;  // hostname.bind answer
+  double rtt_ms = 0;
+  netsim::RouterId second_to_last_hop = 0;
+  std::vector<netsim::RouterId> traceroute_hops;
+  std::vector<QueryResult> queries;
+  std::optional<AxfrResult> axfr;
+};
+
+/// Executes measurement rounds against simulated instances.
+class Prober {
+ public:
+  Prober(const rss::ZoneAuthority& authority, const rss::RootCatalog& catalog,
+         const netsim::AnycastRouter& router);
+
+  /// Full-fidelity probe of one service address from one VP at `round`.
+  /// `behavior` overrides the contacted instance's serving state (stale zone
+  /// injection); `bitflip` flips one bit in the transferred zone.
+  struct FaultKnobs {
+    std::optional<util::UnixTime> server_frozen_at;
+    bool inject_bitflip = false;
+    uint64_t bitflip_seed = 0;
+    /// Target signed material only. The audit sets this because the
+    /// campaign's Table 2 events are, by construction, the *detected*
+    /// bitflips — before verifiable ZONEMD, a flip in unsigned glue or a
+    /// delegation owner was simply invisible (observation bias the paper
+    /// inherits too).
+    bool bitflip_prefer_signed = false;
+  };
+  ProbeRecord probe(const VantagePoint& vp, const util::IpAddress& address,
+                    util::UnixTime now, uint64_t round,
+                    const FaultKnobs& faults) const;
+  ProbeRecord probe(const VantagePoint& vp, const util::IpAddress& address,
+                    util::UnixTime now, uint64_t round) const {
+    return probe(vp, address, now, round, FaultKnobs{});
+  }
+
+  /// The 47-query list of Appendix F for one address.
+  static std::vector<dns::Question> query_list();
+
+ private:
+  const rss::ZoneAuthority* authority_;
+  const rss::RootCatalog* catalog_;
+  const netsim::AnycastRouter* router_;
+};
+
+/// Applies a single-bit corruption to one record of a transferred zone,
+/// preferring RRSIG signatures and owner names — the corruption classes the
+/// paper observed (Fig. 10; the .ruhr -> .buhr TLD case). Returns a note
+/// describing what was flipped. With `prefer_signed` the flip always lands
+/// in an RRSIG signature (guaranteed detectable by DNSSEC alone).
+std::string inject_bitflip(std::vector<dns::ResourceRecord>& records,
+                           uint64_t seed, bool prefer_signed = false);
+
+}  // namespace rootsim::measure

@@ -1,0 +1,27 @@
+#include "measure/schedule.h"
+
+#include <algorithm>
+
+namespace rootsim::measure {
+
+Schedule::Schedule(ScheduleConfig config) : config_(std::move(config)) {
+  util::UnixTime t = config_.start;
+  while (t < config_.end) {
+    rounds_.push_back(t);
+    t += in_dense_window(t) ? config_.dense_interval_s : config_.base_interval_s;
+  }
+}
+
+bool Schedule::in_dense_window(util::UnixTime t) const {
+  for (const auto& window : config_.dense_windows)
+    if (t >= window.start && t < window.end) return true;
+  return false;
+}
+
+size_t Schedule::round_at(util::UnixTime t) const {
+  auto it = std::upper_bound(rounds_.begin(), rounds_.end(), t);
+  if (it == rounds_.begin()) return 0;
+  return static_cast<size_t>(it - rounds_.begin() - 1);
+}
+
+}  // namespace rootsim::measure

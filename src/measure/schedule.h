@@ -1,0 +1,52 @@
+// The measurement schedule (paper Fig. 2).
+//
+// Rounds run every 30 minutes from 2023-07-03 to 2023-12-24, tightened to 15
+// minutes during the two event windows (2023-09-08..10-02 around the ZONEMD
+// introduction, 2023-11-20..12-06 around the b.root renumbering).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/timeutil.h"
+
+namespace rootsim::measure {
+
+struct ScheduleConfig {
+  util::UnixTime start = util::make_time(2023, 7, 3);
+  util::UnixTime end = util::make_time(2023, 12, 24);
+  int64_t base_interval_s = 30 * 60;
+  int64_t dense_interval_s = 15 * 60;
+  struct Window {
+    util::UnixTime start;
+    util::UnixTime end;
+  };
+  std::vector<Window> dense_windows = {
+      {util::make_time(2023, 9, 8), util::make_time(2023, 10, 2)},
+      {util::make_time(2023, 11, 20), util::make_time(2023, 12, 6)},
+  };
+};
+
+/// The materialized round list.
+class Schedule {
+ public:
+  explicit Schedule(ScheduleConfig config = {});
+
+  size_t round_count() const { return rounds_.size(); }
+  util::UnixTime round_time(size_t index) const { return rounds_[index]; }
+  const std::vector<util::UnixTime>& rounds() const { return rounds_; }
+
+  /// Index of the last round at or before `t` (0 if t precedes the campaign).
+  size_t round_at(util::UnixTime t) const;
+
+  /// True if `t` falls inside a dense (15-minute) window.
+  bool in_dense_window(util::UnixTime t) const;
+
+  const ScheduleConfig& config() const { return config_; }
+
+ private:
+  ScheduleConfig config_;
+  std::vector<util::UnixTime> rounds_;
+};
+
+}  // namespace rootsim::measure

@@ -1,0 +1,337 @@
+#include "netsim/routing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rootsim::netsim {
+
+namespace {
+
+// Stable per-tuple hash for deterministic "random" decisions without storing
+// per-tuple state.
+uint64_t mix(uint64_t a, uint64_t b, uint64_t c, uint64_t d = 0) {
+  uint64_t state = a * 0x9e3779b97f4a7c15ULL ^ b * 0xbf58476d1ce4e5b9ULL ^
+                   c * 0x94d049bb133111ebULL ^ d * 0x2545f4914f6cdd1dULL;
+  return util::splitmix64(state);
+}
+
+double unit_from_hash(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+uint64_t family_tag(util::IpFamily family) {
+  return family == util::IpFamily::V4 ? 4 : 6;
+}
+
+}  // namespace
+
+std::array<ChurnSpec, 13> default_churn_specs() {
+  // Medians from the paper §4.2: b.root is remarkably stable (8 changes for
+  // both families over the campaign) while g.root — with the *same* number of
+  // sites — sees 36 (v4) and 64 (v6). c.root and h.root also show elevated
+  // IPv6 churn. Values for the remaining roots interpolate with deployment
+  // size (larger deployments churn somewhat more, per Koch et al.).
+  std::array<ChurnSpec, 13> specs{};
+  specs[0] = {12, 14};    // a
+  specs[1] = {8, 8};      // b
+  specs[2] = {14, 30};    // c (elevated v6)
+  specs[3] = {16, 18};    // d
+  specs[4] = {24, 26};    // e
+  specs[5] = {28, 30};    // f
+  specs[6] = {36, 64};    // g (the paper's surprise case)
+  specs[7] = {14, 28};    // h (elevated v6)
+  specs[8] = {20, 22};    // i
+  specs[9] = {22, 24};    // j
+  specs[10] = {24, 26};   // k
+  specs[11] = {26, 28};   // l
+  specs[12] = {12, 13};   // m
+  return specs;
+}
+
+AnycastRouter::AnycastRouter(const Topology& topology, RouterConfig config)
+    : topology_(&topology), config_(config), seed_mix_(config.seed * 0x9e3779b97f4a7c15ULL) {}
+
+double AnycastRouter::distance_km(const VantageView& vp, uint32_t site_id) const {
+  return util::haversine_km(vp.location, topology_->sites[site_id].location);
+}
+
+const AnycastSite& AnycastRouter::closest_global_site(const VantageView& vp,
+                                                      uint32_t root_index) const {
+  const AnycastSite* best = nullptr;
+  double best_distance = 0;
+  for (uint32_t site_id : topology_->sites_by_root[root_index]) {
+    const AnycastSite& site = topology_->sites[site_id];
+    if (site.type != SiteType::Global) continue;
+    double d = util::haversine_km(vp.location, site.location);
+    if (!best || d < best_distance) {
+      best = &site;
+      best_distance = d;
+    }
+  }
+  return *best;
+}
+
+AnycastRouter::Candidates AnycastRouter::candidates_for(
+    const VantageView& vp, uint32_t root_index, util::IpFamily family) const {
+  // Detour rules first: a matching rule hijacks this VP's routes for this
+  // (root, family) with the configured probability (stable per VP).
+  for (const DetourRule& rule : topology_->detours) {
+    if (rule.root_index != root_index || rule.region != vp.region ||
+        rule.family != family)
+      continue;
+    uint64_t h = mix(seed_mix_, vp.vp_id, root_index * 131 + family_tag(family),
+                     rule.via_as);
+    if (unit_from_hash(h) < rule.vp_fraction) {
+      // Select the replica the detour delivers to: the best site as seen from
+      // the transit AS (out-of-region rules pick a remote one).
+      Candidates c;
+      c.via_detour = true;
+      c.detour_as = rule.via_as;
+      uint32_t chosen = 0;
+      double best = 1e18;
+      for (uint32_t site_id : topology_->sites_by_root[root_index]) {
+        const AnycastSite& site = topology_->sites[site_id];
+        if (site.type != SiteType::Global) continue;
+        bool remote = site.region != vp.region;
+        if (rule.out_of_region != remote) continue;
+        double d = util::haversine_km(vp.location, site.location);
+        // Deterministic tie-break noise per site.
+        d *= 1.0 + 0.2 * unit_from_hash(mix(seed_mix_, site_id, rule.via_as, 7));
+        if (d < best) {
+          best = d;
+          chosen = site_id;
+        }
+      }
+      if (best < 1e18) {
+        c.primary = chosen;
+        c.secondary = chosen;
+        double u = unit_from_hash(mix(seed_mix_, vp.vp_id, chosen, 99));
+        // Lognormal RTT around the rule's calibrated mean.
+        double z = std::sqrt(-2.0 * std::log(std::max(u, 1e-12))) *
+                   std::cos(6.283185307179586 *
+                            unit_from_hash(mix(seed_mix_, vp.vp_id, chosen, 100)));
+        double mu = std::log(rule.mean_rtt_ms) - rule.rtt_sigma * rule.rtt_sigma / 2;
+        c.primary_rtt = std::exp(mu + rule.rtt_sigma * z);
+        c.secondary_rtt = c.primary_rtt;
+        return c;
+      }
+    }
+  }
+
+  // Normal BGP-proxy selection: rank by perturbed distance.
+  struct Scored {
+    uint32_t site_id;
+    double cost;
+    double distance;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(topology_->sites_by_root[root_index].size());
+  for (uint32_t site_id : topology_->sites_by_root[root_index]) {
+    const AnycastSite& site = topology_->sites[site_id];
+    if (site.type == SiteType::Local) {
+      if (site.local_scope == LocalScope::AsLocal) {
+        // Inside some ISP's network; a RING-style VP is almost never a
+        // customer of exactly that ISP.
+        bool insider =
+            unit_from_hash(mix(seed_mix_, vp.asn, site_id, 0xA5)) < 0.01;
+        if (!insider) continue;
+      } else {
+        // NO_EXPORT at an IXP: visible only through the VP's own facilities.
+        bool visible = std::find(vp.connectivity.begin(), vp.connectivity.end(),
+                                 site.facility) != vp.connectivity.end();
+        if (!visible) continue;
+      }
+    }
+    double distance = util::haversine_km(vp.location, site.location);
+    // Per-(VP, site, family) policy perturbation: BGP path choice is not
+    // geographic. Lognormal multiplier, median 1.
+    double u1 = unit_from_hash(mix(seed_mix_, vp.vp_id, site_id,
+                                   family_tag(family)));
+    double u2 = unit_from_hash(mix(seed_mix_, vp.vp_id, site_id,
+                                   family_tag(family) + 100));
+    double z = std::sqrt(-2.0 * std::log(std::max(u1, 1e-12))) *
+               std::cos(6.283185307179586 * u2);
+    double cost = (distance + 200.0) * std::exp(config_.policy_noise_sigma * z);
+    // Local sites are preferred when visible (shorter AS path).
+    if (site.type == SiteType::Local) cost *= 0.5;
+    scored.push_back({site_id, cost, distance});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.cost < b.cost; });
+
+  Candidates c;
+  c.primary = scored[0].site_id;
+  c.secondary = scored.size() > 1 ? scored[1].site_id : scored[0].site_id;
+  auto rtt_of = [&](const Scored& s) {
+    // Fiber RTT + access network constant + per-path jitter.
+    double base = util::fiber_rtt_ms(s.distance) + 2.0;
+    double jitter =
+        1.0 + 0.5 * unit_from_hash(mix(seed_mix_, vp.vp_id, s.site_id, 55));
+    return base * jitter;
+  };
+  c.primary_rtt = rtt_of(scored[0]);
+  c.secondary_rtt = scored.size() > 1 ? rtt_of(scored[1]) : c.primary_rtt;
+  return c;
+}
+
+std::vector<AnycastRouter::AnnouncedRoute> AnycastRouter::announced_routes(
+    const VantageView& vp, uint32_t root_index, util::IpFamily family,
+    size_t max_routes) const {
+  // Re-run the selection scan but keep the whole ranking — the control-plane
+  // table a route collector at the VP would export.
+  struct Scored {
+    uint32_t site_id;
+    double cost;
+  };
+  std::vector<Scored> scored;
+  uint64_t ftag = family_tag(family);
+  for (uint32_t site_id : topology_->sites_by_root[root_index]) {
+    const AnycastSite& site = topology_->sites[site_id];
+    if (site.type == SiteType::Local) {
+      if (site.local_scope == LocalScope::AsLocal) {
+        bool insider =
+            unit_from_hash(mix(seed_mix_, vp.asn, site_id, 0xA5)) < 0.01;
+        if (!insider) continue;
+      } else {
+        bool visible = std::find(vp.connectivity.begin(), vp.connectivity.end(),
+                                 site.facility) != vp.connectivity.end();
+        if (!visible) continue;
+      }
+    }
+    double distance = util::haversine_km(vp.location, site.location);
+    double u1 = unit_from_hash(mix(seed_mix_, vp.vp_id, site_id, ftag));
+    double u2 = unit_from_hash(mix(seed_mix_, vp.vp_id, site_id, ftag + 100));
+    double z = std::sqrt(-2.0 * std::log(std::max(u1, 1e-12))) *
+               std::cos(6.283185307179586 * u2);
+    double cost = (distance + 200.0) * std::exp(config_.policy_noise_sigma * z);
+    if (site.type == SiteType::Local) cost *= 0.5;
+    scored.push_back({site_id, cost});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.cost < b.cost; });
+  if (scored.size() > max_routes) scored.resize(max_routes);
+
+  std::vector<AnnouncedRoute> routes;
+  routes.reserve(scored.size());
+  for (const Scored& s : scored) {
+    AnnouncedRoute route;
+    route.site_id = s.site_id;
+    route.path_cost = s.cost;
+    // Synthetic AS path: VP's AS, 1-3 transit hops keyed by (vp, site), the
+    // operator's origin AS (stable per root: 64496 + root).
+    route.as_path.push_back(vp.asn);
+    const AnycastSite& site = topology_->sites[s.site_id];
+    size_t transit_hops = 1 + mix(seed_mix_, vp.vp_id, s.site_id, ftag + 3) % 3;
+    for (size_t i = 0; i < transit_hops; ++i)
+      route.as_path.push_back(static_cast<AsId>(
+          3000 + mix(0xB0u + i, vp.vp_id ^ (site.facility << 8), i, ftag) % 5000));
+    route.as_path.push_back(64496 + root_index);
+    routes.push_back(std::move(route));
+  }
+  return routes;
+}
+
+double AnycastRouter::flip_probability(const VantageView& vp, uint32_t root_index,
+                                       util::IpFamily family) const {
+  const ChurnSpec& spec = config_.churn[root_index];
+  double median_changes =
+      family == util::IpFamily::V4 ? spec.median_changes_v4 : spec.median_changes_v6;
+  // The selection at round r is `secondary` iff U(r) < p; transitions between
+  // consecutive rounds then happen with probability 2p(1-p), so expected
+  // changes = rounds * 2p(1-p). Solve for small p.
+  double target_rate =
+      median_changes / static_cast<double>(std::max<uint64_t>(config_.campaign_rounds, 1));
+  double p = target_rate / 2.0;  // first-order inverse of 2p(1-p)
+  return std::min(0.5, p * vp.churn_multiplier);
+}
+
+RouteResult AnycastRouter::finish(const VantageView& vp, uint32_t root_index,
+                                  util::IpFamily family, const Candidates& c,
+                                  bool use_secondary) const {
+  RouteResult result;
+  result.site_id = use_secondary ? c.secondary : c.primary;
+  result.rtt_ms = use_secondary ? c.secondary_rtt : c.primary_rtt;
+  result.via_detour = c.via_detour;
+  result.detour_as = c.detour_as;
+
+  const AnycastSite& site = topology_->sites[result.site_id];
+  uint64_t ftag = family_tag(family);
+
+  // Second-to-last hop identity.
+  RouterId hop;
+  if (c.via_detour) {
+    // The detour transit AS's edge router serves several roots' traffic from
+    // this VP — shared infrastructure observed via a shared hop (paper §5's
+    // AS6939/AS12956 note). Keyed by AS and family only: every root carried
+    // by the AS from this region funnels through the same edge.
+    hop = mix(0xD0u, c.detour_as, ftag, static_cast<uint64_t>(vp.region));
+  } else {
+    double dedicated_prob = family == util::IpFamily::V4
+                                ? config_.dedicated_router_prob_v4
+                                : config_.dedicated_router_prob_v6;
+    // Some facilities funnel all hosted roots through one shared fabric
+    // router; VPs routed there observe very large co-location clusters.
+    bool shared_fabric =
+        unit_from_hash(mix(0xFAu, site.facility, 1, 2)) <
+        config_.shared_fabric_fraction;
+    if (shared_fabric) dedicated_prob = 0.04;
+    bool dedicated =
+        unit_from_hash(mix(seed_mix_, site.facility, root_index, ftag)) <
+        dedicated_prob;
+    hop = dedicated ? mix(0xF1u, site.facility, root_index * 29 + 11, ftag)
+                    : mix(0xF0u, site.facility, 0, ftag);
+  }
+  // Traceroute may miss the hop entirely; analysis then must treat it as
+  // unique (0 is the "no answer" marker).
+  bool lost = unit_from_hash(mix(seed_mix_, vp.vp_id, result.site_id,
+                                 ftag + 777)) < config_.hop_loss_probability;
+  result.second_to_last_hop = lost ? 0 : hop;
+
+  // Synthesized full path: VP gateway, VP AS core, 1-3 transit hops,
+  // facility router (the second-to-last hop), then the instance.
+  result.hops.push_back(mix(0xA0u, vp.vp_id, 0, ftag));
+  result.hops.push_back(mix(0xA1u, vp.asn, 0, ftag));
+  size_t transit_hops =
+      1 + mix(seed_mix_, vp.vp_id, result.site_id, ftag + 3) % 3;
+  for (size_t i = 0; i < transit_hops; ++i)
+    result.hops.push_back(mix(0xB0u + i, vp.vp_id ^ (site.facility << 8), i, ftag));
+  result.hops.push_back(result.second_to_last_hop);
+  result.hops.push_back(mix(0xC0u, site.id, root_index, ftag));
+  return result;
+}
+
+RouteResult AnycastRouter::route(const VantageView& vp, uint32_t root_index,
+                                 util::IpFamily family) const {
+  Candidates c = candidates_for(vp, root_index, family);
+  return finish(vp, root_index, family, c, /*use_secondary=*/false);
+}
+
+RouteResult AnycastRouter::route_at(const VantageView& vp, uint32_t root_index,
+                                    util::IpFamily family, uint64_t round) const {
+  Candidates c = candidates_for(vp, root_index, family);
+  double p = flip_probability(vp, root_index, family);
+  uint64_t stream = mix(seed_mix_ ^ 0x5151515151515151ULL, vp.vp_id,
+                        root_index * 131 + family_tag(family), 0xABCD);
+  bool use_secondary = unit_from_hash(mix(stream, round, 1, 2)) < p;
+  return finish(vp, root_index, family, c, use_secondary);
+}
+
+AnycastRouter::Selection AnycastRouter::prepare_selection(
+    const VantageView& vp, uint32_t root_index, util::IpFamily family) const {
+  Candidates c = candidates_for(vp, root_index, family);
+  Selection s;
+  s.primary_site = c.primary;
+  s.secondary_site = c.secondary;
+  s.flip_probability = flip_probability(vp, root_index, family);
+  s.flip_stream = mix(seed_mix_ ^ 0x5151515151515151ULL, vp.vp_id,
+                      root_index * 131 + family_tag(family), 0xABCD);
+  return s;
+}
+
+uint32_t AnycastRouter::site_at_round(const Selection& selection, uint64_t round) {
+  uint64_t h = mix(selection.flip_stream, round, 1, 2);
+  return unit_from_hash(h) < selection.flip_probability ? selection.secondary_site
+                                                        : selection.primary_site;
+}
+
+}  // namespace rootsim::netsim

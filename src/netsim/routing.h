@@ -1,0 +1,164 @@
+// Anycast route selection, RTT model, route churn and traceroute synthesis.
+//
+// For every (vantage point, root, family) the router picks a catchment site:
+//   1. candidate set = all global sites + local sites whose facility is in
+//      the VP's connectivity set (NO_EXPORT semantics, §2);
+//   2. candidates are ranked by a BGP-proxy cost (geographic distance with a
+//      per-VP/per-candidate policy perturbation — BGP does not pick the
+//      geographically closest site, which is exactly the route inflation the
+//      paper measures in Fig. 5);
+//   3. detour rules (address-family-specific transit, §6) may override the
+//      selection for a fraction of VPs, changing RTT and the last-hop AS;
+//   4. a calibrated churn process flips the selection between the top
+//      candidates over time, producing the site-change counts of Fig. 3.
+//
+// RTTs come from fiber distance (~10ms per 1,000 km, §6) plus access/jitter
+// terms, or from the detour rule's calibrated distribution.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netsim/topology.h"
+#include "util/geo.h"
+#include "util/ip.h"
+#include "util/rng.h"
+
+namespace rootsim::netsim {
+
+/// A client endpoint as the routing layer sees it.
+struct VantageView {
+  uint32_t vp_id = 0;
+  util::Region region = util::Region::Europe;
+  util::GeoPoint location;
+  AsId asn = 0;
+  /// Facilities this VP's AS is present at (grants visibility of local sites).
+  std::vector<FacilityId> connectivity;
+  /// Per-VP churn multiplier (lognormal, median 1) — the long tail of Fig. 3.
+  double churn_multiplier = 1.0;
+};
+
+/// Identity of a last-hop router, as traceroute would fingerprint it. Equal
+/// ids across two roots' traceroutes mean shared last-hop infrastructure.
+using RouterId = uint64_t;
+
+struct RouteResult {
+  uint32_t site_id = 0;
+  double rtt_ms = 0;
+  bool via_detour = false;
+  AsId detour_as = 0;
+  /// Second-to-last traceroute hop; 0 when the hop did not answer (analysis
+  /// must then treat it as unique — the paper's lower-bound rule, §5).
+  RouterId second_to_last_hop = 0;
+  /// Full synthesized hop list (first = VP gateway, last = the site itself).
+  std::vector<RouterId> hops;
+};
+
+/// Per-root, per-family churn calibration: expected number of site changes a
+/// median VP records over the whole campaign (paper §4.2: b.root 8/8,
+/// g.root 36 on IPv4 / 64 on IPv6, ...).
+struct ChurnSpec {
+  double median_changes_v4 = 8;
+  double median_changes_v6 = 8;
+  bool operator==(const ChurnSpec&) const = default;
+};
+
+struct RouterConfig {
+  uint64_t seed = 42;
+  /// Total measurement rounds in the campaign (sets per-round flip rates).
+  uint64_t campaign_rounds = 10272;
+  /// Probability that traceroute misses the second-to-last hop.
+  double hop_loss_probability = 0.05;
+  /// Probability that a root instance at a facility has its own (unshared)
+  /// last-hop router, per family. Lower = more observed co-location.
+  double dedicated_router_prob_v4 = 0.62;
+  double dedicated_router_prob_v6 = 0.66;
+  /// Fraction of facilities whose peering fabric funnels every hosted root
+  /// through one router (the clustered mega-IXP case: VPs there can observe
+  /// up to 12 co-located roots).
+  double shared_fabric_fraction = 0.12;
+  /// BGP-vs-geography noise: stddev of the multiplicative cost perturbation.
+  double policy_noise_sigma = 0.7;
+  /// Per-root churn calibration, indexed 0..12.
+  std::array<ChurnSpec, 13> churn{};
+};
+
+class AnycastRouter {
+ public:
+  AnycastRouter(const Topology& topology, RouterConfig config);
+
+  /// Steady-state selection (no churn): the site this VP's routes settle on.
+  RouteResult route(const VantageView& vp, uint32_t root_index,
+                    util::IpFamily family) const;
+
+  /// Selection at a specific measurement round; flips between the top
+  /// candidates per the churn process. round in [0, campaign_rounds).
+  RouteResult route_at(const VantageView& vp, uint32_t root_index,
+                       util::IpFamily family, uint64_t round) const;
+
+  /// Precomputed candidate state for tight per-round loops (the stability
+  /// analysis calls this ~180M times; recomputing candidates would dominate).
+  struct Selection {
+    uint32_t primary_site = 0;
+    uint32_t secondary_site = 0;
+    double flip_probability = 0;
+    uint64_t flip_stream = 0;  // hash stream key for per-round decisions
+  };
+  Selection prepare_selection(const VantageView& vp, uint32_t root_index,
+                              util::IpFamily family) const;
+  /// The site chosen at `round` given a prepared selection. O(1).
+  static uint32_t site_at_round(const Selection& selection, uint64_t round);
+
+  /// Geographically closest *global* site of a root to this VP (the Fig. 5
+  /// reference point).
+  const AnycastSite& closest_global_site(const VantageView& vp,
+                                         uint32_t root_index) const;
+
+  /// Control-plane view (the data the paper's Appendix E wishes it had
+  /// collected): the routes for this root's prefix as visible in the VP's
+  /// BGP table — every reachable site with its path cost and a synthetic
+  /// AS path. Entry 0 is the best path (= what route() selects, absent a
+  /// detour override).
+  struct AnnouncedRoute {
+    uint32_t site_id = 0;
+    double path_cost = 0;
+    std::vector<AsId> as_path;  // VP's AS first, origin last
+  };
+  std::vector<AnnouncedRoute> announced_routes(const VantageView& vp,
+                                               uint32_t root_index,
+                                               util::IpFamily family,
+                                               size_t max_routes = 8) const;
+
+  /// Distance in km from VP to a site.
+  double distance_km(const VantageView& vp, uint32_t site_id) const;
+
+  const Topology& topology() const { return *topology_; }
+  const RouterConfig& config() const { return config_; }
+
+ private:
+  struct Candidates {
+    uint32_t primary = 0;    // site id
+    uint32_t secondary = 0;  // flip target (== primary if only one candidate)
+    double primary_rtt = 0;
+    double secondary_rtt = 0;
+    bool via_detour = false;
+    AsId detour_as = 0;
+  };
+  Candidates candidates_for(const VantageView& vp, uint32_t root_index,
+                            util::IpFamily family) const;
+  RouteResult finish(const VantageView& vp, uint32_t root_index,
+                     util::IpFamily family, const Candidates& c,
+                     bool use_secondary) const;
+  double flip_probability(const VantageView& vp, uint32_t root_index,
+                          util::IpFamily family) const;
+
+  const Topology* topology_;
+  RouterConfig config_;
+  uint64_t seed_mix_;
+};
+
+/// Default churn calibration reproducing the paper's §4.2 observations.
+std::array<ChurnSpec, 13> default_churn_specs();
+
+}  // namespace rootsim::netsim

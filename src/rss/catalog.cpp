@@ -1,0 +1,163 @@
+#include "rss/catalog.h"
+
+#include <cassert>
+
+namespace rootsim::rss {
+
+namespace {
+
+using util::Region;
+
+netsim::DeploymentSpec spec(char letter,
+                            std::array<int, util::kRegionCount> global_sites,
+                            std::array<int, util::kRegionCount> local_sites) {
+  netsim::DeploymentSpec s;
+  s.letter = letter;
+  s.global_sites = global_sites;
+  s.local_sites = local_sites;
+  // AS-local share per operator, set so that Table 4's per-root local
+  // coverage emerges: j.root/a.root/m.root locals sit mostly at IXPs
+  // (covered well), e/f/k locals mostly inside ISPs (covered poorly).
+  switch (letter) {
+    case 'a': s.as_local_fraction = 0.08; break;
+    case 'd': s.as_local_fraction = 0.55; break;
+    case 'e': s.as_local_fraction = 0.68; break;
+    case 'f': s.as_local_fraction = 0.70; break;
+    case 'j': s.as_local_fraction = 0.20; break;
+    case 'k': s.as_local_fraction = 0.60; break;
+    case 'm': s.as_local_fraction = 0.18; break;
+    default: s.as_local_fraction = 0.5; break;
+  }
+  return s;
+}
+
+util::IpAddress ip(const char* text) {
+  auto parsed = util::IpAddress::parse(text);
+  assert(parsed.has_value());
+  return *parsed;
+}
+
+}  // namespace
+
+RootCatalog::RootCatalog() {
+  // Region order: Africa, Asia, Europe, NorthAmerica, SouthAmerica, Oceania.
+  // Site counts are the paper's Table 4 per-region values; the two a.root
+  // sites missing from the regional breakdown are placed in North America and
+  // the single missing d/e local site in Africa/Europe so worldwide totals
+  // match Table 1 (a: 33/23, d: 23/186, e: 97/147, ...).
+  servers_[0] = {'a', "a.root-servers.net.", ip("198.41.0.4"),
+                 ip("2001:503:ba3e::2:30"),
+                 spec('a', {0, 6, 12, 15, 0, 0}, {0, 2, 7, 14, 0, 0})};
+  servers_[1] = {'b', "b.root-servers.net.", ip("170.247.170.2"),
+                 ip("2801:1b8:10::b"),
+                 spec('b', {0, 1, 1, 3, 1, 0}, {0, 0, 0, 0, 0, 0})};
+  servers_[2] = {'c', "c.root-servers.net.", ip("192.33.4.12"),
+                 ip("2001:500:2::c"),
+                 spec('c', {0, 2, 4, 5, 1, 0}, {0, 0, 0, 0, 0, 0})};
+  servers_[3] = {'d', "d.root-servers.net.", ip("199.7.91.13"),
+                 ip("2001:500:2d::d"),
+                 spec('d', {0, 2, 9, 12, 0, 0}, {43, 39, 39, 49, 12, 4})};
+  servers_[4] = {'e', "e.root-servers.net.", ip("192.203.230.10"),
+                 ip("2001:500:a8::e"),
+                 spec('e', {0, 8, 33, 45, 5, 6}, {43, 34, 23, 30, 13, 4})};
+  servers_[5] = {'f', "f.root-servers.net.", ip("192.5.5.241"),
+                 ip("2001:500:2f::f"),
+                 spec('f', {3, 13, 46, 54, 4, 9}, {25, 84, 26, 34, 40, 7})};
+  servers_[6] = {'g', "g.root-servers.net.", ip("192.112.36.4"),
+                 ip("2001:500:12::d0d"),
+                 spec('g', {0, 1, 2, 3, 0, 0}, {0, 0, 0, 0, 0, 0})};
+  servers_[7] = {'h', "h.root-servers.net.", ip("198.97.190.53"),
+                 ip("2001:500:1::53"),
+                 spec('h', {1, 3, 2, 4, 1, 1}, {0, 0, 0, 0, 0, 0})};
+  servers_[8] = {'i', "i.root-servers.net.", ip("192.36.148.17"),
+                 ip("2001:7fe::53"),
+                 spec('i', {3, 24, 25, 16, 10, 3}, {0, 0, 0, 0, 0, 0})};
+  servers_[9] = {'j', "j.root-servers.net.", ip("192.58.128.30"),
+                 ip("2001:503:c27::2:30"),
+                 spec('j', {0, 16, 18, 20, 4, 3}, {8, 11, 34, 24, 6, 2})};
+  servers_[10] = {'k', "k.root-servers.net.", ip("193.0.14.129"),
+                  ip("2001:7fd::1"),
+                  spec('k', {2, 34, 44, 17, 6, 2}, {0, 9, 2, 0, 0, 0})};
+  servers_[11] = {'l', "l.root-servers.net.", ip("199.7.83.42"),
+                  ip("2001:500:9f::42"),
+                  spec('l', {11, 25, 33, 22, 23, 18}, {0, 0, 0, 0, 0, 0})};
+  servers_[12] = {'m', "m.root-servers.net.", ip("202.12.27.33"),
+                  ip("2001:dc3::35"),
+                  spec('m', {0, 5, 1, 1, 0, 0}, {0, 7, 0, 0, 0, 2})};
+
+  renumbering_.old_ipv4 = ip("199.9.14.201");
+  renumbering_.old_ipv6 = ip("2001:500:200::b");
+  renumbering_.new_ipv4 = ip("170.247.170.2");
+  renumbering_.new_ipv6 = ip("2801:1b8:10::b");
+  renumbering_.zone_change_time = util::make_time(2023, 11, 27);
+}
+
+const RootServer& RootCatalog::by_letter(char letter) const {
+  assert(letter >= 'a' && letter <= 'm');
+  return servers_[static_cast<size_t>(letter - 'a')];
+}
+
+int RootCatalog::index_of_address(const util::IpAddress& address) const {
+  for (size_t i = 0; i < kRootCount; ++i)
+    if (servers_[i].ipv4 == address || servers_[i].ipv6 == address)
+      return static_cast<int>(i);
+  if (address == renumbering_.old_ipv4 || address == renumbering_.old_ipv6)
+    return 1;  // b.root
+  return -1;
+}
+
+std::vector<util::IpAddress> RootCatalog::service_addresses(
+    util::UnixTime at) const {
+  std::vector<util::IpAddress> out;
+  for (size_t i = 0; i < kRootCount; ++i) {
+    if (i == 1) {
+      // b.root: old addresses always answer during the campaign; the new
+      // ones are operational (and probed) from well before the zone change.
+      out.push_back(renumbering_.old_ipv4);
+      out.push_back(renumbering_.old_ipv6);
+      out.push_back(renumbering_.new_ipv4);
+      out.push_back(renumbering_.new_ipv6);
+      continue;
+    }
+    out.push_back(servers_[i].ipv4);
+    out.push_back(servers_[i].ipv6);
+  }
+  (void)at;
+  return out;
+}
+
+std::vector<netsim::DeploymentSpec> RootCatalog::all_deployment_specs() const {
+  std::vector<netsim::DeploymentSpec> specs;
+  specs.reserve(kRootCount);
+  for (const auto& server : servers_) specs.push_back(server.deployment);
+  return specs;
+}
+
+std::vector<netsim::DetourRule> paper_detour_rules() {
+  using util::IpFamily;
+  using util::Region;
+  std::vector<netsim::DetourRule> rules;
+  // §6: a.root in South America, IPv4: paths via AS10834/AS27651 + AS12956
+  // give a 168.3ms mean (vs 140.0ms IPv6); a large VP share is affected.
+  rules.push_back({0, Region::SouthAmerica, IpFamily::V4, 12956, 0.55, 185.0, 0.45, true});
+  rules.push_back({0, Region::SouthAmerica, IpFamily::V6, 12956, 0.25, 150.0, 0.40, true});
+  // §6: i.root South America IPv6 latency more than 100% above IPv4
+  // (23.8ms vs 50.9ms) — AS6939 carries v6 out of continent.
+  rules.push_back({8, Region::SouthAmerica, IpFamily::V6, 6939, 0.70, 55.0, 0.35, true});
+  // §6: h.root South America 43.7ms v4 vs 53.7ms v6.
+  rules.push_back({7, Region::SouthAmerica, IpFamily::V6, 6939, 0.60, 60.0, 0.35, true});
+  // §6: i.root North America: AS6939 v6 paths are *fast* (23.4ms mean) and
+  // frequent; v4 paths via the same AS are rare and slow (221.4ms).
+  rules.push_back({8, Region::NorthAmerica, IpFamily::V6, 6939, 0.55, 23.4, 0.30, false});
+  rules.push_back({8, Region::NorthAmerica, IpFamily::V4, 6939, 0.06, 221.4, 0.30, true});
+  // §6: l.root Africa: most v6 paths traverse AS6939 to a remote replica
+  // (mean 62.5ms) while v4 stays local.
+  rules.push_back({11, Region::Africa, IpFamily::V6, 6939, 0.65, 62.5, 0.35, true});
+  // §5: l.root South America IPv6 carried by AS6939 despite <10ms replicas;
+  // paper reports 39% *lower* v6 than v4 RTT for l.root clients there.
+  rules.push_back({11, Region::SouthAmerica, IpFamily::V4, 12956, 0.40, 45.0, 0.40, true});
+  rules.push_back({11, Region::SouthAmerica, IpFamily::V6, 6939, 0.50, 25.0, 0.35, false});
+  return rules;
+}
+
+}  // namespace rootsim::rss

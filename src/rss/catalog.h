@@ -1,0 +1,79 @@
+// The root server system catalog: the 13 deployments, their service
+// addresses, deployment strategies (per-region global/local site counts from
+// the paper's Table 4), and the b.root renumbering event.
+//
+// All numbers here are ground truth published by the operators via
+// root-servers.org and transcribed by the paper; they parameterize the
+// simulated topology. Where the paper's Table 1 (worldwide) and Table 4
+// (per-region sums) disagree by a site or two (a: 33 vs 31, d-local: 186 vs
+// 185, e-local: 147 vs 146), we add the remainder to a plausible region so
+// worldwide totals match Table 1 exactly.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "netsim/topology.h"
+#include "util/ip.h"
+#include "util/timeutil.h"
+
+namespace rootsim::rss {
+
+inline constexpr size_t kRootCount = 13;
+
+/// Static description of one root deployment.
+struct RootServer {
+  char letter = 'a';
+  std::string name;          // "a.root-servers.net."
+  util::IpAddress ipv4;
+  util::IpAddress ipv6;
+  netsim::DeploymentSpec deployment;
+  /// True for operators that also run local (NO_EXPORT) sites.
+  bool has_local_sites() const { return deployment.total_local() > 0; }
+};
+
+/// b.root changed its service addresses on 2023-11-27 (paper Fig. 2); both
+/// old and new addresses stayed operational throughout the campaign.
+struct BRootRenumbering {
+  util::IpAddress old_ipv4;  // 199.9.14.201
+  util::IpAddress old_ipv6;  // 2001:500:200::b
+  util::IpAddress new_ipv4;  // 170.247.170.2
+  util::IpAddress new_ipv6;  // 2801:1b8:10::b
+  util::UnixTime zone_change_time;  // when the root zone switched the records
+};
+
+/// The full catalog.
+class RootCatalog {
+ public:
+  RootCatalog();
+
+  const std::array<RootServer, kRootCount>& servers() const { return servers_; }
+  const RootServer& server(size_t index) const { return servers_[index]; }
+  const RootServer& by_letter(char letter) const;
+  const BRootRenumbering& renumbering() const { return renumbering_; }
+
+  /// Index (0..12) of the deployment answering at `address`, considering both
+  /// old and new b.root addresses; -1 if not a root service address.
+  int index_of_address(const util::IpAddress& address) const;
+
+  /// All 28 service addresses during the campaign (13 v4 + 13 v6 + old b pair
+  /// once the new one is active; before the change, 26).
+  std::vector<util::IpAddress> service_addresses(util::UnixTime at) const;
+
+  netsim::DeploymentSpec deployment_spec(size_t index) const {
+    return servers_[index].deployment;
+  }
+  std::vector<netsim::DeploymentSpec> all_deployment_specs() const;
+
+ private:
+  std::array<RootServer, kRootCount> servers_;
+  BRootRenumbering renumbering_;
+};
+
+/// The paper's §6 routing quirks as detour rules (AS6939 for IPv6 in
+/// NA/SA/Africa, AS12956 for IPv4 in SA, ...), calibrated to the reported
+/// RTT shifts.
+std::vector<netsim::DetourRule> paper_detour_rules();
+
+}  // namespace rootsim::rss

@@ -1,0 +1,42 @@
+#include "rss/outages.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace rootsim::rss {
+
+std::vector<OutageWindow> site_outages(uint32_t site_id, util::UnixTime start,
+                                       util::UnixTime end,
+                                       const OutageModelConfig& config) {
+  util::Rng rng(config.seed ^
+                (static_cast<uint64_t>(site_id) * 0xbf58476d1ce4e5b9ULL));
+  std::vector<OutageWindow> windows;
+  if (end <= start) return windows;
+  uint64_t count = rng.poisson(config.outages_per_site);
+  int64_t span = end - start;
+  for (uint64_t i = 0; i < count; ++i) {
+    OutageWindow window;
+    window.start = start + static_cast<int64_t>(
+                               rng.uniform(static_cast<uint64_t>(span)));
+    int64_t duration = static_cast<int64_t>(
+        std::min(rng.lognormal(config.duration_mu, config.duration_sigma),
+                 6.0 * 3600));
+    window.end = std::min(end, window.start + duration);
+    windows.push_back(window);
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const OutageWindow& a, const OutageWindow& b) {
+              return a.start < b.start;
+            });
+  return windows;
+}
+
+bool site_available(uint32_t site_id, util::UnixTime t, util::UnixTime start,
+                    util::UnixTime end, const OutageModelConfig& config) {
+  for (const OutageWindow& window : site_outages(site_id, start, end, config))
+    if (t >= window.start && t < window.end) return false;
+  return true;
+}
+
+}  // namespace rootsim::rss

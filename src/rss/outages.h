@@ -1,0 +1,41 @@
+// Per-site outage model.
+//
+// The paper's intro frames the RSS through RSSAC037's stability/reliability
+// goals; RSSAC047 operationalizes them as measurable service metrics
+// (availability, response latency, publication latency). Real instances do
+// go dark occasionally — maintenance, upstream failures — and §5 discusses
+// what a clustered-site failure would do. This model gives every site a
+// deterministic schedule of rare outage windows so those metrics (and the
+// §5 what-if) can be computed rather than asserted.
+#pragma once
+
+#include <vector>
+
+#include "util/timeutil.h"
+
+namespace rootsim::rss {
+
+struct OutageWindow {
+  util::UnixTime start = 0;
+  util::UnixTime end = 0;
+};
+
+struct OutageModelConfig {
+  uint64_t seed = 42;
+  /// Expected outages per site over the campaign (rate of a Poisson count).
+  double outages_per_site = 1.5;
+  /// Log-normal outage duration parameters (median ~20 minutes).
+  double duration_mu = 7.1;   // exp(7.1) ~ 1200 s
+  double duration_sigma = 1.0;
+};
+
+/// Deterministic outage schedule for one site over [start, end).
+std::vector<OutageWindow> site_outages(uint32_t site_id, util::UnixTime start,
+                                       util::UnixTime end,
+                                       const OutageModelConfig& config = {});
+
+/// True if the site is serving at `t`.
+bool site_available(uint32_t site_id, util::UnixTime t, util::UnixTime start,
+                    util::UnixTime end, const OutageModelConfig& config = {});
+
+}  // namespace rootsim::rss

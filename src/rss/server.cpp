@@ -1,0 +1,222 @@
+#include "rss/server.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace rootsim::rss {
+
+RootServerInstance::RootServerInstance(const ZoneAuthority& authority,
+                                       const RootCatalog& catalog,
+                                       uint32_t root_index, std::string identity,
+                                       InstanceBehavior behavior)
+    : authority_(&authority),
+      catalog_(&catalog),
+      root_index_(root_index),
+      identity_(std::move(identity)),
+      behavior_(behavior) {}
+
+int64_t site_propagation_lag_s(uint32_t site_id, uint64_t seed) {
+  util::Rng rng(seed ^ (static_cast<uint64_t>(site_id) * 0x9e3779b97f4a7c15ULL));
+  // Log-normal around ~20 s with a tail into the tens of minutes.
+  double lag = rng.lognormal(3.0, 1.2);
+  return static_cast<int64_t>(std::min(lag, 3600.0));
+}
+
+util::UnixTime RootServerInstance::effective_time(util::UnixTime now) const {
+  // A frozen instance keeps serving the zone from its freeze point: the
+  // local copy never refreshes, so signatures eventually expire.
+  if (behavior_.frozen_at) return *behavior_.frozen_at;
+  // Otherwise the instance lags zone distribution by its sync delay.
+  return now - behavior_.propagation_lag_s;
+}
+
+dns::Message RootServerInstance::answer_chaos(const dns::Message& query,
+                                              const dns::Question& question) const {
+  dns::Message response;
+  response.id = query.id;
+  response.qr = true;
+  response.aa = true;
+  response.questions = query.questions;
+  std::string qname = util::to_lower(question.qname.to_string());
+  std::string text;
+  if (qname == "hostname.bind." || qname == "id.server.") {
+    text = identity_;
+  } else if (qname == "version.bind." || qname == "version.server.") {
+    // Operators run different software; model a stable per-operator banner.
+    static const char* kBanners[13] = {
+        "NSD 4.8.0",    "BIND 9.18.19", "NSD 4.7.0",   "BIND 9.18.11",
+        "NSD 4.6.1",    "BIND 9.18.19", "BIND 9.16.8", "NSD 4.8.0",
+        "BIND 9.18.14", "Knot 3.3.2",   "NSD 4.8.0",   "Knot 3.2.9",
+        "BIND 9.18.19"};
+    text = kBanners[root_index_ % 13];
+  } else {
+    response.rcode = dns::Rcode::Refused;
+    return response;
+  }
+  dns::ResourceRecord rr;
+  rr.name = question.qname;
+  rr.type = dns::RRType::TXT;
+  rr.rclass = dns::RRClass::CH;
+  rr.ttl = 0;
+  rr.rdata = dns::TxtData{{text}};
+  response.answers.push_back(std::move(rr));
+  return response;
+}
+
+dns::Message RootServerInstance::answer_standard(const dns::Message& query,
+                                                 const dns::Question& question,
+                                                 util::UnixTime now) const {
+  return answer_from_zone(authority_->zone_at(effective_time(now)), query,
+                          question);
+}
+
+dns::Message answer_from_zone(const dns::Zone& zone, const dns::Message& query,
+                              const dns::Question& question) {
+  dns::Message response;
+  response.id = query.id;
+  response.qr = true;
+  response.questions = query.questions;
+  bool want_dnssec = query.dnssec_ok();
+  if (want_dnssec) response.add_edns(1232, true);
+
+  auto attach_rrsigs = [&](std::vector<dns::ResourceRecord>& section,
+                           const dns::Name& owner, dns::RRType covered) {
+    if (!want_dnssec) return;
+    const dns::RRset* sigs = zone.find(owner, dns::RRType::RRSIG);
+    if (!sigs) return;
+    for (const auto& rdata : sigs->rdatas) {
+      const auto* sig = std::get_if<dns::RrsigData>(&rdata);
+      if (!sig || sig->type_covered != covered) continue;
+      section.push_back({owner, dns::RRType::RRSIG, dns::RRClass::IN, sigs->ttl,
+                         rdata});
+    }
+  };
+
+  const dns::RRset* set = zone.find(question.qname, question.qtype);
+  if (set) {
+    bool delegation_data =
+        !(question.qname == zone.origin()) && question.qtype == dns::RRType::NS;
+    response.aa = !delegation_data;
+    for (const auto& rr : set->to_records()) response.answers.push_back(rr);
+    attach_rrsigs(response.answers, question.qname, question.qtype);
+    return response;
+  }
+
+  // Name exists with other types, or delegation, or NXDOMAIN.
+  if (zone.contains_name(question.qname)) {
+    const dns::RRset* delegation = zone.find(question.qname, dns::RRType::NS);
+    if (delegation && !(question.qname == zone.origin())) {
+      // Referral.
+      response.aa = false;
+      for (const auto& rr : delegation->to_records())
+        response.authority.push_back(rr);
+      const dns::RRset* ds = zone.find(question.qname, dns::RRType::DS);
+      if (ds)
+        for (const auto& rr : ds->to_records()) response.authority.push_back(rr);
+      attach_rrsigs(response.authority, question.qname, dns::RRType::DS);
+      return response;
+    }
+    // NODATA: SOA in authority.
+    response.aa = true;
+    const dns::RRset* soa = zone.find(zone.origin(), dns::RRType::SOA);
+    if (soa)
+      for (const auto& rr : soa->to_records()) response.authority.push_back(rr);
+    attach_rrsigs(response.authority, zone.origin(), dns::RRType::SOA);
+    return response;
+  }
+
+  // Below a delegation? Refer to the closest enclosing delegation.
+  dns::Name cut = question.qname;
+  while (!cut.is_root()) {
+    const dns::RRset* delegation = zone.find(cut, dns::RRType::NS);
+    if (delegation) {
+      response.aa = false;
+      for (const auto& rr : delegation->to_records())
+        response.authority.push_back(rr);
+      return response;
+    }
+    cut = cut.parent();
+  }
+
+  response.aa = true;
+  response.rcode = dns::Rcode::NxDomain;
+  const dns::RRset* soa = zone.find(zone.origin(), dns::RRType::SOA);
+  if (soa)
+    for (const auto& rr : soa->to_records()) response.authority.push_back(rr);
+  attach_rrsigs(response.authority, zone.origin(), dns::RRType::SOA);
+  // RFC 4035 §3.1.3.2: prove the name's nonexistence with the NSEC record
+  // covering the gap the qname falls into (signed zones only).
+  if (want_dnssec) {
+    const dns::RRset* covering = nullptr;
+    for (const dns::RRset* set : zone.rrsets()) {
+      if (set->type != dns::RRType::NSEC) continue;
+      const auto* nsec = std::get_if<dns::NsecData>(&set->rdatas.front());
+      if (!nsec) continue;
+      // Covers qname iff owner < qname < next (with the last NSEC wrapping
+      // around to the apex).
+      bool after_owner = set->name.canonical_compare(question.qname) < 0;
+      bool before_next = question.qname.canonical_compare(nsec->next) < 0 ||
+                         nsec->next.is_root();
+      if (after_owner && before_next) {
+        covering = set;
+        break;
+      }
+    }
+    if (covering) {
+      for (const auto& rr : covering->to_records())
+        response.authority.push_back(rr);
+      attach_rrsigs(response.authority, covering->name, dns::RRType::NSEC);
+    }
+  }
+  return response;
+}
+
+dns::Message apply_udp_truncation(const dns::Message& response, size_t max_size) {
+  if (response.encode().size() <= max_size) return response;
+  dns::Message truncated;
+  truncated.id = response.id;
+  truncated.qr = true;
+  truncated.aa = response.aa;
+  truncated.tc = true;
+  truncated.rcode = response.rcode;
+  truncated.questions = response.questions;
+  // Keep the OPT record so the client sees our EDNS support.
+  for (const auto& rr : response.additional)
+    if (rr.type == dns::RRType::OPT) truncated.additional.push_back(rr);
+  return truncated;
+}
+
+dns::Message RootServerInstance::handle_query(const dns::Message& query,
+                                              util::UnixTime now) const {
+  if (query.questions.empty()) {
+    dns::Message response;
+    response.id = query.id;
+    response.qr = true;
+    response.rcode = dns::Rcode::FormErr;
+    return response;
+  }
+  const dns::Question& question = query.questions.front();
+  if (question.qclass == dns::RRClass::CH) return answer_chaos(query, question);
+  return answer_standard(query, question, now);
+}
+
+dns::Message RootServerInstance::handle_udp_query(const dns::Message& query,
+                                                  util::UnixTime now) const {
+  dns::Message response = handle_query(query, now);
+  // RFC 6891 §6.2.5: the responder honours the requestor's advertised
+  // buffer; without EDNS the classic 512-octet limit applies.
+  size_t max_size = 512;
+  for (const auto& rr : query.additional)
+    if (const auto* opt = std::get_if<dns::OptData>(&rr.rdata))
+      max_size = std::max<size_t>(512, opt->udp_payload_size);
+  return apply_udp_truncation(response, max_size);
+}
+
+std::vector<dns::ResourceRecord> RootServerInstance::handle_axfr(
+    util::UnixTime now) const {
+  if (!behavior_.allow_axfr) return {};
+  return authority_->zone_at(effective_time(now)).axfr_records();
+}
+
+}  // namespace rootsim::rss

@@ -1,0 +1,90 @@
+// A root server instance: the process answering DNS at one anycast site.
+//
+// Serves the root zone authoritatively (RFC 2870: root servers MUST answer
+// root-zone queries), answers the CHAOS-class identity queries the
+// measurement script uses to fingerprint instances (hostname.bind /
+// id.server), and serves AXFR. A per-instance `staleness` override models
+// the out-of-date zone copies the paper found at two d.root sites.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dns/message.h"
+#include "rss/zone_authority.h"
+
+namespace rootsim::rss {
+
+/// Per-instance serving state.
+struct InstanceBehavior {
+  /// If set, the instance serves the zone as of this (past) time instead of
+  /// now — a stale local zone file (paper Table 2: expired signatures at
+  /// d.root Tokyo and Leeds).
+  std::optional<util::UnixTime> frozen_at;
+  /// Zone distribution delay: a new serial published at T reaches this
+  /// instance at T + lag. Real root instances sync within seconds to
+  /// minutes; the paper's Appendix E names per-second SOA polling of this
+  /// exact behaviour as future work.
+  int64_t propagation_lag_s = 0;
+  /// If false, AXFR is refused (most real root instances do allow it; the
+  /// measurement relies on that).
+  bool allow_axfr = true;
+};
+
+/// Deterministic per-site propagation lag: most instances sync in under a
+/// minute, a long tail takes many minutes (log-normal, seeded by site id).
+int64_t site_propagation_lag_s(uint32_t site_id, uint64_t seed = 42);
+
+/// Synthesizes the answer to one standard-class query from a zone snapshot:
+/// authoritative data, referrals at delegation points, NODATA/NXDOMAIN with
+/// SOA (+NSEC proofs when DO is set, RFC 4035 §3.1.3), RRSIGs attached when
+/// the query set DO. Shared by the root server instances and by
+/// localroot::LocalRootService (which answers from its own validated copy).
+dns::Message answer_from_zone(const dns::Zone& zone, const dns::Message& query,
+                              const dns::Question& question);
+
+/// Applies RFC 1035 §4.2.1 / RFC 6891 size limits to a response bound for
+/// UDP: if the encoded message exceeds `max_size`, returns a truncated
+/// response (empty sections, TC=1) that tells the client to retry over TCP.
+dns::Message apply_udp_truncation(const dns::Message& response, size_t max_size);
+
+/// Answers queries exactly as the instance at `site` would.
+class RootServerInstance {
+ public:
+  RootServerInstance(const ZoneAuthority& authority, const RootCatalog& catalog,
+                     uint32_t root_index, std::string identity,
+                     InstanceBehavior behavior = {});
+
+  /// Handles one DNS query message at wall-clock time `now` (TCP semantics:
+  /// no size limit).
+  dns::Message handle_query(const dns::Message& query, util::UnixTime now) const;
+
+  /// Same, over UDP: the response is truncated (TC=1) when it exceeds the
+  /// client's advertised EDNS buffer (512 octets without EDNS).
+  dns::Message handle_udp_query(const dns::Message& query,
+                                util::UnixTime now) const;
+
+  /// Serves a zone transfer: the AXFR record stream (RFC 5936). Empty if
+  /// AXFR is disabled.
+  std::vector<dns::ResourceRecord> handle_axfr(util::UnixTime now) const;
+
+  const std::string& identity() const { return identity_; }
+  uint32_t root_index() const { return root_index_; }
+  InstanceBehavior& behavior() { return behavior_; }
+
+ private:
+  util::UnixTime effective_time(util::UnixTime now) const;
+  dns::Message answer_chaos(const dns::Message& query,
+                            const dns::Question& question) const;
+  dns::Message answer_standard(const dns::Message& query,
+                               const dns::Question& question,
+                               util::UnixTime now) const;
+
+  const ZoneAuthority* authority_;
+  const RootCatalog* catalog_;
+  uint32_t root_index_;
+  std::string identity_;
+  InstanceBehavior behavior_;
+};
+
+}  // namespace rootsim::rss

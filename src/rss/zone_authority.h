@@ -1,0 +1,74 @@
+// The simulated root zone maintainer.
+//
+// Produces the root zone as it evolved over the campaign (paper Fig. 2):
+//   * serials advance twice per day (real root zone practice);
+//   * 2023-09-13: a ZONEMD record with a private-use hash algorithm appears;
+//   * 2023-11-27: b.root's A/AAAA records change to the new addresses;
+//   * 2023-12-06: ZONEMD switches to SHA-384 and validates.
+//
+// The zone content is synthetic but structurally faithful: apex
+// SOA/NS/DNSKEY/NSEC/ZONEMD + RRSIGs, per-TLD delegations with DS and glue,
+// signed with our own RSA keys. The TLD set is a deterministic sample (a few
+// hundred entries including the .ruhr TLD whose bitflip the paper shows in
+// Fig. 10).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dns/zone.h"
+#include "dnssec/signer.h"
+#include "dnssec/validator.h"
+#include "rss/catalog.h"
+#include "util/timeutil.h"
+
+namespace rootsim::rss {
+
+struct ZoneAuthorityConfig {
+  uint64_t seed = 42;
+  size_t tld_count = 120;       // delegations in the synthetic root zone
+  size_t rsa_modulus_bits = 768;  // small-but-real keys keep signing fast
+  util::UnixTime zonemd_private_start = util::make_time(2023, 9, 13);
+  util::UnixTime zonemd_sha384_start = util::make_time(2023, 12, 6, 20, 30);
+  util::UnixTime broot_change = util::make_time(2023, 11, 27);
+  /// RRSIG validity window length (the root uses ~2 weeks).
+  int64_t rrsig_validity_days = 14;
+};
+
+/// Builds signed root zones for any instant of the campaign.
+class ZoneAuthority {
+ public:
+  explicit ZoneAuthority(const RootCatalog& catalog,
+                         ZoneAuthorityConfig config = {});
+
+  /// The serial in force at time `t` (YYYYMMDDNN, two increments per day).
+  uint32_t serial_at(util::UnixTime t) const;
+
+  /// The signed zone as published at time `t`. Zones are generated lazily
+  /// and cached per serial.
+  const dns::Zone& zone_at(util::UnixTime t) const;
+
+  /// Trust anchors (the KSK+ZSK DNSKEYs) used for every serial.
+  dnssec::TrustAnchors trust_anchors() const;
+
+  const ZoneAuthorityConfig& config() const { return config_; }
+  const std::vector<std::string>& tlds() const { return tlds_; }
+
+  /// The ZONEMD mode in force at `t` (None / PrivateAlgorithm / Sha384).
+  dnssec::SigningPolicy::ZonemdMode zonemd_mode_at(util::UnixTime t) const;
+
+ private:
+  dns::Zone build_unsigned_zone(util::UnixTime t) const;
+
+  const RootCatalog* catalog_;
+  ZoneAuthorityConfig config_;
+  std::vector<std::string> tlds_;
+  dnssec::SigningKey ksk_;
+  dnssec::SigningKey zsk_;
+  mutable std::map<uint32_t, std::unique_ptr<dns::Zone>> cache_;
+};
+
+}  // namespace rootsim::rss

@@ -1,0 +1,166 @@
+#include "traffic/collectors.h"
+
+#include <cmath>
+
+namespace rootsim::traffic {
+
+double DailyTraffic::total_flows() const {
+  double total = 0;
+  for (const auto& [key, flows] : flows) total += flows;
+  return total;
+}
+
+double DailyTraffic::share(const SubnetKey& key) const {
+  double total = total_flows();
+  if (total <= 0) return 0;
+  auto it = flows.find(key);
+  return it == flows.end() ? 0 : it->second / total;
+}
+
+CollectorConfig isp_collector_config() {
+  CollectorConfig config;
+  config.sampling_rate = 0.05;
+  // ISP root mix (paper Fig. 12): b.root ~4.9%, others roughly balanced with
+  // a/j/k slightly heavier.
+  config.root_weights = {0.10, 0.049, 0.07, 0.08, 0.075, 0.085, 0.06,
+                         0.065, 0.075, 0.095, 0.09, 0.08, 0.076};
+  config.ipv6_traffic_share = 0.17;
+  return config;
+}
+
+CollectorConfig ixp_collector_config_eu() {
+  CollectorConfig config;
+  config.sampling_rate = 0.002;
+  // IXP traffic is dominated by k.root and d.root (paper Fig. 13).
+  config.root_weights = {0.05, 0.03, 0.04, 0.22, 0.05, 0.06, 0.03,
+                         0.04, 0.06, 0.07, 0.28, 0.04, 0.03};
+  config.ipv6_traffic_share = 0.45;
+  return config;
+}
+
+CollectorConfig ixp_collector_config_na() {
+  CollectorConfig config = ixp_collector_config_eu();
+  config.root_weights = {0.06, 0.03, 0.05, 0.20, 0.06, 0.07, 0.03,
+                         0.04, 0.05, 0.08, 0.25, 0.05, 0.03};
+  return config;
+}
+
+PassiveCollector::PassiveCollector(std::vector<Client> clients,
+                                   CollectorConfig config,
+                                   util::UnixTime broot_change_time)
+    : clients_(std::move(clients)),
+      config_(config),
+      change_time_(broot_change_time) {}
+
+void PassiveCollector::add_client_day(DailyTraffic& day, const Client& client,
+                                      size_t client_index, util::Rng& rng,
+                                      double day_fraction) const {
+  // The client spreads its flows over the 13 roots by the collector's mix.
+  double total_sampled = static_cast<double>(rng.poisson(
+      client.flows_per_day * config_.sampling_rate * day_fraction));
+  if (total_sampled <= 0) return;
+  for (int root = 0; root < 13; ++root) {
+    double root_flows =
+        total_sampled * config_.root_weights[static_cast<size_t>(root)];
+    if (root_flows <= 0) continue;
+    if (root == 1) {
+      // b.root: split between old and new subnets by the client's state.
+      double new_share = client.new_address_share(day.day, change_time_);
+      double old_flows = root_flows * (1.0 - new_share);
+      double new_flows = root_flows * new_share;
+      // Fully-switched priming clients still touch the old subnet once a day.
+      if (client.primes && new_share >= 1.0 && day.day >= change_time_) {
+        old_flows = std::min(1.0, root_flows * 0.02);
+        new_flows = root_flows - old_flows;
+      }
+      // Before the zone change the new subnets were already operational and
+      // drew a trickle (paper: 0.8% of b.root traffic on 2023-10-08).
+      if (day.day < change_time_) {
+        double trickle = client.family == util::IpFamily::V4 ? 0.009 : 0.004;
+        new_flows = root_flows * trickle;
+        old_flows = root_flows - new_flows;
+      }
+      SubnetKey old_key{1, client.family, true};
+      SubnetKey new_key{1, client.family, false};
+      if (old_flows > 0) {
+        day.flows[old_key] += old_flows;
+        day.clients[old_key] += 1;
+      }
+      if (new_flows > 0) {
+        day.flows[new_key] += new_flows;
+        day.clients[new_key] += 1;
+      }
+      continue;
+    }
+    SubnetKey key{root, client.family, false};
+    day.flows[key] += root_flows;
+    day.clients[key] += 1;
+  }
+  (void)client_index;
+}
+
+std::vector<DailyTraffic> PassiveCollector::collect(util::UnixTime start,
+                                                    util::UnixTime end) const {
+  return collect_buckets(util::day_start(start), end, util::kSecondsPerDay);
+}
+
+std::vector<DailyTraffic> PassiveCollector::collect_buckets(
+    util::UnixTime start, util::UnixTime end, int64_t bucket_s) const {
+  std::vector<DailyTraffic> buckets;
+  double scale = static_cast<double>(bucket_s) /
+                 static_cast<double>(util::kSecondsPerDay);
+  for (util::UnixTime t = start; t < end; t += bucket_s) {
+    DailyTraffic bucket;
+    bucket.day = t;
+    util::Rng rng =
+        util::Rng(config_.seed).fork(util::format_datetime(t));
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      const Client& client = clients_[i];
+      bool family_included =
+          client.family == util::IpFamily::V6
+              ? rng.chance(config_.ipv6_traffic_share /
+                           std::max(0.01, 0.35))  // normalize vs population mix
+              : true;
+      if (!family_included) continue;
+      add_client_day(bucket, client, i, rng, scale);
+    }
+    buckets.push_back(std::move(bucket));
+  }
+  return buckets;
+}
+
+std::vector<ClientDayRecord> PassiveCollector::collect_client_flows(
+    util::UnixTime start, util::UnixTime end, int max_roots) const {
+  std::vector<ClientDayRecord> records;
+  for (util::UnixTime t = util::day_start(start); t < end;
+       t += util::kSecondsPerDay) {
+    util::Rng rng = util::Rng(config_.seed ^ 0xFEED).fork(util::format_date(t));
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      const Client& client = clients_[i];
+      double daily = static_cast<double>(rng.poisson(client.flows_per_day));
+      if (daily <= 0) continue;
+      for (int root = 0; root < max_roots && root < 13; ++root) {
+        double root_flows = daily * config_.root_weights[static_cast<size_t>(root)];
+        if (root == 1) {
+          double new_share = client.new_address_share(t, change_time_);
+          double old_flows;
+          if (client.primes && new_share >= 1.0 && t >= change_time_)
+            old_flows = 1.0;  // the once-a-day priming touch
+          else
+            old_flows = root_flows * (1.0 - new_share);
+          double new_flows = root_flows - old_flows;
+          if (old_flows >= 1)
+            records.push_back({{1, client.family, true}, i, old_flows});
+          if (new_flows >= 1)
+            records.push_back({{1, client.family, false}, i, new_flows});
+          continue;
+        }
+        if (root_flows >= 1)
+          records.push_back({{root, client.family, false}, i, root_flows});
+      }
+    }
+  }
+  return records;
+}
+
+}  // namespace rootsim::traffic

@@ -1,0 +1,106 @@
+// Passive trace collection: the ISP-DNS-1 and IXP-DNS-1 perspectives.
+//
+// Both collectors watch flows between client prefixes and the root service
+// subnets (/24 for IPv4, /48 for IPv6 — including both old and new b.root
+// subnets), sampled and aggregated exactly as the paper describes: no
+// payloads, client identities normalized to privacy prefixes, daily buckets.
+//
+// Output structures map 1:1 onto the figures:
+//   * per-day traffic share per (root, family, old/new address)  -> Figs 7/9/12/13
+//   * per-client daily flow counts to each b.root subnet          -> Fig 8
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "rss/catalog.h"
+#include "traffic/clients.h"
+#include "util/timeutil.h"
+
+namespace rootsim::traffic {
+
+/// Key for a traffic bucket: which service subnet was contacted.
+struct SubnetKey {
+  int root_index = 0;               // 0..12
+  util::IpFamily family = util::IpFamily::V4;
+  bool old_b_subnet = false;        // only meaningful for root_index == 1
+
+  bool operator<(const SubnetKey& other) const {
+    if (root_index != other.root_index) return root_index < other.root_index;
+    if (family != other.family) return family < other.family;
+    return old_b_subnet < other.old_b_subnet;
+  }
+  bool operator==(const SubnetKey&) const = default;
+};
+
+/// One day's aggregated traffic at a collector.
+struct DailyTraffic {
+  util::UnixTime day = 0;
+  std::map<SubnetKey, double> flows;      // sampled flow counts
+  std::map<SubnetKey, uint64_t> clients;  // distinct client prefixes seen
+
+  double total_flows() const;
+  /// Share of this day's traffic on a subnet (0 if no traffic at all).
+  double share(const SubnetKey& key) const;
+};
+
+/// Per-client flow counts for one day (the Fig. 8 distribution).
+struct ClientDayRecord {
+  SubnetKey subnet;
+  uint64_t client_index = 0;
+  double flows = 0;
+};
+
+struct CollectorConfig {
+  uint64_t seed = 42;
+  /// Flow sampling rate (IXPs sample heavily; shares are unaffected).
+  double sampling_rate = 0.01;
+  /// Root popularity mix: share of total root traffic per root 0..12.
+  /// ISP default: roughly uniform with mild skew. IXPs are dominated by
+  /// k.root and d.root (paper Fig. 13).
+  std::array<double, 13> root_weights{};
+  /// Fraction of total traffic that is IPv6 at this collector.
+  double ipv6_traffic_share = 0.18;
+};
+
+CollectorConfig isp_collector_config();
+CollectorConfig ixp_collector_config_eu();
+CollectorConfig ixp_collector_config_na();
+
+/// Simulates one collector over [start, end) days.
+class PassiveCollector {
+ public:
+  PassiveCollector(std::vector<Client> clients, CollectorConfig config,
+                   util::UnixTime broot_change_time);
+
+  /// Daily aggregates over a window.
+  std::vector<DailyTraffic> collect(util::UnixTime start, util::UnixTime end) const;
+
+  /// Aggregates with an arbitrary bucket width (Fig. 7's first panel is
+  /// hourly around the change day). `DailyTraffic::day` then holds the
+  /// bucket start.
+  std::vector<DailyTraffic> collect_buckets(util::UnixTime start,
+                                            util::UnixTime end,
+                                            int64_t bucket_s) const;
+
+  /// Per-client records for Fig. 8 (b.root + a few other roots, one window).
+  std::vector<ClientDayRecord> collect_client_flows(util::UnixTime start,
+                                                    util::UnixTime end,
+                                                    int max_roots = 5) const;
+
+  const std::vector<Client>& clients() const { return clients_; }
+
+ private:
+  /// Splits one client's flows (scaled to `day_fraction` of a day) between
+  /// roots and, for b.root, between old and new subnets.
+  void add_client_day(DailyTraffic& day, const Client& client,
+                      size_t client_index, util::Rng& rng,
+                      double day_fraction = 1.0) const;
+
+  std::vector<Client> clients_;
+  CollectorConfig config_;
+  util::UnixTime change_time_;
+};
+
+}  // namespace rootsim::traffic

@@ -1,0 +1,76 @@
+// A DITL-style query workload: what one root instance receives in a day.
+//
+// The paper's related-work section (§3, "Studies of Clients") summarizes two
+// decades of findings from root-side traces: roots receive large volumes of
+// malformed and repeated queries (Brownlee et al., Castro et al.), and more
+// than half of all queries fail because the TLD does not exist (Gao et al.)
+// — which is what motivates serving the root locally (Allman; RFC 7706/8806)
+// and, transitively, ZONEMD. This model generates such a workload and runs
+// it against a simulated instance, so the claim "most root queries are
+// avoidable" is measured rather than assumed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rss/server.h"
+#include "util/rng.h"
+
+namespace rootsim::traffic {
+
+/// Classes of client queries observed at roots.
+enum class QueryClass {
+  ValidTld,        ///< delegation lookups for existing TLDs
+  NonexistentTld,  ///< typos, chromoids, leaked local names -> NXDOMAIN
+  RepeatedQuery,   ///< the same query re-sent by a broken client
+  RootNs,          ///< priming queries
+  Junk,            ///< malformed/garbage qnames
+};
+
+std::string to_string(QueryClass cls);
+
+struct QueryMixConfig {
+  uint64_t seed = 42;
+  size_t queries = 50000;
+  /// Mix fractions (Gao et al.: >50% nonexistent TLD; Castro et al.: heavy
+  /// repetition on top).
+  double nonexistent_fraction = 0.55;
+  double repeated_fraction = 0.18;
+  double priming_fraction = 0.02;
+  double junk_fraction = 0.05;
+  // Remainder: valid TLD lookups.
+};
+
+/// One generated query with its ground-truth class.
+struct WorkloadQuery {
+  QueryClass cls = QueryClass::ValidTld;
+  dns::Name qname;
+  dns::RRType qtype = dns::RRType::A;
+};
+
+/// Generates the day-at-the-root workload against a zone's real TLD set.
+std::vector<WorkloadQuery> generate_query_workload(
+    const std::vector<std::string>& tlds, const QueryMixConfig& config);
+
+/// Results of replaying the workload against an instance.
+struct QueryMixReport {
+  size_t total = 0;
+  size_t nxdomain = 0;
+  size_t noerror = 0;
+  size_t referrals = 0;  // NOERROR with empty answer + NS authority
+  std::array<size_t, 5> per_class_count{};
+  std::array<size_t, 5> per_class_nxdomain{};
+
+  double nxdomain_fraction() const {
+    return total ? static_cast<double>(nxdomain) / total : 0;
+  }
+  /// Queries a local root copy could have answered without touching the RSS
+  /// (everything except... nothing: the root zone is fully replicable).
+  double avoidable_fraction() const { return total ? 1.0 : 0; }
+};
+
+QueryMixReport replay_workload(const rss::RootServerInstance& instance,
+                               const std::vector<WorkloadQuery>& workload,
+                               util::UnixTime when);
+
+}  // namespace rootsim::traffic

@@ -1,0 +1,75 @@
+#include "util/geo.h"
+
+#include <cmath>
+
+namespace rootsim::util {
+
+const std::vector<Region>& all_regions() {
+  static const std::vector<Region> regions = {
+      Region::Africa,       Region::Asia,         Region::Europe,
+      Region::NorthAmerica, Region::SouthAmerica, Region::Oceania,
+  };
+  return regions;
+}
+
+std::string_view region_name(Region r) {
+  switch (r) {
+    case Region::Africa: return "Africa";
+    case Region::Asia: return "Asia";
+    case Region::Europe: return "Europe";
+    case Region::NorthAmerica: return "North America";
+    case Region::SouthAmerica: return "South America";
+    case Region::Oceania: return "Oceania";
+  }
+  return "?";
+}
+
+std::string_view region_short_name(Region r) {
+  switch (r) {
+    case Region::Africa: return "AF";
+    case Region::Asia: return "AS";
+    case Region::Europe: return "EU";
+    case Region::NorthAmerica: return "NA";
+    case Region::SouthAmerica: return "SA";
+    case Region::Oceania: return "OC";
+  }
+  return "?";
+}
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+  double lat1 = a.lat_deg * kDegToRad;
+  double lat2 = b.lat_deg * kDegToRad;
+  double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+             std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+double fiber_rtt_ms(double distance_km) {
+  // ~10 ms RTT per 1,000 km (paper §6): 2/3 c one way, doubled for round trip.
+  return distance_km / 100.0;
+}
+
+const RegionBox& region_box(Region r) {
+  // Boxes chosen to cover the populated core of each continent so that
+  // synthesized coordinates are plausible (no VPs in the open ocean).
+  static const RegionBox boxes[kRegionCount] = {
+      {Region::Africa, -30.0, 32.0, -15.0, 45.0},
+      {Region::Asia, 5.0, 50.0, 60.0, 140.0},
+      {Region::Europe, 37.0, 62.0, -9.0, 32.0},
+      {Region::NorthAmerica, 26.0, 52.0, -123.0, -70.0},
+      {Region::SouthAmerica, -38.0, 8.0, -72.0, -38.0},
+      {Region::Oceania, -42.0, -12.0, 114.0, 178.0},
+  };
+  return boxes[static_cast<size_t>(r)];
+}
+
+GeoPoint region_centroid(Region r) {
+  const RegionBox& box = region_box(r);
+  return {(box.lat_min + box.lat_max) / 2, (box.lon_min + box.lon_max) / 2};
+}
+
+}  // namespace rootsim::util

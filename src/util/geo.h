@@ -1,0 +1,60 @@
+// Geographic primitives: coordinates, great-circle distance, regions.
+//
+// The paper reasons about anycast quality through geography — distance from a
+// vantage point to the selected replica vs. the closest global replica
+// (Fig. 5) and ~10ms of delay per 1,000 km of fiber (§6). Regions follow the
+// paper's six continents (Table 3 / Table 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rootsim::util {
+
+/// The six regions the paper partitions the world into.
+enum class Region : uint8_t {
+  Africa = 0,
+  Asia,
+  Europe,
+  NorthAmerica,
+  SouthAmerica,
+  Oceania,
+};
+
+inline constexpr size_t kRegionCount = 6;
+
+/// All regions in the paper's Table 3 column order.
+const std::vector<Region>& all_regions();
+
+std::string_view region_name(Region r);
+std::string_view region_short_name(Region r);
+
+/// Latitude/longitude in degrees.
+struct GeoPoint {
+  double lat_deg = 0;
+  double lon_deg = 0;
+};
+
+/// Great-circle (haversine) distance in kilometres, Earth radius 6371 km.
+double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+/// The paper's rule of thumb: every 1,000 km induces ~10 ms of delay
+/// (speed of light in fiber, round trip).
+double fiber_rtt_ms(double distance_km);
+
+/// A representative bounding box per region, used to synthesize plausible
+/// coordinates for ASes, vantage points and root sites.
+struct RegionBox {
+  Region region;
+  double lat_min, lat_max;
+  double lon_min, lon_max;
+};
+
+const RegionBox& region_box(Region r);
+
+/// Rough centroid of a region (for inter-region distance heuristics).
+GeoPoint region_centroid(Region r);
+
+}  // namespace rootsim::util

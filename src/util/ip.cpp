@@ -1,0 +1,216 @@
+#include "util/ip.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+namespace rootsim::util {
+
+std::string_view to_string(IpFamily f) {
+  return f == IpFamily::V4 ? "IPv4" : "IPv6";
+}
+
+IpAddress IpAddress::v4(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+  IpAddress ip;
+  ip.family_ = IpFamily::V4;
+  ip.bytes_ = {a, b, c, d};
+  return ip;
+}
+
+IpAddress IpAddress::v4(uint32_t host_order) {
+  return v4(static_cast<uint8_t>(host_order >> 24),
+            static_cast<uint8_t>(host_order >> 16),
+            static_cast<uint8_t>(host_order >> 8),
+            static_cast<uint8_t>(host_order));
+}
+
+IpAddress IpAddress::v6(const std::array<uint16_t, 8>& hextets) {
+  IpAddress ip;
+  ip.family_ = IpFamily::V6;
+  for (size_t i = 0; i < 8; ++i) {
+    ip.bytes_[2 * i] = static_cast<uint8_t>(hextets[i] >> 8);
+    ip.bytes_[2 * i + 1] = static_cast<uint8_t>(hextets[i]);
+  }
+  return ip;
+}
+
+IpAddress IpAddress::v6(const std::array<uint8_t, 16>& bytes) {
+  IpAddress ip;
+  ip.family_ = IpFamily::V6;
+  ip.bytes_ = bytes;
+  return ip;
+}
+
+uint32_t IpAddress::v4_value() const {
+  return (static_cast<uint32_t>(bytes_[0]) << 24) |
+         (static_cast<uint32_t>(bytes_[1]) << 16) |
+         (static_cast<uint32_t>(bytes_[2]) << 8) | bytes_[3];
+}
+
+namespace {
+
+std::optional<IpAddress> parse_v4(std::string_view text) {
+  std::array<uint8_t, 4> octets{};
+  size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size()) return std::nullopt;
+    unsigned value = 0;
+    const char* begin = text.data() + pos;
+    const char* end = text.data() + text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr == begin || value > 255) return std::nullopt;
+    octets[static_cast<size_t>(i)] = static_cast<uint8_t>(value);
+    pos = static_cast<size_t>(ptr - text.data());
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return IpAddress::v4(octets[0], octets[1], octets[2], octets[3]);
+}
+
+std::optional<uint16_t> parse_hextet(std::string_view group) {
+  if (group.empty() || group.size() > 4) return std::nullopt;
+  uint16_t value = 0;
+  for (char c : group) {
+    uint16_t digit;
+    if (c >= '0' && c <= '9') digit = static_cast<uint16_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<uint16_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') digit = static_cast<uint16_t>(c - 'A' + 10);
+    else return std::nullopt;
+    value = static_cast<uint16_t>(value << 4 | digit);
+  }
+  return value;
+}
+
+std::optional<IpAddress> parse_v6(std::string_view text) {
+  // Split on "::" (at most one), then parse colon-separated hextets on both
+  // sides and pad the middle with zeros.
+  size_t dc = text.find("::");
+  std::string_view left = text, right;
+  bool has_dc = dc != std::string_view::npos;
+  if (has_dc) {
+    left = text.substr(0, dc);
+    right = text.substr(dc + 2);
+    if (right.find("::") != std::string_view::npos) return std::nullopt;
+  }
+  auto split_groups = [](std::string_view s, std::optional<std::array<uint16_t, 8>>& out,
+                         size_t& count) -> bool {
+    count = 0;
+    out.emplace();
+    if (s.empty()) return true;
+    size_t start = 0;
+    while (true) {
+      size_t colon = s.find(':', start);
+      std::string_view group =
+          colon == std::string_view::npos ? s.substr(start) : s.substr(start, colon - start);
+      auto hextet = parse_hextet(group);
+      if (!hextet || count >= 8) return false;
+      (*out)[count++] = *hextet;
+      if (colon == std::string_view::npos) break;
+      start = colon + 1;
+    }
+    return true;
+  };
+  std::optional<std::array<uint16_t, 8>> lhs, rhs;
+  size_t nl = 0, nr = 0;
+  if (!split_groups(left, lhs, nl)) return std::nullopt;
+  if (!split_groups(right, rhs, nr)) return std::nullopt;
+  std::array<uint16_t, 8> hextets{};
+  if (has_dc) {
+    if (nl + nr > 7) return std::nullopt;  // "::" must stand for >= 1 group
+    for (size_t i = 0; i < nl; ++i) hextets[i] = (*lhs)[i];
+    for (size_t i = 0; i < nr; ++i) hextets[8 - nr + i] = (*rhs)[i];
+  } else {
+    if (nl != 8) return std::nullopt;
+    hextets = *lhs;
+  }
+  return IpAddress::v6(hextets);
+}
+
+}  // namespace
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) return parse_v6(text);
+  return parse_v4(text);
+}
+
+std::string IpAddress::to_string() const {
+  char buf[64];
+  if (is_v4()) {
+    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", bytes_[0], bytes_[1], bytes_[2], bytes_[3]);
+    return buf;
+  }
+  // RFC 5952: compress the longest run of >= 2 zero hextets, leftmost on tie.
+  std::array<uint16_t, 8> h{};
+  for (size_t i = 0; i < 8; ++i)
+    h[i] = static_cast<uint16_t>(bytes_[2 * i] << 8 | bytes_[2 * i + 1]);
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (h[static_cast<size_t>(i)] != 0) { ++i; continue; }
+    int j = i;
+    while (j < 8 && h[static_cast<size_t>(j)] == 0) ++j;
+    if (j - i > best_len) { best_start = i; best_len = j - i; }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof buf, "%x", h[static_cast<size_t>(i)]);
+    out += buf;
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+Prefix::Prefix(const IpAddress& addr, uint8_t length) {
+  uint8_t max_len = addr.is_v4() ? 32 : 128;
+  length_ = std::min(length, max_len);
+  std::array<uint8_t, 16> masked = addr.bytes();
+  size_t full_bytes = length_ / 8;
+  size_t rem_bits = length_ % 8;
+  for (size_t i = full_bytes + (rem_bits ? 1 : 0); i < 16; ++i) masked[i] = 0;
+  if (rem_bits) {
+    uint8_t mask = static_cast<uint8_t>(0xFF << (8 - rem_bits));
+    masked[full_bytes] &= mask;
+  }
+  network_ = addr.is_v4()
+                 ? IpAddress::v4(masked[0], masked[1], masked[2], masked[3])
+                 : IpAddress::v6(masked);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = IpAddress::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned len = 0;
+  auto tail = text.substr(slash + 1);
+  auto [ptr, ec] = std::from_chars(tail.data(), tail.data() + tail.size(), len);
+  if (ec != std::errc{} || ptr != tail.data() + tail.size()) return std::nullopt;
+  if (len > (addr->is_v4() ? 32u : 128u)) return std::nullopt;
+  return Prefix(*addr, static_cast<uint8_t>(len));
+}
+
+Prefix Prefix::privacy_prefix_of(const IpAddress& addr) {
+  return Prefix(addr, addr.is_v4() ? 24 : 48);
+}
+
+bool Prefix::contains(const IpAddress& addr) const {
+  if (addr.family() != network_.family()) return false;
+  return Prefix(addr, length_).network() == network_;
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace rootsim::util

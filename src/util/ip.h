@@ -1,0 +1,93 @@
+// IPv4/IPv6 address and prefix types.
+//
+// The measurement pipeline handles both address families uniformly (the paper's
+// central question RQ2 is precisely the v4/v6 contrast), so addresses are stored
+// in a single 16-byte canonical form with an explicit family tag. Parsing and
+// formatting follow RFC 4291 / RFC 5952 (zero-compression on output).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rootsim::util {
+
+enum class IpFamily : uint8_t { V4 = 4, V6 = 6 };
+
+/// Returns "IPv4" / "IPv6".
+std::string_view to_string(IpFamily f);
+
+/// An IP address of either family. IPv4 addresses occupy the first 4 bytes of
+/// `bytes_`; comparison orders by family first, then lexicographically by bytes.
+class IpAddress {
+ public:
+  IpAddress() = default;
+
+  /// Builds an IPv4 address from 4 octets.
+  static IpAddress v4(uint8_t a, uint8_t b, uint8_t c, uint8_t d);
+  /// Builds an IPv4 address from a host-order 32-bit value.
+  static IpAddress v4(uint32_t host_order);
+  /// Builds an IPv6 address from 8 host-order hextets.
+  static IpAddress v6(const std::array<uint16_t, 8>& hextets);
+  /// Builds an IPv6 address from raw 16 bytes (network order).
+  static IpAddress v6(const std::array<uint8_t, 16>& bytes);
+
+  /// Parses dotted-quad or RFC 4291 textual IPv6 (including "::" compression).
+  /// Returns nullopt on malformed input.
+  static std::optional<IpAddress> parse(std::string_view text);
+
+  IpFamily family() const { return family_; }
+  bool is_v4() const { return family_ == IpFamily::V4; }
+  bool is_v6() const { return family_ == IpFamily::V6; }
+
+  /// Raw bytes in network order; 4 significant bytes for IPv4, 16 for IPv6.
+  const std::array<uint8_t, 16>& bytes() const { return bytes_; }
+  size_t byte_length() const { return is_v4() ? 4 : 16; }
+
+  /// Host-order 32-bit value; only valid for IPv4.
+  uint32_t v4_value() const;
+
+  /// RFC 5952 canonical text (lower-case hex, longest zero run compressed).
+  std::string to_string() const;
+
+  auto operator<=>(const IpAddress&) const = default;
+
+ private:
+  IpFamily family_ = IpFamily::V4;
+  std::array<uint8_t, 16> bytes_{};
+};
+
+/// A CIDR prefix. The paper aggregates client identities to /24 (IPv4) and
+/// /48 (IPv6) for privacy; `Prefix::privacy_prefix_of` applies exactly that.
+class Prefix {
+ public:
+  Prefix() = default;
+  /// Masks `addr` down to `length` bits. `length` is clamped to the family width.
+  Prefix(const IpAddress& addr, uint8_t length);
+
+  /// Parses "a.b.c.d/len" or "v6addr/len".
+  static std::optional<Prefix> parse(std::string_view text);
+
+  /// The paper's privacy aggregation: /24 for IPv4, /48 for IPv6.
+  static Prefix privacy_prefix_of(const IpAddress& addr);
+
+  const IpAddress& network() const { return network_; }
+  uint8_t length() const { return length_; }
+  IpFamily family() const { return network_.family(); }
+
+  /// True if `addr` is of the same family and falls inside this prefix.
+  bool contains(const IpAddress& addr) const;
+
+  std::string to_string() const;
+
+  auto operator<=>(const Prefix&) const = default;
+
+ private:
+  IpAddress network_;
+  uint8_t length_ = 0;
+};
+
+}  // namespace rootsim::util

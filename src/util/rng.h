@@ -1,0 +1,177 @@
+// Deterministic random number generation.
+//
+// Every experiment in this repository is a pure function of (seed, config):
+// the whole 174-day measurement campaign, the topology, the fault plan and the
+// traffic traces are derived from one root seed so that EXPERIMENTS.md numbers
+// reproduce bit-for-bit. We use xoshiro256** seeded via splitmix64 (public
+// domain algorithms by Blackman & Vigna) instead of std::mt19937 because the
+// standard distributions are not portable across standard libraries.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+namespace rootsim::util {
+
+/// splitmix64 step; used for seeding and cheap hash mixing.
+constexpr uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stable 64-bit hash of a string (FNV-1a), for deriving substream seeds from
+/// names ("b.root/ipv6/churn") so adding a stream never perturbs the others.
+constexpr uint64_t fnv1a(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 42) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derives an independent substream keyed by a name; see fnv1a above.
+  Rng fork(std::string_view stream_name) const {
+    uint64_t mix = state_[0] ^ fnv1a(stream_name);
+    return Rng(mix);
+  }
+
+  uint64_t next() {
+    auto rotl = [](uint64_t x, int k) { return (x << k) | (x >> (64 - k)); };
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  uint64_t operator()() { return next(); }
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  uint64_t uniform(uint64_t bound) {
+    if (bound == 0) return 0;
+    while (true) {
+      uint64_t x = next();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      uint64_t low = static_cast<uint64_t>(m);
+      if (low >= bound || low >= static_cast<uint64_t>(-bound) % bound)
+        return static_cast<uint64_t>(m >> 64);
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Standard normal via Box–Muller (one value per call; simple and stateless).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = uniform01();
+    double u2 = uniform01();
+    if (u1 < 1e-300) u1 = 1e-300;
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Exponential with given rate (lambda).
+  double exponential(double rate) {
+    double u = uniform01();
+    if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+    return -std::log(1.0 - u) / rate;
+  }
+
+  /// Log-normal: exp(Normal(mu, sigma)). Used for long-tailed RTT and flow counts.
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  /// Poisson (Knuth for small lambda, normal approximation above 64).
+  uint64_t poisson(double lambda) {
+    if (lambda <= 0) return 0;
+    if (lambda > 64) {
+      double v = normal(lambda, std::sqrt(lambda));
+      return v < 0 ? 0 : static_cast<uint64_t>(v + 0.5);
+    }
+    double l = std::exp(-lambda);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform01();
+    } while (p > l);
+    return k - 1;
+  }
+
+  /// Geometric: number of failures before first success, p in (0,1].
+  uint64_t geometric(double p) {
+    if (p >= 1.0) return 0;
+    double u = uniform01();
+    if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+    return static_cast<uint64_t>(std::log(1.0 - u) / std::log(1.0 - p));
+  }
+
+  /// Pareto (type I) with scale xm and shape alpha; heavy-tailed traffic volumes.
+  double pareto(double xm, double alpha) {
+    double u = uniform01();
+    if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+    return xm / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  template <typename Container>
+  size_t weighted_index(const Container& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double target = uniform01() * total;
+    double acc = 0;
+    size_t i = 0;
+    for (double w : weights) {
+      acc += w;
+      if (target < acc) return i;
+      ++i;
+    }
+    return weights.size() ? weights.size() - 1 : 0;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename Vec>
+  void shuffle(Vec& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = uniform(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<uint64_t, 4> state_{};
+};
+
+}  // namespace rootsim::util

@@ -1,0 +1,114 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rootsim::util {
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0;
+  double m = mean(values);
+  double acc = 0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+namespace {
+double sorted_percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  double idx = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+double percentile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return sorted_percentile(values, q);
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  s.min = values.front();
+  s.max = values.back();
+  s.p25 = sorted_percentile(values, 0.25);
+  s.median = sorted_percentile(values, 0.5);
+  s.p75 = sorted_percentile(values, 0.75);
+  s.p90 = sorted_percentile(values, 0.90);
+  s.p99 = sorted_percentile(values, 0.99);
+  return s;
+}
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const {
+  if (sorted_.empty()) return 0;
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const { return sorted_percentile(sorted_, q); }
+
+void IntHistogram::add(int64_t value, uint64_t weight) {
+  bins_[value] += weight;
+  total_ += weight;
+}
+
+uint64_t IntHistogram::count(int64_t value) const {
+  auto it = bins_.find(value);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+double IntHistogram::mean() const {
+  if (total_ == 0) return 0;
+  double acc = 0;
+  for (const auto& [value, count] : bins_)
+    acc += static_cast<double>(value) * static_cast<double>(count);
+  return acc / static_cast<double>(total_);
+}
+
+int64_t IntHistogram::min_value() const {
+  return bins_.empty() ? 0 : bins_.begin()->first;
+}
+
+int64_t IntHistogram::max_value() const {
+  return bins_.empty() ? 0 : bins_.rbegin()->first;
+}
+
+std::string render_histogram(const IntHistogram& h, size_t bar_width) {
+  std::string out;
+  if (h.total() == 0) return out;
+  uint64_t peak = 0;
+  for (const auto& [value, count] : h.bins()) peak = std::max(peak, count);
+  char line[160];
+  for (const auto& [value, count] : h.bins()) {
+    size_t bar = peak ? static_cast<size_t>(count * bar_width / peak) : 0;
+    std::snprintf(line, sizeof line, "%6lld %8llu |", static_cast<long long>(value),
+                  static_cast<unsigned long long>(count));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rootsim::util

@@ -1,0 +1,77 @@
+// Small statistics toolkit used by the analysis pipeline: summary statistics,
+// percentiles, empirical CDFs (the paper plots complementary eCDFs in Fig. 3)
+// and fixed-bin histograms (Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rootsim::util {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Computes a Summary; returns a zeroed Summary for an empty sample.
+Summary summarize(std::vector<double> values);
+
+/// Linear-interpolated percentile of a sample, q in [0,1]. Sorts a copy.
+double percentile(std::vector<double> values, double q);
+
+/// Arithmetic mean (0 for empty).
+double mean(const std::vector<double>& values);
+
+/// Sample standard deviation (0 for n < 2).
+double stddev(const std::vector<double>& values);
+
+/// An empirical CDF over double samples.
+class Ecdf {
+ public:
+  explicit Ecdf(std::vector<double> samples);
+
+  /// P[X <= x].
+  double at(double x) const;
+  /// Complementary eCDF, P[X > x] — the paper's Fig. 3 y-axis is 1 - prop(VPs).
+  double complementary(double x) const { return 1.0 - at(x); }
+  /// Inverse CDF (quantile), q in [0,1].
+  double quantile(double q) const;
+  size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Histogram over integer-valued observations (e.g. reduced-redundancy counts
+/// 0..12 in Fig. 4).
+class IntHistogram {
+ public:
+  void add(int64_t value, uint64_t weight = 1);
+  uint64_t count(int64_t value) const;
+  uint64_t total() const { return total_; }
+  double mean() const;
+  int64_t min_value() const;
+  int64_t max_value() const;
+  const std::map<int64_t, uint64_t>& bins() const { return bins_; }
+
+ private:
+  std::map<int64_t, uint64_t> bins_;
+  uint64_t total_ = 0;
+};
+
+/// Renders a histogram as rows of "value count bar" for terminal figures.
+std::string render_histogram(const IntHistogram& h, size_t bar_width = 40);
+
+}  // namespace rootsim::util

@@ -1,0 +1,34 @@
+// String helpers shared across modules: tokenization for the zone-file parser,
+// case folding for DNS name comparison (RFC 1035 4.3.3: case-insensitive), and
+// printf-style formatting into std::string.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rootsim::util {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on runs of whitespace; empty fields are dropped.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// ASCII lower-case copy (DNS case folding never touches non-ASCII).
+std::string to_lower(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// printf into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace rootsim::util

@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rootsim::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::set_alignment(std::vector<Align> alignment) {
+  alignment_ = std::move(alignment);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  auto align_of = [&](size_t c) {
+    if (c < alignment_.size()) return alignment_[c];
+    return c == 0 ? Align::Left : Align::Right;
+  };
+  auto emit_cell = [&](std::string& out, const std::string& cell, size_t c) {
+    size_t pad = widths[c] - cell.size();
+    if (align_of(c) == Align::Right) out.append(pad, ' ');
+    out += cell;
+    if (align_of(c) == Align::Left) out.append(pad, ' ');
+  };
+
+  std::string out;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    if (c) out += "  ";
+    emit_cell(out, header_[c], c);
+  }
+  out += '\n';
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out += "  ";
+      emit_cell(out, row[c], c);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rootsim::util

@@ -1,0 +1,37 @@
+// Fixed-width text table renderer. Every bench binary prints its paper table
+// or figure series through this, so output formats are uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rootsim::util {
+
+/// Column alignment.
+enum class Align { Left, Right };
+
+/// A simple monospace table: set a header, append rows of strings, render.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Sets per-column alignment; default is Left for the first column, Right
+  /// for the rest (numeric tables).
+  void set_alignment(std::vector<Align> alignment);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 1);
+  static std::string pct(double fraction, int precision = 1);
+
+  std::string render() const;
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> alignment_;
+};
+
+}  // namespace rootsim::util

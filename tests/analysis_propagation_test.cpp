@@ -1,0 +1,93 @@
+#include "analysis/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "rss/server.h"
+
+namespace rootsim::analysis {
+namespace {
+
+const measure::Campaign& test_campaign() {
+  static const measure::Campaign* campaign = [] {
+    measure::CampaignConfig config;
+    config.zone.tld_count = 25;
+    config.zone.rsa_modulus_bits = 512;
+    config.vp_scale = 0.05;
+    return new measure::Campaign(config);
+  }();
+  return *campaign;
+}
+
+TEST(Propagation, LagModelShape) {
+  std::vector<double> lags;
+  for (uint32_t site = 0; site < 2000; ++site)
+    lags.push_back(static_cast<double>(rss::site_propagation_lag_s(site)));
+  auto s = util::summarize(lags);
+  EXPECT_GT(s.median, 5);
+  EXPECT_LT(s.median, 120);   // most instances sync fast
+  EXPECT_GT(s.p99, 300);      // long tail exists
+  EXPECT_LE(s.max, 3600);     // capped
+  // Deterministic per site.
+  EXPECT_EQ(rss::site_propagation_lag_s(7), rss::site_propagation_lag_s(7));
+  EXPECT_NE(rss::site_propagation_lag_s(7), rss::site_propagation_lag_s(8));
+}
+
+TEST(Propagation, LaggedInstanceServesOldSerialBriefly) {
+  const auto& campaign = test_campaign();
+  util::UnixTime bump = util::make_time(2023, 10, 10, 12, 0);
+  rss::InstanceBehavior behavior;
+  behavior.propagation_lag_s = 300;
+  rss::RootServerInstance instance(campaign.authority(), campaign.catalog(), 0,
+                                   "test-instance", behavior);
+  auto serial_of = [&](util::UnixTime t) {
+    dns::Message response = instance.handle_query(
+        dns::make_query(1, dns::Name(), dns::RRType::SOA), t);
+    return std::get<dns::SoaData>(response.answers.at(0).rdata).serial;
+  };
+  uint32_t old_serial = campaign.authority().serial_at(bump - 1);
+  uint32_t new_serial = campaign.authority().serial_at(bump);
+  ASSERT_NE(old_serial, new_serial);
+  EXPECT_EQ(serial_of(bump + 100), old_serial);   // still propagating
+  EXPECT_EQ(serial_of(bump + 299), old_serial);
+  EXPECT_EQ(serial_of(bump + 301), new_serial);   // synced
+}
+
+TEST(Propagation, ReportMatchesPerSiteLags) {
+  const auto& campaign = test_campaign();
+  util::UnixTime bump = util::make_time(2023, 10, 10, 12, 0);
+  PropagationOptions options;
+  options.max_instances_per_root = 8;
+  auto report = measure_soa_propagation(campaign, bump, options);
+  EXPECT_NE(report.old_serial, report.new_serial);
+  EXPECT_GT(report.total_queries, 0u);
+  for (uint32_t root = 0; root < rss::kRootCount; ++root) {
+    const auto& row = report.per_root[root];
+    ASSERT_FALSE(row.delays_s.empty());
+    // Each measured delay equals the deterministic site lag (within the
+    // one-second resolution of the poll).
+    const auto& sites = campaign.topology().sites_by_root[root];
+    size_t step = std::max<size_t>(1, sites.size() / options.max_instances_per_root);
+    size_t index = 0;
+    for (size_t i = 0; i < sites.size() && index < row.delays_s.size();
+         i += step, ++index) {
+      int64_t expected = rss::site_propagation_lag_s(sites[i]);
+      EXPECT_NEAR(row.delays_s[index], static_cast<double>(expected), 1.0)
+          << "root " << row.letter << " site " << sites[i];
+    }
+  }
+}
+
+TEST(Propagation, BisectionIsCheaperThanExhaustivePolling) {
+  const auto& campaign = test_campaign();
+  PropagationOptions options;
+  options.max_instances_per_root = 4;
+  auto report = measure_soa_propagation(
+      campaign, util::make_time(2023, 10, 10, 12, 0), options);
+  size_t instances = 0;
+  for (const auto& row : report.per_root) instances += row.delays_s.size();
+  // Bisection: <= ~14 queries per instance vs 3600 for naive polling.
+  EXPECT_LE(report.total_queries, instances * 16);
+}
+
+}  // namespace
+}  // namespace rootsim::analysis

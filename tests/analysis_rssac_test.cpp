@@ -1,0 +1,87 @@
+#include "analysis/rssac_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace rootsim::analysis {
+namespace {
+
+const measure::Campaign& test_campaign() {
+  static const measure::Campaign* campaign = [] {
+    measure::CampaignConfig config;
+    config.zone.tld_count = 25;
+    config.zone.rsa_modulus_bits = 512;
+    config.vp_scale = 0.1;
+    return new measure::Campaign(config);
+  }();
+  return *campaign;
+}
+
+TEST(Outages, ScheduleIsDeterministicAndBounded) {
+  util::UnixTime start = util::make_time(2023, 7, 3);
+  util::UnixTime end = util::make_time(2023, 12, 24);
+  auto a = rss::site_outages(17, start, end);
+  auto b = rss::site_outages(17, start, end);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_GE(a[i].start, start);
+    EXPECT_LE(a[i].end, end);
+    EXPECT_LE(a[i].end - a[i].start, 6 * 3600);
+  }
+}
+
+TEST(Outages, AvailabilityConsistentWithSchedule) {
+  util::UnixTime start = util::make_time(2023, 7, 3);
+  util::UnixTime end = util::make_time(2023, 12, 24);
+  for (uint32_t site = 0; site < 50; ++site) {
+    for (const auto& window : rss::site_outages(site, start, end)) {
+      if (window.end <= window.start) continue;
+      EXPECT_FALSE(rss::site_available(site, window.start, start, end));
+      EXPECT_TRUE(rss::site_available(site, window.end, start, end));
+    }
+  }
+}
+
+TEST(Outages, RareOverall) {
+  // Expected downtime per site: ~1.5 outages x ~median 20 min over 174 days
+  // => availability well above 99%.
+  util::UnixTime start = util::make_time(2023, 7, 3);
+  util::UnixTime end = util::make_time(2023, 12, 24);
+  int64_t down = 0, total = 0;
+  for (uint32_t site = 0; site < 200; ++site) {
+    for (const auto& window : rss::site_outages(site, start, end))
+      down += window.end - window.start;
+    total += end - start;
+  }
+  EXPECT_LT(static_cast<double>(down) / total, 0.01);
+}
+
+TEST(Rssac, MetricsWithinSaneBounds) {
+  RssacOptions options;
+  options.sampled_rounds = 10;
+  options.propagation_instances = 4;
+  auto report = compute_rssac_metrics(test_campaign(), options);
+  for (const auto& metrics : report.per_root) {
+    EXPECT_GT(metrics.availability_v4, 0.98) << metrics.letter;
+    EXPECT_LE(metrics.availability_v4, 1.0);
+    EXPECT_GT(metrics.availability_v6, 0.98);
+    EXPECT_GT(metrics.median_rtt_v4, 0);
+    EXPECT_LE(metrics.median_rtt_v4, metrics.p95_rtt_v4 + 1e-9);
+    EXPECT_GE(metrics.median_publication_latency_s, 0);
+  }
+  EXPECT_GT(report.worst_availability, 0.98);
+}
+
+TEST(Rssac, ClusterFailureMovesSomeSelections) {
+  auto impact = simulate_cluster_failure(test_campaign());
+  EXPECT_GE(impact.roots_hosted, 5u);  // a genuinely clustered facility
+  EXPECT_GT(impact.selections_total, 0u);
+  EXPECT_GT(impact.selections_moved, 0u);
+  EXPECT_LT(impact.selections_moved, impact.selections_total / 2)
+      << "one facility must not carry most of the world's selections";
+  // Failover can only increase distance-derived RTT (next-best site).
+  EXPECT_GE(impact.rtt_delta_ms.median, 0);
+}
+
+}  // namespace
+}  // namespace rootsim::analysis

@@ -1,0 +1,109 @@
+// Direct unit tests of the traffic-report arithmetic over hand-built
+// DailyTraffic inputs (the collector tests cover the end-to-end path).
+#include "analysis/traffic_report.h"
+
+#include <gtest/gtest.h>
+
+namespace rootsim::analysis {
+namespace {
+
+using traffic::DailyTraffic;
+using traffic::SubnetKey;
+using util::IpFamily;
+
+DailyTraffic make_day(util::UnixTime day, double v4_old, double v4_new,
+                      double v6_old, double v6_new, double other_roots = 0) {
+  DailyTraffic out;
+  out.day = day;
+  if (v4_old > 0) out.flows[{1, IpFamily::V4, true}] = v4_old;
+  if (v4_new > 0) out.flows[{1, IpFamily::V4, false}] = v4_new;
+  if (v6_old > 0) out.flows[{1, IpFamily::V6, true}] = v6_old;
+  if (v6_new > 0) out.flows[{1, IpFamily::V6, false}] = v6_new;
+  if (other_roots > 0)
+    for (int root : {0, 2, 10}) out.flows[{root, IpFamily::V4, false}] = other_roots;
+  return out;
+}
+
+TEST(TrafficReport, BrootSharesNormalizePerDay) {
+  std::vector<DailyTraffic> days = {
+      make_day(util::make_time(2023, 11, 20), 80, 0, 20, 0),
+      make_day(util::make_time(2023, 11, 28), 10, 60, 5, 25),
+  };
+  auto shares = broot_shares(days);
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_DOUBLE_EQ(shares[0].v4_old, 0.8);
+  EXPECT_DOUBLE_EQ(shares[0].v6_old, 0.2);
+  EXPECT_DOUBLE_EQ(shares[0].v4_new + shares[0].v6_new, 0.0);
+  EXPECT_DOUBLE_EQ(shares[1].v4_new, 0.6);
+  EXPECT_DOUBLE_EQ(shares[1].v6_new, 0.25);
+  // Each day's four shares sum to 1.
+  for (const auto& s : shares)
+    EXPECT_NEAR(s.v4_old + s.v4_new + s.v6_old + s.v6_new, 1.0, 1e-12);
+}
+
+TEST(TrafficReport, BrootSharesIgnoreOtherRoots) {
+  // Fig. 7 normalizes over b.root traffic only; k/a/c flows must not dilute.
+  std::vector<DailyTraffic> days = {
+      make_day(util::make_time(2023, 12, 1), 50, 50, 0, 0, /*other_roots=*/1000)};
+  auto shares = broot_shares(days);
+  EXPECT_DOUBLE_EQ(shares[0].v4_old, 0.5);
+  EXPECT_DOUBLE_EQ(shares[0].v4_new, 0.5);
+}
+
+TEST(TrafficReport, ShiftRatioPerFamily) {
+  std::vector<DailyTraffic> days = {
+      make_day(util::make_time(2024, 2, 5), 13, 87, 4, 96)};
+  auto ratio = shift_ratio(days);
+  EXPECT_NEAR(ratio.v4, 0.87, 1e-12);
+  EXPECT_NEAR(ratio.v6, 0.96, 1e-12);
+}
+
+TEST(TrafficReport, ShiftRatioEmptyIsZero) {
+  auto ratio = shift_ratio({});
+  EXPECT_DOUBLE_EQ(ratio.v4, 0);
+  EXPECT_DOUBLE_EQ(ratio.v6, 0);
+}
+
+TEST(TrafficReport, RootSharesSumToOne) {
+  std::vector<DailyTraffic> days = {
+      make_day(util::make_time(2023, 12, 1), 10, 10, 5, 5, /*other_roots=*/30)};
+  auto shares = root_shares(days);
+  double total = 0;
+  for (double share : shares.share) total += share;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(shares.share[1], 30.0 / 120.0, 1e-12);  // b = all four subnets
+  EXPECT_NEAR(shares.share[0], 30.0 / 120.0, 1e-12);
+}
+
+TEST(TrafficReport, ClientFlowCdfMonotone) {
+  std::vector<traffic::ClientDayRecord> records;
+  for (uint64_t client = 0; client < 100; ++client)
+    records.push_back({{1, IpFamily::V6, true}, client,
+                       static_cast<double>(1 + client * client)});
+  auto cdfs = client_flow_cdfs(records, 1);
+  ASSERT_EQ(cdfs.size(), 1u);
+  const auto& cdf = cdfs[0];
+  for (size_t i = 1; i < cdf.cumulative_fraction.size(); ++i)
+    EXPECT_GE(cdf.cumulative_fraction[i], cdf.cumulative_fraction[i - 1]);
+  EXPECT_NEAR(cdf.cumulative_fraction.back(), 1.0, 1e-12);
+  // Only client 0 has ~1 flow/day.
+  EXPECT_NEAR(cdf.single_contact_fraction, 0.01, 1e-9);
+}
+
+TEST(TrafficReport, RenderShareSeriesShape) {
+  std::vector<BrootShare> shares;
+  for (int day = 0; day < 10; ++day) {
+    BrootShare s;
+    s.day = util::make_time(2023, 11, 20) + day * util::kSecondsPerDay;
+    s.v4_old = day < 5 ? 0.9 : 0.1;
+    s.v4_new = day < 5 ? 0.1 : 0.9;
+    shares.push_back(s);
+  }
+  std::string out = render_share_series(shares);
+  EXPECT_NE(out.find("v4new"), std::string::npos);
+  EXPECT_NE(out.find("2023-11-20"), std::string::npos);
+  EXPECT_NE(out.find("10 buckets"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rootsim::analysis

@@ -1,0 +1,178 @@
+#include "crypto/bignum.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rootsim::crypto {
+namespace {
+
+BigNum random_bignum(util::Rng& rng, size_t max_limbs) {
+  size_t nbytes = (rng.uniform(max_limbs * 8)) + 1;
+  std::vector<uint8_t> bytes(nbytes);
+  for (auto& b : bytes) b = static_cast<uint8_t>(rng.next());
+  return BigNum::from_bytes(bytes);
+}
+
+TEST(BigNum, BasicConstruction) {
+  EXPECT_TRUE(BigNum().is_zero());
+  EXPECT_TRUE(BigNum(0).is_zero());
+  EXPECT_FALSE(BigNum(1).is_zero());
+  EXPECT_EQ(BigNum(0xdeadbeef).low_u64(), 0xdeadbeefu);
+  EXPECT_TRUE(BigNum(3).is_odd());
+  EXPECT_FALSE(BigNum(4).is_odd());
+}
+
+TEST(BigNum, BytesRoundTrip) {
+  std::vector<uint8_t> bytes = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                                0x08, 0x09, 0x0a, 0x0b};
+  BigNum n = BigNum::from_bytes(bytes);
+  EXPECT_EQ(n.to_bytes(), bytes);
+  // Leading zeros stripped on import.
+  std::vector<uint8_t> padded = {0x00, 0x00, 0x01, 0x02};
+  EXPECT_EQ(BigNum::from_bytes(padded).to_bytes(),
+            (std::vector<uint8_t>{0x01, 0x02}));
+}
+
+TEST(BigNum, PaddedExport) {
+  BigNum n(0x1234);
+  auto padded = n.to_bytes_padded(4);
+  EXPECT_EQ(padded, (std::vector<uint8_t>{0x00, 0x00, 0x12, 0x34}));
+  EXPECT_TRUE(n.to_bytes_padded(1).empty());  // does not fit
+  EXPECT_EQ(BigNum().to_bytes_padded(2), (std::vector<uint8_t>{0, 0}));
+}
+
+TEST(BigNum, HexRoundTrip) {
+  EXPECT_EQ(BigNum::from_hex("deadbeefcafebabe1234567890abcdef").to_hex(),
+            "deadbeefcafebabe1234567890abcdef");
+  EXPECT_EQ(BigNum().to_hex(), "0");
+  EXPECT_EQ(BigNum::from_hex("0").to_hex(), "0");
+  EXPECT_EQ(BigNum::from_hex("00ff").to_hex(), "ff");
+}
+
+TEST(BigNum, BitLength) {
+  EXPECT_EQ(BigNum().bit_length(), 0u);
+  EXPECT_EQ(BigNum(1).bit_length(), 1u);
+  EXPECT_EQ(BigNum(255).bit_length(), 8u);
+  EXPECT_EQ(BigNum(256).bit_length(), 9u);
+  EXPECT_EQ((BigNum(1) << 100).bit_length(), 101u);
+}
+
+TEST(BigNum, AddSubInverse) {
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    BigNum a = random_bignum(rng, 6);
+    BigNum b = random_bignum(rng, 6);
+    BigNum sum = a + b;
+    EXPECT_EQ(sum - b, a);
+    EXPECT_EQ(sum - a, b);
+    EXPECT_TRUE(sum >= a);
+  }
+}
+
+TEST(BigNum, MulDistributes) {
+  util::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    BigNum a = random_bignum(rng, 4);
+    BigNum b = random_bignum(rng, 4);
+    BigNum c = random_bignum(rng, 4);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a * b, b * a);
+  }
+}
+
+TEST(BigNum, ShiftsAreMulDivByPowersOfTwo) {
+  util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    BigNum a = random_bignum(rng, 4);
+    size_t s = rng.uniform(130);
+    EXPECT_EQ(a << s, a * (BigNum(1) << s));
+    EXPECT_EQ((a << s) >> s, a);
+  }
+}
+
+TEST(BigNum, DivModIdentity) {
+  util::Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    BigNum a = random_bignum(rng, 8);
+    BigNum b = random_bignum(rng, 1 + rng.uniform(7));
+    if (b.is_zero()) continue;
+    auto [q, r] = a.divmod(b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r < b);
+  }
+}
+
+TEST(BigNum, DivModEdgeCases) {
+  BigNum a = BigNum::from_hex("ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ(a / BigNum(1), a);
+  EXPECT_TRUE((a % a).is_zero());
+  EXPECT_EQ(a / a, BigNum(1));
+  EXPECT_EQ(BigNum(5) / BigNum(10), BigNum());
+  EXPECT_EQ(BigNum(5) % BigNum(10), BigNum(5));
+  // Divisor with top limb requiring full normalization shift.
+  BigNum d = BigNum::from_hex("10000000000000001");
+  auto [q, r] = a.divmod(d);
+  EXPECT_EQ(q * d + r, a);
+}
+
+TEST(BigNum, KnuthDAddBackCase) {
+  // Crafted so the qhat estimate overshoots and the D6 add-back path runs:
+  // classic trigger is dividend limbs near b-1 with divisor slightly above b/2.
+  BigNum u = BigNum::from_hex("7fffffffffffffff8000000000000000"
+                              "00000000000000000000000000000000");
+  BigNum v = BigNum::from_hex("80000000000000000000000000000001");
+  auto [q, r] = u.divmod(v);
+  EXPECT_EQ(q * v + r, u);
+  EXPECT_TRUE(r < v);
+}
+
+TEST(BigNum, ModPowSmallKnownValues) {
+  EXPECT_EQ(BigNum(4).mod_pow(BigNum(13), BigNum(497)), BigNum(445));
+  EXPECT_EQ(BigNum(2).mod_pow(BigNum(10), BigNum(1000)), BigNum(24));
+  EXPECT_EQ(BigNum(7).mod_pow(BigNum(0), BigNum(13)), BigNum(1));
+  EXPECT_TRUE(BigNum(7).mod_pow(BigNum(5), BigNum(1)).is_zero());
+}
+
+TEST(BigNum, ModPowFermat) {
+  // Fermat's little theorem: a^(p-1) = 1 mod p for prime p, gcd(a,p)=1.
+  BigNum p = BigNum::from_hex("ffffffffffffffc5");  // large 64-bit prime
+  util::Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    BigNum a = random_bignum(rng, 2) % p;
+    if (a.is_zero()) continue;
+    EXPECT_EQ(a.mod_pow(p - BigNum(1), p), BigNum(1));
+  }
+}
+
+TEST(BigNum, ModInverse) {
+  util::Rng rng(6);
+  BigNum m = BigNum::from_hex("ffffffffffffffc5");  // prime modulus
+  for (int i = 0; i < 50; ++i) {
+    BigNum a = random_bignum(rng, 2) % m;
+    if (a.is_zero()) continue;
+    BigNum inv = a.mod_inverse(m);
+    ASSERT_FALSE(inv.is_zero());
+    EXPECT_EQ((a * inv) % m, BigNum(1));
+  }
+  // Non-invertible: gcd(6, 12) != 1.
+  EXPECT_TRUE(BigNum(6).mod_inverse(BigNum(12)).is_zero());
+}
+
+TEST(BigNum, Gcd) {
+  EXPECT_EQ(BigNum::gcd(BigNum(48), BigNum(36)), BigNum(12));
+  EXPECT_EQ(BigNum::gcd(BigNum(17), BigNum(13)), BigNum(1));
+  EXPECT_EQ(BigNum::gcd(BigNum(0), BigNum(5)), BigNum(5));
+  EXPECT_EQ(BigNum::gcd(BigNum(5), BigNum(0)), BigNum(5));
+}
+
+TEST(BigNum, CompareTotalOrder) {
+  BigNum small(1), mid = BigNum(1) << 64, large = BigNum(1) << 128;
+  EXPECT_LT(small.compare(mid), 0);
+  EXPECT_LT(mid.compare(large), 0);
+  EXPECT_EQ(mid.compare(BigNum(1) << 64), 0);
+  EXPECT_GT(large.compare(small), 0);
+}
+
+}  // namespace
+}  // namespace rootsim::crypto

@@ -1,0 +1,86 @@
+#include "crypto/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rootsim::crypto {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  std::vector<uint8_t> data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+  auto back = from_hex("0001abff");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+  // Upper case accepted on input.
+  EXPECT_EQ(*from_hex("0001ABFF"), data);
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_FALSE(from_hex("abc").has_value());   // odd length
+  EXPECT_FALSE(from_hex("zz").has_value());    // bad digit
+  EXPECT_TRUE(from_hex("").has_value());       // empty is valid
+}
+
+TEST(Base64, Rfc4648Vectors) {
+  auto enc = [](const std::string& s) {
+    return to_base64({reinterpret_cast<const uint8_t*>(s.data()), s.size()});
+  };
+  EXPECT_EQ(enc(""), "");
+  EXPECT_EQ(enc("f"), "Zg==");
+  EXPECT_EQ(enc("fo"), "Zm8=");
+  EXPECT_EQ(enc("foo"), "Zm9v");
+  EXPECT_EQ(enc("foob"), "Zm9vYg==");
+  EXPECT_EQ(enc("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(enc("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeIgnoresWhitespace) {
+  auto out = from_base64("Zm9v\nYmFy");
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::string(out->begin(), out->end()), "foobar");
+}
+
+TEST(Base64, RejectsMalformed) {
+  EXPECT_FALSE(from_base64("Zg==Zg").has_value());  // data after padding
+  EXPECT_FALSE(from_base64("Z*9v").has_value());    // invalid character
+}
+
+TEST(Base32Hex, Rfc4648Vectors) {
+  auto enc = [](const std::string& s) {
+    return to_base32hex({reinterpret_cast<const uint8_t*>(s.data()), s.size()});
+  };
+  // RFC 4648 §10 base32hex vectors (without '=' padding, per NSEC3 use).
+  EXPECT_EQ(enc(""), "");
+  EXPECT_EQ(enc("f"), "CO");
+  EXPECT_EQ(enc("fo"), "CPNG");
+  EXPECT_EQ(enc("foo"), "CPNMU");
+  EXPECT_EQ(enc("foob"), "CPNMUOG");
+  EXPECT_EQ(enc("fooba"), "CPNMUOJ1");
+  EXPECT_EQ(enc("foobar"), "CPNMUOJ1E8");
+}
+
+class EncodingRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EncodingRoundTrip, AllEncodingsRoundTripRandomData) {
+  util::Rng rng(GetParam());
+  std::vector<uint8_t> data(GetParam());
+  for (auto& b : data) b = static_cast<uint8_t>(rng.next());
+  auto hex_back = from_hex(to_hex(data));
+  ASSERT_TRUE(hex_back.has_value());
+  EXPECT_EQ(*hex_back, data);
+  auto b64_back = from_base64(to_base64(data));
+  ASSERT_TRUE(b64_back.has_value());
+  EXPECT_EQ(*b64_back, data);
+  auto b32_back = from_base32hex(to_base32hex(data));
+  ASSERT_TRUE(b32_back.has_value());
+  EXPECT_EQ(*b32_back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EncodingRoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 31, 32, 33, 47, 48,
+                                           64, 100, 255, 256, 1000));
+
+}  // namespace
+}  // namespace rootsim::crypto

@@ -1,0 +1,121 @@
+#include "crypto/sha2.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/encoding.h"
+
+namespace rootsim::crypto {
+namespace {
+
+// NIST FIPS 180-4 example vectors.
+TEST(Sha256, NistVectors) {
+  EXPECT_EQ(to_hex(sha256_str("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(to_hex(sha256_str("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      to_hex(sha256_str("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha384, NistVectors) {
+  EXPECT_EQ(to_hex(sha384_str("abc")),
+            "cb00753f45a35e8bb5a03d699ac65007272c32ab0eded1631a8b605a43ff5bed"
+            "8086072ba1e7cc2358baeca134c825a7");
+  EXPECT_EQ(to_hex(sha384_str("")),
+            "38b060a751ac96384cd9327eb1b1e36a21fdb71114be07434c0cc7bf63f6e1da"
+            "274edebfe76f65fbd51ad2f14898b95b");
+}
+
+TEST(Sha512, NistVectors) {
+  EXPECT_EQ(to_hex(sha512_str("abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+  EXPECT_EQ(to_hex(sha512_str("")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  std::vector<uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  auto digest = h.finish();
+  EXPECT_EQ(to_hex({digest.data(), digest.size()}),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha2, IncrementalEqualsOneShot) {
+  // Property: splitting the input at any point yields the same digest.
+  std::string msg = "The quick brown fox jumps over the lazy dog. 0123456789"
+                    "abcdefghijklmnopqrstuvwxyz. The roots go deep.";
+  auto whole = sha384_str(msg);
+  for (size_t cut = 0; cut <= msg.size(); cut += 7) {
+    Sha384 h;
+    h.update({reinterpret_cast<const uint8_t*>(msg.data()), cut});
+    h.update({reinterpret_cast<const uint8_t*>(msg.data()) + cut, msg.size() - cut});
+    auto digest = h.finish();
+    EXPECT_EQ(std::vector<uint8_t>(digest.begin(), digest.end()), whole);
+  }
+}
+
+class Sha256BoundaryLengths : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Sha256BoundaryLengths, PaddingBoundariesConsistent) {
+  // Lengths straddling the 55/56/64-byte padding boundaries must agree between
+  // a one-shot hash and byte-at-a-time updates.
+  size_t len = GetParam();
+  std::vector<uint8_t> data(len);
+  for (size_t i = 0; i < len; ++i) data[i] = static_cast<uint8_t>(i * 31 + 7);
+  auto oneshot = sha256(data);
+  Sha256 h;
+  for (uint8_t b : data) h.update({&b, 1});
+  auto digest = h.finish();
+  EXPECT_EQ(std::vector<uint8_t>(digest.begin(), digest.end()), oneshot);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, Sha256BoundaryLengths,
+                         ::testing::Values(0, 1, 54, 55, 56, 57, 63, 64, 65,
+                                           119, 120, 127, 128, 129, 1000));
+
+class Sha512BoundaryLengths : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Sha512BoundaryLengths, PaddingBoundariesConsistent) {
+  size_t len = GetParam();
+  std::vector<uint8_t> data(len);
+  for (size_t i = 0; i < len; ++i) data[i] = static_cast<uint8_t>(i * 17 + 3);
+  auto oneshot = sha512(data);
+  Sha512 h;
+  for (uint8_t b : data) h.update({&b, 1});
+  auto digest = h.finish();
+  EXPECT_EQ(std::vector<uint8_t>(digest.begin(), digest.end()), oneshot);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, Sha512BoundaryLengths,
+                         ::testing::Values(0, 1, 110, 111, 112, 113, 127, 128,
+                                           129, 255, 256, 257));
+
+TEST(Sha2, DigestSizes) {
+  EXPECT_EQ(sha256_str("x").size(), 32u);
+  EXPECT_EQ(sha384_str("x").size(), 48u);
+  EXPECT_EQ(sha512_str("x").size(), 64u);
+}
+
+TEST(Sha2, SingleBitChangeDiffuses) {
+  // A one-bit flip (the paper's Fig. 10 bitflip) must change the digest --
+  // this is exactly why ZONEMD catches in-transit corruption.
+  std::vector<uint8_t> a(100, 0x42), b(100, 0x42);
+  b[50] ^= 0x20;  // 'M' -> 'm' style flip, as in the observed RRSIG bitflip
+  EXPECT_NE(sha384(a), sha384(b));
+  auto da = sha384(a), db = sha384(b);
+  int differing_bits = 0;
+  for (size_t i = 0; i < da.size(); ++i) {
+    differing_bits += __builtin_popcount(static_cast<unsigned>(da[i] ^ db[i]));
+  }
+  // Avalanche: expect roughly half the 384 bits to differ.
+  EXPECT_GT(differing_bits, 120);
+  EXPECT_LT(differing_bits, 264);
+}
+
+}  // namespace
+}  // namespace rootsim::crypto

@@ -1,0 +1,148 @@
+#include "dns/message.h"
+
+#include <gtest/gtest.h>
+
+namespace rootsim::dns {
+namespace {
+
+TEST(Message, QueryRoundTrip) {
+  Message query = make_query(0x1234, Name(), RRType::NS);
+  auto wire = query.encode();
+  auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, 0x1234);
+  EXPECT_FALSE(decoded->qr);
+  ASSERT_EQ(decoded->questions.size(), 1u);
+  EXPECT_TRUE(decoded->questions[0].qname.is_root());
+  EXPECT_EQ(decoded->questions[0].qtype, RRType::NS);
+  EXPECT_EQ(decoded->questions[0].qclass, RRClass::IN);
+}
+
+TEST(Message, ChaosQueryForHostnameBind) {
+  // The measurement script's `dig CH TXT hostname.bind`.
+  Message query =
+      make_query(7, *Name::parse("hostname.bind."), RRType::TXT, RRClass::CH);
+  auto decoded = Message::decode(query.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->questions[0].qclass, RRClass::CH);
+  EXPECT_EQ(decoded->questions[0].qname.to_string(), "hostname.bind.");
+}
+
+TEST(Message, FlagsRoundTrip) {
+  Message msg;
+  msg.id = 9;
+  msg.qr = true;
+  msg.aa = true;
+  msg.tc = true;
+  msg.rd = true;
+  msg.ra = true;
+  msg.ad = true;
+  msg.cd = true;
+  msg.rcode = Rcode::NxDomain;
+  msg.opcode = Opcode::Notify;
+  auto decoded = Message::decode(msg.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->qr);
+  EXPECT_TRUE(decoded->aa);
+  EXPECT_TRUE(decoded->tc);
+  EXPECT_TRUE(decoded->rd);
+  EXPECT_TRUE(decoded->ra);
+  EXPECT_TRUE(decoded->ad);
+  EXPECT_TRUE(decoded->cd);
+  EXPECT_EQ(decoded->rcode, Rcode::NxDomain);
+  EXPECT_EQ(decoded->opcode, Opcode::Notify);
+}
+
+TEST(Message, ResponseWithAllSections) {
+  Message msg;
+  msg.id = 1;
+  msg.qr = true;
+  msg.aa = true;
+  msg.questions.push_back({Name(), RRType::NS, RRClass::IN});
+  for (char c = 'a'; c <= 'm'; ++c) {
+    ResourceRecord rr;
+    rr.name = Name();
+    rr.type = RRType::NS;
+    rr.ttl = 518400;
+    rr.rdata = NsData{*Name::parse(std::string(1, c) + ".root-servers.net.")};
+    msg.answers.push_back(rr);
+  }
+  ResourceRecord glue;
+  glue.name = *Name::parse("a.root-servers.net.");
+  glue.type = RRType::A;
+  glue.ttl = 518400;
+  glue.rdata = AData{*util::IpAddress::parse("198.41.0.4")};
+  msg.additional.push_back(glue);
+  ResourceRecord ns_auth;
+  ns_auth.name = *Name::parse("net.");
+  ns_auth.type = RRType::NS;
+  ns_auth.ttl = 172800;
+  ns_auth.rdata = NsData{*Name::parse("x.gtld-servers.net.")};
+  msg.authority.push_back(ns_auth);
+
+  auto wire = msg.encode();
+  auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->answers.size(), 13u);
+  EXPECT_EQ(decoded->authority.size(), 1u);
+  EXPECT_EQ(decoded->additional.size(), 1u);
+  EXPECT_EQ(decoded->answers[0],  msg.answers[0]);
+  EXPECT_EQ(decoded->additional[0], glue);
+}
+
+TEST(Message, CompressionShrinksRootNsResponse) {
+  // 13 NS records all ending in ".root-servers.net." must compress well.
+  Message msg;
+  msg.qr = true;
+  msg.questions.push_back({Name(), RRType::NS, RRClass::IN});
+  for (char c = 'a'; c <= 'm'; ++c) {
+    ResourceRecord rr;
+    rr.name = Name();
+    rr.type = RRType::NS;
+    rr.ttl = 518400;
+    rr.rdata = NsData{*Name::parse(std::string(1, c) + ".root-servers.net.")};
+    msg.answers.push_back(rr);
+  }
+  size_t compressed_size = msg.encode().size();
+  // Uncompressed each NS name is 20 octets; compressed all but the first are
+  // 4 octets. The whole response must stay well under 512 (it does in
+  // reality: priming responses fit in UDP).
+  EXPECT_LT(compressed_size, 300u);
+}
+
+TEST(Message, EdnsOptRoundTrip) {
+  Message query = make_query(5, Name(), RRType::DNSKEY, RRClass::IN,
+                             /*dnssec_ok=*/true);
+  EXPECT_TRUE(query.dnssec_ok());
+  auto decoded = Message::decode(query.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->dnssec_ok());
+  ASSERT_EQ(decoded->additional.size(), 1u);
+  const auto* opt = std::get_if<OptData>(&decoded->additional[0].rdata);
+  ASSERT_NE(opt, nullptr);
+  EXPECT_EQ(opt->udp_payload_size, 1232);
+}
+
+TEST(Message, DecodeRejectsGarbage) {
+  std::vector<uint8_t> garbage = {0xde, 0xad};
+  EXPECT_FALSE(Message::decode(garbage).has_value());
+  std::vector<uint8_t> truncated_counts = {0, 1, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(Message::decode(truncated_counts).has_value());
+}
+
+TEST(Message, DecodeEmptyMessage) {
+  Message empty;
+  auto decoded = Message::decode(empty.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->questions.empty());
+  EXPECT_TRUE(decoded->answers.empty());
+}
+
+TEST(Message, RcodeStrings) {
+  EXPECT_EQ(rcode_to_string(Rcode::NoError), "NOERROR");
+  EXPECT_EQ(rcode_to_string(Rcode::NxDomain), "NXDOMAIN");
+  EXPECT_EQ(rcode_to_string(Rcode::Refused), "REFUSED");
+}
+
+}  // namespace
+}  // namespace rootsim::dns

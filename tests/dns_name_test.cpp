@@ -1,0 +1,134 @@
+#include "dns/name.h"
+
+#include <gtest/gtest.h>
+
+namespace rootsim::dns {
+namespace {
+
+TEST(Name, RootName) {
+  Name root;
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.to_string(), ".");
+  EXPECT_EQ(root.wire_length(), 1u);
+  EXPECT_EQ(root.label_count(), 0u);
+  auto parsed = Name::parse(".");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_root());
+}
+
+TEST(Name, ParseRootServerNames) {
+  auto name = Name::parse("b.root-servers.net.");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->label_count(), 3u);
+  EXPECT_EQ(name->labels()[0], "b");
+  EXPECT_EQ(name->labels()[1], "root-servers");
+  EXPECT_EQ(name->labels()[2], "net");
+  EXPECT_EQ(name->to_string(), "b.root-servers.net.");
+  // Trailing dot optional on parse.
+  EXPECT_EQ(*Name::parse("b.root-servers.net"), *name);
+}
+
+TEST(Name, CaseInsensitiveEquality) {
+  EXPECT_EQ(*Name::parse("B.ROOT-SERVERS.NET."), *Name::parse("b.root-servers.net."));
+  EXPECT_NE(*Name::parse("a.root-servers.net."), *Name::parse("b.root-servers.net."));
+}
+
+TEST(Name, ParseRejectsMalformed) {
+  EXPECT_FALSE(Name::parse("").has_value());
+  EXPECT_FALSE(Name::parse("a..b").has_value());
+  // Label > 63 octets.
+  std::string long_label(64, 'x');
+  EXPECT_FALSE(Name::parse(long_label + ".com").has_value());
+  EXPECT_TRUE(Name::parse(std::string(63, 'x') + ".com").has_value());
+  // Name > 255 octets.
+  std::string long_name;
+  for (int i = 0; i < 5; ++i) long_name += std::string(60, 'a') + ".";
+  EXPECT_FALSE(Name::parse(long_name).has_value());
+}
+
+TEST(Name, EscapeSequences) {
+  auto name = Name::parse("ex\\.ample.com.");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->label_count(), 2u);
+  EXPECT_EQ(name->labels()[0], "ex.ample");
+  EXPECT_EQ(name->to_string(), "ex\\.ample.com.");
+  // Decimal escape: \032 is space.
+  auto spaced = Name::parse("a\\032b.com.");
+  ASSERT_TRUE(spaced.has_value());
+  EXPECT_EQ(spaced->labels()[0], "a b");
+  EXPECT_FALSE(Name::parse("a\\").has_value());
+  EXPECT_FALSE(Name::parse("a\\25").has_value());
+  EXPECT_FALSE(Name::parse("a\\999b.").has_value());
+}
+
+TEST(Name, ParentAndChild) {
+  Name name = *Name::parse("f.root-servers.net.");
+  EXPECT_EQ(name.parent(), *Name::parse("root-servers.net."));
+  EXPECT_EQ(name.parent().parent(), *Name::parse("net."));
+  EXPECT_TRUE(name.parent().parent().parent().is_root());
+  EXPECT_TRUE(Name().parent().is_root());
+  auto child = Name::parse("root-servers.net.")->child("f");
+  ASSERT_TRUE(child.has_value());
+  EXPECT_EQ(*child, name);
+}
+
+TEST(Name, Subdomain) {
+  Name root;
+  Name net = *Name::parse("net.");
+  Name rs = *Name::parse("root-servers.net.");
+  Name b = *Name::parse("b.root-servers.net.");
+  EXPECT_TRUE(b.is_subdomain_of(root));
+  EXPECT_TRUE(b.is_subdomain_of(net));
+  EXPECT_TRUE(b.is_subdomain_of(rs));
+  EXPECT_TRUE(b.is_subdomain_of(b));
+  EXPECT_FALSE(rs.is_subdomain_of(b));
+  EXPECT_FALSE(net.is_subdomain_of(*Name::parse("com.")));
+  // Case-insensitive.
+  EXPECT_TRUE(Name::parse("X.NET.")->is_subdomain_of(net));
+}
+
+TEST(Name, CanonicalOrderingRfc4034Example) {
+  // RFC 4034 §6.1 gives this canonical order example.
+  std::vector<Name> expected = {
+      *Name::parse("example."),          *Name::parse("a.example."),
+      *Name::parse("yljkjljk.a.example."), *Name::parse("Z.a.example."),
+      *Name::parse("zABC.a.EXAMPLE."),   *Name::parse("z.example."),
+      *Name::parse("\\001.z.example."),  *Name::parse("*.z.example."),
+      *Name::parse("\\200.z.example."),
+  };
+  for (size_t i = 0; i + 1 < expected.size(); ++i) {
+    EXPECT_LT(expected[i].canonical_compare(expected[i + 1]), 0)
+        << expected[i].to_string() << " should sort before "
+        << expected[i + 1].to_string();
+  }
+  // Root sorts before everything.
+  for (const auto& name : expected) EXPECT_LT(Name().canonical_compare(name), 0);
+}
+
+TEST(Name, CanonicalCompareReflexive) {
+  Name a = *Name::parse("M.example.");
+  Name b = *Name::parse("m.EXAMPLE.");
+  EXPECT_EQ(a.canonical_compare(b), 0);
+  EXPECT_EQ(b.canonical_compare(a), 0);
+}
+
+TEST(Name, ToLower) {
+  EXPECT_EQ(Name::parse("WwW.ExAmPlE.CoM.")->to_lower().to_string(),
+            "www.example.com.");
+}
+
+TEST(Name, HashConsistentWithEquality) {
+  Name a = *Name::parse("K.ROOT-SERVERS.NET.");
+  Name b = *Name::parse("k.root-servers.net.");
+  EXPECT_EQ(a.hash(), b.hash());
+  // Label-boundary sensitivity: {"ab","c"} != {"a","bc"}.
+  EXPECT_NE(Name::parse("ab.c.")->hash(), Name::parse("a.bc.")->hash());
+}
+
+TEST(Name, WireLength) {
+  // "b.root-servers.net." = 1+1 + 1+12 + 1+3 + 1 = 20.
+  EXPECT_EQ(Name::parse("b.root-servers.net.")->wire_length(), 20u);
+}
+
+}  // namespace
+}  // namespace rootsim::dns

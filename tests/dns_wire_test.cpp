@@ -1,0 +1,177 @@
+#include "dns/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace rootsim::dns {
+namespace {
+
+TEST(WireWriter, Integers) {
+  WireWriter w;
+  w.put_u8(0xAB);
+  w.put_u16(0x1234);
+  w.put_u32(0xDEADBEEF);
+  const auto& data = w.data();
+  ASSERT_EQ(data.size(), 7u);
+  EXPECT_EQ(data[0], 0xAB);
+  EXPECT_EQ(data[1], 0x12);
+  EXPECT_EQ(data[2], 0x34);
+  EXPECT_EQ(data[3], 0xDE);
+  EXPECT_EQ(data[4], 0xAD);
+  EXPECT_EQ(data[5], 0xBE);
+  EXPECT_EQ(data[6], 0xEF);
+}
+
+TEST(WireReader, IntegersRoundTrip) {
+  WireWriter w;
+  w.put_u8(7);
+  w.put_u16(65535);
+  w.put_u32(1u << 31);
+  WireReader r(w.data());
+  EXPECT_EQ(r.get_u8(), 7);
+  EXPECT_EQ(r.get_u16(), 65535);
+  EXPECT_EQ(r.get_u32(), 1u << 31);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireReader, OverrunSetsNotOk) {
+  std::vector<uint8_t> data = {0x01};
+  WireReader r(data);
+  r.get_u16();
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads keep returning zero without UB.
+  EXPECT_EQ(r.get_u32(), 0u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireName, UncompressedRoundTrip) {
+  Name name = *Name::parse("f.root-servers.net.");
+  WireWriter w;
+  w.put_name(name, /*compress=*/false);
+  EXPECT_EQ(w.size(), name.wire_length());
+  WireReader r(w.data());
+  EXPECT_EQ(r.get_name(), name);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(WireName, RootEncodesAsSingleZero) {
+  WireWriter w;
+  w.put_name(Name());
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.data()[0], 0);
+}
+
+TEST(WireName, CompressionSharesSuffix) {
+  Name a = *Name::parse("a.root-servers.net.");
+  Name b = *Name::parse("b.root-servers.net.");
+  WireWriter w;
+  w.put_name(a);
+  size_t after_first = w.size();
+  w.put_name(b);
+  // Second name: 1+1 label octets + 2-octet pointer = 4 octets.
+  EXPECT_EQ(w.size() - after_first, 4u);
+  WireReader r(w.data());
+  EXPECT_EQ(r.get_name(), a);
+  EXPECT_EQ(r.get_name(), b);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireName, FullPointerForRepeatedName) {
+  Name name = *Name::parse("k.root-servers.net.");
+  WireWriter w;
+  w.put_name(name);
+  size_t after_first = w.size();
+  w.put_name(name);
+  EXPECT_EQ(w.size() - after_first, 2u);  // single compression pointer
+  WireReader r(w.data());
+  EXPECT_EQ(r.get_name(), name);
+  EXPECT_EQ(r.get_name(), name);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(WireName, CompressionIsCaseInsensitive) {
+  WireWriter w;
+  w.put_name(*Name::parse("NET."));
+  size_t after_first = w.size();
+  w.put_name(*Name::parse("net."));
+  EXPECT_EQ(w.size() - after_first, 2u);
+}
+
+TEST(WireName, CanonicalNeverCompresses) {
+  Name name = *Name::parse("M.Root-Servers.NET.");
+  WireWriter w;
+  w.put_name(name);
+  w.put_name_canonical(name);
+  WireReader r(w.data());
+  EXPECT_EQ(r.get_name(), name);
+  Name canonical = r.get_name();
+  EXPECT_EQ(canonical.to_string(), "m.root-servers.net.");
+}
+
+TEST(WireName, RejectsPointerLoop) {
+  // A pointer pointing at itself.
+  std::vector<uint8_t> data = {0xC0, 0x00};
+  WireReader r(data);
+  r.get_name();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireName, RejectsForwardPointer) {
+  std::vector<uint8_t> data = {0xC0, 0x04, 0x00, 0x00, 0x00};
+  WireReader r(data);
+  r.get_name();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireName, RejectsTruncatedLabel) {
+  std::vector<uint8_t> data = {0x05, 'a', 'b'};  // label claims 5 octets
+  WireReader r(data);
+  r.get_name();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireName, RejectsReservedLabelType) {
+  std::vector<uint8_t> data = {0x80, 0x00};  // 10-prefix label type
+  WireReader r(data);
+  r.get_name();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireName, PointerChainAcrossMessage) {
+  // name1 at 0, name2 compressed against it, name3 against name2.
+  WireWriter w;
+  w.put_name(*Name::parse("root-servers.net."));
+  w.put_name(*Name::parse("a.root-servers.net."));
+  w.put_name(*Name::parse("b.a.root-servers.net."));
+  WireReader r(w.data());
+  EXPECT_EQ(r.get_name(), *Name::parse("root-servers.net."));
+  EXPECT_EQ(r.get_name(), *Name::parse("a.root-servers.net."));
+  EXPECT_EQ(r.get_name(), *Name::parse("b.a.root-servers.net."));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireWriter, PatchU16) {
+  WireWriter w;
+  w.put_u16(0);
+  w.put_u32(42);
+  w.patch_u16(0, 0xBEEF);
+  WireReader r(w.data());
+  EXPECT_EQ(r.get_u16(), 0xBEEF);
+  EXPECT_EQ(r.get_u32(), 42u);
+}
+
+TEST(WireReader, SeekAndSkip) {
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  WireReader r(data);
+  r.skip(2);
+  EXPECT_EQ(r.get_u8(), 3);
+  r.seek(0);
+  EXPECT_EQ(r.get_u8(), 1);
+  r.seek(10);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace rootsim::dns

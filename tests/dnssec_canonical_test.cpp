@@ -1,0 +1,125 @@
+// Properties of the RFC 4034 §6 canonical form layer, which everything in
+// DNSSEC and ZONEMD depends on.
+#include "dnssec/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rootsim::dnssec {
+namespace {
+
+using dns::Name;
+
+TEST(Canonical, RdataEncodingIsDeterministic) {
+  dns::RrsigData sig;
+  sig.type_covered = dns::RRType::SOA;
+  sig.algorithm = 8;
+  sig.signer = *Name::parse("Example.");
+  sig.signature = {1, 2, 3};
+  EXPECT_EQ(canonical_rdata(dns::Rdata(sig)), canonical_rdata(dns::Rdata(sig)));
+}
+
+TEST(Canonical, CaseVariantsEncodeIdentically) {
+  auto lower = canonical_rdata(dns::NsData{*Name::parse("ns.example.")});
+  auto upper = canonical_rdata(dns::NsData{*Name::parse("NS.EXAMPLE.")});
+  EXPECT_EQ(lower, upper);
+}
+
+TEST(Canonical, SortIsStableAndIdempotent) {
+  util::Rng rng(3);
+  std::vector<dns::Rdata> rdatas;
+  for (int i = 0; i < 30; ++i)
+    rdatas.push_back(dns::AData{util::IpAddress::v4(
+        static_cast<uint32_t>(rng.next()))});
+  auto once = sort_rdatas_canonically(rdatas);
+  auto twice = sort_rdatas_canonically(once);
+  EXPECT_EQ(once, twice);
+  // Sorted by canonical byte order.
+  for (size_t i = 1; i < once.size(); ++i)
+    EXPECT_LE(canonical_rdata(once[i - 1]), canonical_rdata(once[i]));
+  // Permutation-invariant.
+  auto shuffled = rdatas;
+  rng.shuffle(shuffled);
+  EXPECT_EQ(sort_rdatas_canonically(shuffled), once);
+}
+
+TEST(Canonical, SigningPayloadLayout) {
+  // RFC 4034 §3.1.8.1: payload = RRSIG RDATA (sans signature) || RR(i)s.
+  dns::RRset rrset;
+  rrset.name = *Name::parse("EXAMPLE.");
+  rrset.type = dns::RRType::A;
+  rrset.rclass = dns::RRClass::IN;
+  rrset.ttl = 3600;
+  rrset.rdatas = {dns::AData{util::IpAddress::v4(192, 0, 2, 1)}};
+  dns::RrsigData sig;
+  sig.type_covered = dns::RRType::A;
+  sig.algorithm = 8;
+  sig.labels = 1;
+  sig.original_ttl = 7200;  // differs from the RRset TTL on purpose
+  sig.expiration = 2000;
+  sig.inception = 1000;
+  sig.key_tag = 0xBEEF;
+  sig.signer = Name();
+  auto payload = signing_payload(sig, rrset);
+  // Fixed RRSIG prefix: type(2) alg(1) labels(1) ottl(4) exp(4) inc(4)
+  // tag(2) = 18 octets, then the signer name (1 octet for the root).
+  ASSERT_GT(payload.size(), 19u);
+  EXPECT_EQ(payload[0], 0);
+  EXPECT_EQ(payload[1], 1);      // type covered = A
+  EXPECT_EQ(payload[2], 8);      // algorithm
+  EXPECT_EQ(payload[3], 1);      // labels
+  EXPECT_EQ(payload[16], 0xBE);  // key tag
+  EXPECT_EQ(payload[17], 0xEF);
+  EXPECT_EQ(payload[18], 0);     // root signer name
+  // Owner name in the RR section is lower-cased: \7example\0.
+  EXPECT_EQ(payload[19], 7);
+  EXPECT_EQ(payload[20], 'e');
+  // The RR's TTL field carries the ORIGINAL TTL (7200 = 0x1C20), not 3600.
+  size_t ttl_offset = 19 + 9 + 2 + 2;  // owner(9) type(2) class(2)
+  EXPECT_EQ(payload[ttl_offset + 2], 0x1C);
+  EXPECT_EQ(payload[ttl_offset + 3], 0x20);
+}
+
+TEST(Canonical, PayloadChangesWithAnyField) {
+  dns::RRset rrset;
+  rrset.name = *Name::parse("x.");
+  rrset.type = dns::RRType::TXT;
+  rrset.ttl = 60;
+  rrset.rdatas = {dns::TxtData{{"hello"}}};
+  dns::RrsigData base;
+  base.type_covered = dns::RRType::TXT;
+  base.algorithm = 8;
+  base.labels = 1;
+  base.original_ttl = 60;
+  base.expiration = 2000;
+  base.inception = 1000;
+  base.key_tag = 1;
+  base.signer = Name();
+  auto reference = signing_payload(base, rrset);
+
+  auto variant = base;
+  variant.expiration = 2001;
+  EXPECT_NE(signing_payload(variant, rrset), reference);
+  variant = base;
+  variant.key_tag = 2;
+  EXPECT_NE(signing_payload(variant, rrset), reference);
+  dns::RRset other = rrset;
+  std::get<dns::TxtData>(other.rdatas[0]).strings[0] = "Hello";
+  EXPECT_NE(signing_payload(base, other), reference)
+      << "TXT payload content is case-sensitive (not a name)";
+}
+
+TEST(Canonical, RecordEncodingMatchesWireLength) {
+  dns::ResourceRecord rr;
+  rr.name = *Name::parse("ruhr.");
+  rr.type = dns::RRType::NS;
+  rr.ttl = 172800;
+  rr.rdata = dns::NsData{*Name::parse("ns1.ruhr.")};
+  auto bytes = canonical_record(rr);
+  // owner(6) + type(2) + class(2) + ttl(4) + rdlen(2) + rdata(10).
+  EXPECT_EQ(bytes.size(), 6u + 2 + 2 + 4 + 2 + 10);
+}
+
+}  // namespace
+}  // namespace rootsim::dnssec

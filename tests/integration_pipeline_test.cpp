@@ -1,0 +1,143 @@
+// Capstone integration test: one campaign, every analysis, and the
+// cross-analysis consistency properties that must hold between them.
+#include <gtest/gtest.h>
+
+#include "analysis/colocation.h"
+#include "analysis/coverage.h"
+#include "analysis/distance.h"
+#include "analysis/propagation.h"
+#include "analysis/rtt.h"
+#include "analysis/stability.h"
+#include "analysis/zonemd_report.h"
+#include "localroot/local_root.h"
+
+namespace rootsim {
+namespace {
+
+const measure::Campaign& campaign() {
+  static const measure::Campaign* instance = [] {
+    measure::CampaignConfig config;
+    config.zone.tld_count = 30;
+    config.zone.rsa_modulus_bits = 512;
+    config.vp_scale = 0.2;
+    return new measure::Campaign(config);
+  }();
+  return *instance;
+}
+
+TEST(Pipeline, CoverageObservedSitesAreRealSites) {
+  auto coverage = analysis::compute_coverage(campaign());
+  for (uint32_t site_id : coverage.observed_sites)
+    ASSERT_LT(site_id, campaign().topology().sites.size());
+  // Every root has at least one observed site (all are queried every round).
+  std::array<bool, rss::kRootCount> seen{};
+  for (uint32_t site_id : coverage.observed_sites)
+    seen[campaign().topology().sites[site_id].root_index] = true;
+  for (size_t root = 0; root < rss::kRootCount; ++root)
+    EXPECT_TRUE(seen[root]) << static_cast<char>('a' + root);
+}
+
+TEST(Pipeline, StabilityAndCoverageAgreeOnMultiSiteObservation) {
+  // A VP whose (root, family) stream records >= 1 change necessarily
+  // observed >= 2 sites of that root; coverage must therefore include the
+  // secondary site of a churny selection.
+  const auto& router = campaign().router();
+  auto coverage = analysis::compute_coverage(campaign());
+  size_t checked = 0;
+  for (const auto& vp : campaign().vantage_points()) {
+    auto selection = router.prepare_selection(vp.view, 6, util::IpFamily::V6);
+    if (selection.primary_site == selection.secondary_site) continue;
+    // Sample a few rounds; if the secondary ever appears, coverage must
+    // have it too (coverage samples rounds the same way).
+    for (size_t s = 0; s < 64; ++s) {
+      uint64_t round = (s * 997) % campaign().schedule().round_count();
+      uint32_t site = netsim::AnycastRouter::site_at_round(selection, round);
+      if (site == selection.secondary_site) {
+        EXPECT_TRUE(coverage.observed_sites.count(site))
+            << "secondary site observed by stability but not coverage";
+        ++checked;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Pipeline, DistanceAndRttAreCoherent) {
+  // For every VP, the RTT of the selected site must be at least the fiber
+  // RTT of the *closest* global site (physics lower bound), except detour
+  // fast-paths which are calibrated distributions (still positive).
+  auto distance_v4 = analysis::compute_distance(campaign(), 5, util::IpFamily::V4);
+  const auto& router = campaign().router();
+  size_t i = 0;
+  for (const auto& vp : campaign().vantage_points()) {
+    const auto& sample = distance_v4.samples[i++];
+    EXPECT_EQ(sample.vp_id, vp.view.vp_id);
+    netsim::RouteResult route = router.route(vp.view, 5, util::IpFamily::V4);
+    if (!route.via_detour) {
+      EXPECT_GE(route.rtt_ms + 1e-9, util::fiber_rtt_ms(sample.actual_km) *
+                                         0.99);
+    }
+    EXPECT_GT(route.rtt_ms, 0);
+  }
+}
+
+TEST(Pipeline, ColocationBoundedByDeploymentReality) {
+  auto colocation = analysis::compute_colocation(campaign());
+  // Max cluster cannot exceed the most roots hosted at any one facility.
+  std::map<netsim::FacilityId, std::set<uint32_t>> roots_at;
+  for (const auto& site : campaign().topology().sites)
+    roots_at[site.facility].insert(site.root_index);
+  size_t max_cohosted = 0;
+  for (const auto& [facility, roots] : roots_at)
+    max_cohosted = std::max(max_cohosted, roots.size());
+  EXPECT_LE(static_cast<size_t>(colocation.max_colocated_roots), max_cohosted);
+}
+
+TEST(Pipeline, AuditVerdictsConsistentWithZonemdTimeline) {
+  auto observations = campaign().run_zone_audit(60);
+  auto zonemd_verifiable_from = util::make_time(2023, 12, 6, 20, 30);
+  auto zonemd_present_from = util::make_time(2023, 9, 13);
+  for (const auto& obs : observations) {
+    if (obs.verdict != dnssec::ValidationStatus::Valid) continue;
+    // Clean transfers' ZONEMD status must match the rollout stage at the
+    // SERVED serial's time (stale servers can lag the probe time).
+    util::UnixTime serial_era = obs.when;
+    if (obs.zonemd == dnssec::ZonemdStatus::Verified)
+      EXPECT_GE(serial_era, zonemd_verifiable_from)
+          << util::format_datetime(obs.when);
+    if (obs.zonemd == dnssec::ZonemdStatus::NoZonemd &&
+        obs.table2_vp_id == 0)
+      EXPECT_LT(serial_era, zonemd_present_from + util::kSecondsPerDay)
+          << util::format_datetime(obs.when);
+  }
+}
+
+TEST(Pipeline, LocalRootServesWhatTheProberTransfers) {
+  // The local root's accepted copy equals the zone a direct probe returns.
+  localroot::LocalRootService service(campaign(),
+                                      campaign().vantage_points()[0]);
+  util::UnixTime now = util::make_time(2023, 12, 10, 9, 0);
+  ASSERT_TRUE(service.refresh(now).success);
+  auto probe = campaign().prober().probe(
+      campaign().vantage_points()[0], campaign().catalog().server(1).ipv6, now,
+      campaign().schedule().round_at(now));
+  auto direct = dns::Zone::from_axfr(probe.axfr->records, dns::Name());
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(*service.zone(), *direct);
+}
+
+TEST(Pipeline, PropagationDelaysWithinSearchWindow) {
+  analysis::PropagationOptions options;
+  options.max_instances_per_root = 4;
+  auto report = analysis::measure_soa_propagation(
+      campaign(), util::make_time(2023, 9, 20, 12, 0), options);
+  for (const auto& row : report.per_root)
+    for (double delay : row.delays_s) {
+      EXPECT_GE(delay, 0);
+      EXPECT_LE(delay, static_cast<double>(options.search_window_s));
+    }
+}
+
+}  // namespace
+}  // namespace rootsim

@@ -1,0 +1,189 @@
+#include "localroot/local_root.h"
+
+#include <gtest/gtest.h>
+
+namespace rootsim::localroot {
+namespace {
+
+using util::make_time;
+
+const measure::Campaign& test_campaign() {
+  static const measure::Campaign* campaign = [] {
+    measure::CampaignConfig config;
+    config.zone.tld_count = 25;
+    config.zone.rsa_modulus_bits = 512;
+    config.vp_scale = 0.05;
+    return new measure::Campaign(config);
+  }();
+  return *campaign;
+}
+
+LocalRootService make_service(LocalRootConfig config = {}) {
+  return LocalRootService(test_campaign(), test_campaign().vantage_points()[0],
+                          std::move(config));
+}
+
+TEST(LocalRoot, HealthyRefreshSucceedsFirstTry) {
+  auto service = make_service();
+  util::UnixTime now = make_time(2023, 12, 10, 9, 0);
+  auto result = service.refresh(now);
+  ASSERT_TRUE(result.success);
+  ASSERT_EQ(result.attempts.size(), 1u);
+  EXPECT_TRUE(result.attempts[0].accepted);
+  EXPECT_EQ(result.serial, test_campaign().authority().serial_at(now));
+  EXPECT_TRUE(service.can_serve(now));
+}
+
+TEST(LocalRoot, BitflippedTransferTriggersFallback) {
+  LocalRootConfig config;
+  config.server_order = {1, 10, 5};  // b first
+  auto service = make_service(config);
+  util::UnixTime now = make_time(2023, 12, 10, 9, 0);
+  LocalRootService::ServerFault fault;
+  fault.root_index = 1;
+  fault.knobs.inject_bitflip = true;
+  fault.knobs.bitflip_seed = 3;
+  fault.knobs.bitflip_prefer_signed = true;
+  auto result = service.refresh(now, {fault});
+  ASSERT_TRUE(result.success);
+  ASSERT_GE(result.attempts.size(), 2u);
+  EXPECT_FALSE(result.attempts[0].accepted);
+  EXPECT_EQ(result.attempts[0].dnssec_verdict,
+            dnssec::ValidationStatus::BogusSignature);
+  EXPECT_TRUE(result.attempts[1].accepted);
+  EXPECT_EQ(result.attempts[1].root_index, 10);  // fell back to k.root
+}
+
+TEST(LocalRoot, StaleServerTriggersFallback) {
+  LocalRootConfig config;
+  config.server_order = {3, 0};  // d (stale) first
+  auto service = make_service(config);
+  util::UnixTime now = make_time(2023, 10, 6, 10, 0);
+  LocalRootService::ServerFault fault;
+  fault.root_index = 3;
+  fault.knobs.server_frozen_at = make_time(2023, 9, 10);
+  auto result = service.refresh(now, {fault});
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.attempts[0].dnssec_verdict,
+            dnssec::ValidationStatus::SignatureExpired);
+  EXPECT_TRUE(result.attempts[1].accepted);
+  // The accepted copy is current, not the stale one.
+  EXPECT_EQ(result.serial, test_campaign().authority().serial_at(now));
+}
+
+TEST(LocalRoot, AllServersBadMeansNoCopy) {
+  LocalRootConfig config;
+  config.server_order = {1, 2};
+  config.max_attempts = 2;
+  auto service = make_service(config);
+  util::UnixTime now = make_time(2023, 12, 10, 9, 0);
+  std::vector<LocalRootService::ServerFault> faults(2);
+  faults[0].root_index = 1;
+  faults[0].knobs.inject_bitflip = true;
+  faults[0].knobs.bitflip_seed = 5;
+  faults[0].knobs.bitflip_prefer_signed = true;
+  faults[1].root_index = 2;
+  faults[1].knobs.inject_bitflip = true;
+  faults[1].knobs.bitflip_seed = 6;
+  faults[1].knobs.bitflip_prefer_signed = true;
+  auto result = service.refresh(now, faults);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.attempts.size(), 2u);
+  EXPECT_FALSE(service.can_serve(now));
+  EXPECT_FALSE(service.resolve(dns::make_query(1, dns::Name(), dns::RRType::NS),
+                               now)
+                   .has_value());
+}
+
+TEST(LocalRoot, ServesQueriesFromValidatedCopy) {
+  auto service = make_service();
+  util::UnixTime now = make_time(2023, 12, 10, 9, 0);
+  ASSERT_TRUE(service.refresh(now).success);
+  auto response =
+      service.resolve(dns::make_query(7, dns::Name(), dns::RRType::NS), now);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->answers.size(), 13u);
+  EXPECT_TRUE(response->ra);
+  // NXDOMAIN for unknown TLDs, from the local copy.
+  auto nx = service.resolve(
+      dns::make_query(8, *dns::Name::parse("no-such-tld-xq."), dns::RRType::A),
+      now);
+  ASSERT_TRUE(nx.has_value());
+  EXPECT_EQ(nx->rcode, dns::Rcode::NxDomain);
+}
+
+TEST(LocalRoot, CopyExpiresAfterSoaExpire) {
+  auto service = make_service();
+  util::UnixTime now = make_time(2023, 12, 10, 9, 0);
+  ASSERT_TRUE(service.refresh(now).success);
+  auto soa = service.zone()->soa();
+  ASSERT_TRUE(soa.has_value());
+  util::UnixTime just_before = now + soa->expire - 1;
+  util::UnixTime just_after = now + soa->expire + 1;
+  EXPECT_TRUE(service.can_serve(just_before));
+  EXPECT_FALSE(service.can_serve(just_after));
+  EXPECT_FALSE(service
+                   .resolve(dns::make_query(9, dns::Name(), dns::RRType::SOA),
+                            just_after)
+                   .has_value())
+      << "degraded service must defer to upstream, not serve stale data";
+}
+
+TEST(LocalRoot, PreZonemdEraAcceptsDnssecOnly) {
+  // Before 2023-09-13 there is no ZONEMD; the service must still work.
+  auto service = make_service();
+  util::UnixTime now = make_time(2023, 8, 1, 9, 0);
+  auto result = service.refresh(now);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.attempts[0].zonemd_verdict, dnssec::ZonemdStatus::NoZonemd);
+}
+
+TEST(LocalRoot, DsAnchoredBootstrapWorks) {
+  // The realistic trust path: configure only the published DS of the KSK.
+  const auto& authority = test_campaign().authority();
+  util::UnixTime now = make_time(2023, 12, 10, 9, 0);
+  const dns::RRset* keys =
+      authority.zone_at(now).find(dns::Name(), dns::RRType::DNSKEY);
+  const dns::DnskeyData* ksk = nullptr;
+  for (const auto& rdata : keys->rdatas) {
+    const auto* key = std::get_if<dns::DnskeyData>(&rdata);
+    if (key && key->is_ksk()) ksk = key;
+  }
+  ASSERT_NE(ksk, nullptr);
+  LocalRootConfig config;
+  config.ds_anchor = dnssec::make_ds(dns::Name(), *ksk, 2);
+  auto service = make_service(config);
+  auto result = service.refresh(now);
+  ASSERT_TRUE(result.success);
+  EXPECT_TRUE(service.can_serve(now));
+}
+
+TEST(LocalRoot, WrongDsAnchorRejectsEverything) {
+  LocalRootConfig config;
+  config.server_order = {1, 10};
+  config.max_attempts = 2;
+  dns::DsData bogus;
+  bogus.key_tag = 1;
+  bogus.algorithm = 8;
+  bogus.digest_type = 2;
+  bogus.digest.assign(32, 0xAB);
+  config.ds_anchor = bogus;
+  auto service = make_service(config);
+  auto result = service.refresh(make_time(2023, 12, 10, 9, 0));
+  EXPECT_FALSE(result.success);
+  for (const auto& attempt : result.attempts)
+    EXPECT_EQ(attempt.dnssec_verdict, dnssec::ValidationStatus::UnknownKey);
+}
+
+TEST(LocalRoot, RefreshUpdatesSerialAcrossZoneEdits) {
+  auto service = make_service();
+  util::UnixTime morning = make_time(2023, 12, 10, 9, 0);
+  util::UnixTime evening = make_time(2023, 12, 10, 21, 0);
+  ASSERT_TRUE(service.refresh(morning).success);
+  uint32_t first = service.serial();
+  ASSERT_TRUE(service.refresh(evening).success);
+  EXPECT_GT(service.serial(), first);
+}
+
+}  // namespace
+}  // namespace rootsim::localroot

@@ -1,0 +1,121 @@
+#include "measure/campaign.h"
+
+#include <gtest/gtest.h>
+
+namespace rootsim::measure {
+namespace {
+
+CampaignConfig fast_config() {
+  CampaignConfig config;
+  config.zone.tld_count = 25;
+  config.zone.rsa_modulus_bits = 512;
+  config.vp_scale = 0.05;
+  return config;
+}
+
+TEST(Campaign, AssemblesAllComponents) {
+  Campaign campaign(fast_config());
+  EXPECT_EQ(campaign.schedule().round_count(), 10272u);
+  EXPECT_GT(campaign.vantage_points().size(), 10u);
+  EXPECT_GT(campaign.topology().sites.size(), 1000u);
+  EXPECT_FALSE(campaign.fault_plan().empty());
+  // Router calibrated to the schedule length.
+  EXPECT_EQ(campaign.router().config().campaign_rounds,
+            campaign.schedule().round_count());
+}
+
+TEST(Campaign, VpScaleShrinksProportionally) {
+  Campaign small(fast_config());
+  // Full Table 3 is 675; 5% ~ 35 (at least 1 per region).
+  EXPECT_LT(small.vantage_points().size(), 60u);
+  EXPECT_GE(small.vantage_points().size(), 6u);
+  std::set<util::Region> regions;
+  for (const auto& vp : small.vantage_points()) regions.insert(vp.view.region);
+  EXPECT_EQ(regions.size(), util::kRegionCount);  // every region survives
+}
+
+TEST(Campaign, ZoneAuditFindsAllFaultClasses) {
+  Campaign campaign(fast_config());
+  auto observations = campaign.run_zone_audit(/*clean_samples=*/40);
+  ASSERT_FALSE(observations.empty());
+  size_t not_incepted = 0, expired = 0, bogus = 0, valid = 0;
+  for (const auto& obs : observations) {
+    switch (obs.verdict) {
+      case dnssec::ValidationStatus::SignatureNotIncepted: ++not_incepted; break;
+      case dnssec::ValidationStatus::SignatureExpired: ++expired; break;
+      case dnssec::ValidationStatus::BogusSignature: ++bogus; break;
+      case dnssec::ValidationStatus::Valid: ++valid; break;
+      default: break;
+    }
+  }
+  EXPECT_GT(not_incepted, 0u) << "clock-skew VPs must yield inception errors";
+  EXPECT_GT(expired, 0u) << "stale d.root sites must yield expired signatures";
+  EXPECT_GT(bogus, 0u) << "bitflips must yield bogus signatures";
+  EXPECT_GT(valid, 30u) << "clean samples must validate";
+}
+
+TEST(Campaign, ZoneAuditCleanSamplesAllValid) {
+  Campaign campaign(fast_config());
+  auto observations = campaign.run_zone_audit(/*clean_samples=*/60);
+  for (const auto& obs : observations) {
+    if (obs.table2_vp_id != 0) continue;  // planned fault
+    EXPECT_EQ(obs.verdict, dnssec::ValidationStatus::Valid)
+        << "clean transfer failed at " << util::format_datetime(obs.when)
+        << " note=" << obs.note;
+  }
+}
+
+TEST(Campaign, ZoneAuditBitflipsDetectedByZonemdWhenVerifiable) {
+  Campaign campaign(fast_config());
+  auto observations = campaign.run_zone_audit(0);
+  for (const auto& obs : observations) {
+    if (obs.verdict != dnssec::ValidationStatus::BogusSignature) continue;
+    // After 2023-12-06, ZONEMD is verifiable and must flag the corruption;
+    // before that, the record is absent or unsupported.
+    if (obs.when >= util::make_time(2023, 12, 6, 20, 30))
+      EXPECT_EQ(obs.zonemd, dnssec::ZonemdStatus::Mismatch);
+  }
+}
+
+TEST(Campaign, ZoneAuditObservationsSortedByTime) {
+  Campaign campaign(fast_config());
+  auto observations = campaign.run_zone_audit(20);
+  for (size_t i = 1; i < observations.size(); ++i)
+    EXPECT_LE(observations[i - 1].when, observations[i].when);
+}
+
+TEST(Campaign, DeterministicAudit) {
+  Campaign a(fast_config());
+  Campaign b(fast_config());
+  auto obs_a = a.run_zone_audit(10);
+  auto obs_b = b.run_zone_audit(10);
+  ASSERT_EQ(obs_a.size(), obs_b.size());
+  for (size_t i = 0; i < obs_a.size(); ++i) {
+    EXPECT_EQ(obs_a[i].verdict, obs_b[i].verdict);
+    EXPECT_EQ(obs_a[i].soa_serial, obs_b[i].soa_serial);
+  }
+}
+
+TEST(FaultPlan, MatchesTable2Structure) {
+  auto plan = default_fault_plan();
+  size_t clock_events = 0, bitflips = 0, stale = 0;
+  for (const auto& event : plan) {
+    switch (event.kind) {
+      case FaultEvent::Kind::ClockSkew: ++clock_events; break;
+      case FaultEvent::Kind::Bitflip: ++bitflips; break;
+      case FaultEvent::Kind::StaleServer: ++stale; break;
+    }
+  }
+  EXPECT_EQ(clock_events, 6u);  // paper: six time-related validation errors
+  EXPECT_EQ(bitflips, 8u);      // paper: eight transfers with bitflips
+  EXPECT_EQ(stale, 12u + 40u);  // Tokyo 12 + Leeds 40 observations
+  // The bitflips affect five distinct servers: d, g, b(old), c, g(v4).
+  std::set<std::pair<int, bool>> flip_targets;
+  for (const auto& event : plan)
+    if (event.kind == FaultEvent::Kind::Bitflip)
+      flip_targets.insert({event.root_index, event.family == util::IpFamily::V4});
+  EXPECT_EQ(flip_targets.size(), 5u);
+}
+
+}  // namespace
+}  // namespace rootsim::measure

@@ -1,0 +1,160 @@
+#include "measure/prober.h"
+
+#include <gtest/gtest.h>
+
+#include "measure/campaign.h"
+
+namespace rootsim::measure {
+namespace {
+
+using util::make_time;
+
+CampaignConfig fast_config() {
+  CampaignConfig config;
+  config.zone.tld_count = 25;
+  config.zone.rsa_modulus_bits = 512;
+  config.vp_scale = 0.05;
+  return config;
+}
+
+TEST(Prober, QueryListMatchesAppendixF) {
+  auto questions = Prober::query_list();
+  // 3 root/infrastructure queries + 4 CHAOS + 13*3 per-root-name queries.
+  EXPECT_EQ(questions.size(), 46u);
+  size_t chaos = 0, a = 0, aaaa = 0, txt_in = 0;
+  for (const auto& q : questions) {
+    if (q.qclass == dns::RRClass::CH) ++chaos;
+    if (q.qtype == dns::RRType::A) ++a;
+    if (q.qtype == dns::RRType::AAAA) ++aaaa;
+    if (q.qtype == dns::RRType::TXT && q.qclass == dns::RRClass::IN) ++txt_in;
+  }
+  EXPECT_EQ(chaos, 4u);
+  EXPECT_EQ(a, 13u);
+  EXPECT_EQ(aaaa, 13u);
+  EXPECT_EQ(txt_in, 13u);
+  EXPECT_EQ(questions[0].qtype, dns::RRType::ZONEMD);
+}
+
+TEST(Prober, FullProbeProducesAllArtifacts) {
+  Campaign campaign(fast_config());
+  const auto& vp = campaign.vantage_points()[0];
+  util::UnixTime now = make_time(2023, 10, 1, 12, 0);
+  ProbeRecord record = campaign.prober().probe(
+      vp, campaign.catalog().server(10).ipv4, now,
+      campaign.schedule().round_at(now));
+  EXPECT_EQ(record.root_index, 10);
+  EXPECT_EQ(record.family, util::IpFamily::V4);
+  EXPECT_FALSE(record.old_b_address);
+  EXPECT_EQ(record.queries.size(), 46u);
+  EXPECT_FALSE(record.instance_identity.empty());
+  EXPECT_GT(record.rtt_ms, 0);
+  EXPECT_GE(record.traceroute_hops.size(), 4u);
+  ASSERT_TRUE(record.axfr.has_value());
+  EXPECT_FALSE(record.axfr->refused);
+  EXPECT_EQ(record.axfr->soa_serial,
+            campaign.authority().serial_at(now));
+}
+
+TEST(Prober, OldBAddressFlagged) {
+  Campaign campaign(fast_config());
+  const auto& vp = campaign.vantage_points()[0];
+  util::UnixTime now = make_time(2023, 10, 1);
+  ProbeRecord record = campaign.prober().probe(
+      vp, campaign.catalog().renumbering().old_ipv6, now,
+      campaign.schedule().round_at(now));
+  EXPECT_EQ(record.root_index, 1);
+  EXPECT_TRUE(record.old_b_address);
+  EXPECT_EQ(record.family, util::IpFamily::V6);
+}
+
+TEST(Prober, AllQueriesAnswered) {
+  Campaign campaign(fast_config());
+  const auto& vp = campaign.vantage_points()[1];
+  util::UnixTime now = make_time(2023, 12, 10);
+  ProbeRecord record = campaign.prober().probe(
+      vp, campaign.catalog().server(0).ipv4, now,
+      campaign.schedule().round_at(now));
+  for (const auto& query : record.queries) {
+    EXPECT_FALSE(query.timed_out);
+    EXPECT_EQ(query.rcode, dns::Rcode::NoError)
+        << query.question.qname.to_string();
+  }
+}
+
+TEST(Prober, IdentityMatchesSelectedSite) {
+  Campaign campaign(fast_config());
+  const auto& vp = campaign.vantage_points()[2];
+  util::UnixTime now = make_time(2023, 9, 1);
+  uint64_t round = campaign.schedule().round_at(now);
+  ProbeRecord record = campaign.prober().probe(
+      vp, campaign.catalog().server(5).ipv6, now, round);
+  const auto& site = campaign.topology().sites[record.site_id];
+  EXPECT_EQ(record.instance_identity, site.identity);
+}
+
+TEST(Prober, BitflipInjectionCorruptsTransfer) {
+  Campaign campaign(fast_config());
+  const auto& vp = campaign.vantage_points()[0];
+  util::UnixTime now = make_time(2023, 11, 18, 7, 30);
+  uint64_t round = campaign.schedule().round_at(now);
+  const auto& address = campaign.catalog().server(6).ipv6;
+  ProbeRecord clean = campaign.prober().probe(vp, address, now, round);
+  Prober::FaultKnobs knobs;
+  knobs.inject_bitflip = true;
+  knobs.bitflip_seed = 99;
+  ProbeRecord corrupt = campaign.prober().probe(vp, address, now, round, knobs);
+  ASSERT_TRUE(clean.axfr.has_value());
+  ASSERT_TRUE(corrupt.axfr.has_value());
+  EXPECT_TRUE(corrupt.axfr->bitflip_injected);
+  EXPECT_FALSE(corrupt.axfr->bitflip_note.empty());
+  EXPECT_NE(clean.axfr->records, corrupt.axfr->records);
+  // Exactly one record differs (a single bit flip).
+  size_t differing = 0;
+  ASSERT_EQ(clean.axfr->records.size(), corrupt.axfr->records.size());
+  for (size_t i = 0; i < clean.axfr->records.size(); ++i)
+    if (!(clean.axfr->records[i] == corrupt.axfr->records[i])) ++differing;
+  EXPECT_EQ(differing, 1u);
+}
+
+TEST(Prober, StaleServerKnobServesOldSerial) {
+  Campaign campaign(fast_config());
+  const auto& vp = campaign.vantage_points()[0];
+  util::UnixTime now = make_time(2023, 10, 6, 10, 0);
+  Prober::FaultKnobs knobs;
+  knobs.server_frozen_at = make_time(2023, 9, 18);
+  ProbeRecord record = campaign.prober().probe(
+      vp, campaign.catalog().server(3).ipv4, now,
+      campaign.schedule().round_at(now), knobs);
+  ASSERT_TRUE(record.axfr.has_value());
+  EXPECT_EQ(record.axfr->soa_serial,
+            campaign.authority().serial_at(make_time(2023, 9, 18)));
+}
+
+TEST(Prober, VpClockRecorded) {
+  Campaign campaign(fast_config());
+  VantagePoint vp = campaign.vantage_points()[0];
+  vp.clock_offset_s = -86400;
+  util::UnixTime now = make_time(2023, 12, 21, 10, 35);
+  ProbeRecord record = campaign.prober().probe(
+      vp, campaign.catalog().server(2).ipv4, now,
+      campaign.schedule().round_at(now));
+  EXPECT_EQ(record.true_time, now);
+  EXPECT_EQ(record.vp_time, now - 86400);
+}
+
+TEST(InjectBitflip, FindsFlippableRecordDeterministically) {
+  Campaign campaign(fast_config());
+  auto records =
+      campaign.authority().zone_at(make_time(2023, 12, 10)).axfr_records();
+  auto copy_a = records;
+  auto copy_b = records;
+  std::string note_a = inject_bitflip(copy_a, 5);
+  std::string note_b = inject_bitflip(copy_b, 5);
+  EXPECT_EQ(note_a, note_b);
+  EXPECT_EQ(copy_a, copy_b);
+  EXPECT_NE(copy_a, records);
+  EXPECT_NE(note_a, "no flippable record");
+}
+
+}  // namespace
+}  // namespace rootsim::measure

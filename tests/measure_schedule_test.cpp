@@ -1,0 +1,69 @@
+#include "measure/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace rootsim::measure {
+namespace {
+
+using util::make_time;
+
+TEST(Schedule, CampaignBounds) {
+  Schedule schedule;
+  ASSERT_GT(schedule.round_count(), 0u);
+  EXPECT_EQ(schedule.round_time(0), make_time(2023, 7, 3));
+  EXPECT_LT(schedule.rounds().back(), make_time(2023, 12, 24));
+}
+
+TEST(Schedule, RoundCountMatchesIntervalArithmetic) {
+  // 174 days total; 40 days (Sep 8..Oct 2 = 24, Nov 20..Dec 6 = 16) at
+  // 15-minute resolution, the rest at 30 minutes.
+  Schedule schedule;
+  size_t expected = (174 - 24 - 16) * 48 + (24 + 16) * 96;
+  EXPECT_EQ(schedule.round_count(), expected);
+}
+
+TEST(Schedule, DenseWindowsAre15Min) {
+  Schedule schedule;
+  EXPECT_TRUE(schedule.in_dense_window(make_time(2023, 9, 15)));
+  EXPECT_TRUE(schedule.in_dense_window(make_time(2023, 11, 27)));  // b.root day
+  EXPECT_FALSE(schedule.in_dense_window(make_time(2023, 8, 1)));
+  EXPECT_FALSE(schedule.in_dense_window(make_time(2023, 12, 10)));
+  // Interval between consecutive rounds inside a dense window is 900s.
+  size_t dense_round = schedule.round_at(make_time(2023, 9, 15, 12, 0));
+  EXPECT_EQ(schedule.round_time(dense_round + 1) - schedule.round_time(dense_round),
+            900);
+  size_t sparse_round = schedule.round_at(make_time(2023, 8, 1, 12, 0));
+  EXPECT_EQ(
+      schedule.round_time(sparse_round + 1) - schedule.round_time(sparse_round),
+      1800);
+}
+
+TEST(Schedule, RoundAtFindsEnclosingRound) {
+  Schedule schedule;
+  EXPECT_EQ(schedule.round_at(make_time(2023, 7, 3, 0, 0)), 0u);
+  EXPECT_EQ(schedule.round_at(make_time(2023, 7, 3, 0, 29)), 0u);
+  EXPECT_EQ(schedule.round_at(make_time(2023, 7, 3, 0, 30)), 1u);
+  // Before the campaign clamps to 0.
+  EXPECT_EQ(schedule.round_at(make_time(2023, 1, 1)), 0u);
+  // After the campaign clamps to the last round.
+  EXPECT_EQ(schedule.round_at(make_time(2024, 6, 1)),
+            schedule.round_count() - 1);
+}
+
+TEST(Schedule, RoundsStrictlyIncreasing) {
+  Schedule schedule;
+  for (size_t i = 1; i < schedule.round_count(); ++i)
+    ASSERT_LT(schedule.round_time(i - 1), schedule.round_time(i));
+}
+
+TEST(Schedule, CustomWindows) {
+  ScheduleConfig config;
+  config.start = make_time(2024, 1, 1);
+  config.end = make_time(2024, 1, 3);
+  config.dense_windows = {{make_time(2024, 1, 2), make_time(2024, 1, 3)}};
+  Schedule schedule(config);
+  EXPECT_EQ(schedule.round_count(), 48u + 96u);
+}
+
+}  // namespace
+}  // namespace rootsim::measure

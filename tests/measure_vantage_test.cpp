@@ -1,0 +1,114 @@
+#include "measure/vantage.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "rss/catalog.h"
+#include "util/stats.h"
+
+namespace rootsim::measure {
+namespace {
+
+struct Fixture {
+  rss::RootCatalog catalog;
+  netsim::Topology topology;
+  std::vector<VantagePoint> vps;
+
+  Fixture() {
+    netsim::TopologyConfig config;
+    topology = netsim::build_topology(config, catalog.all_deployment_specs(),
+                                      rss::paper_detour_rules());
+    vps = generate_vantage_points(topology);
+  }
+};
+
+TEST(Vantage, Table3QuotasReproducedExactly) {
+  Fixture f;
+  EXPECT_EQ(f.vps.size(), 675u);
+  auto summary = summarize_regions(f.vps);
+  for (const RegionQuota& quota : table3_quotas()) {
+    const RegionSummary& s = summary[static_cast<size_t>(quota.region)];
+    EXPECT_EQ(s.vantage_points, quota.vantage_points)
+        << util::region_name(quota.region);
+    EXPECT_EQ(s.unique_countries, quota.unique_countries)
+        << util::region_name(quota.region);
+    EXPECT_EQ(s.unique_networks, quota.unique_networks)
+        << util::region_name(quota.region);
+  }
+}
+
+TEST(Vantage, TotalNetworksAndCountries) {
+  // Paper abstract: 675 VPs in 523 networks and 62 countries.
+  Fixture f;
+  std::set<uint32_t> networks, countries;
+  for (const auto& vp : f.vps) {
+    networks.insert(vp.view.asn);
+    countries.insert(vp.country_code);
+  }
+  EXPECT_EQ(networks.size(), 9u + 31 + 386 + 94 + 12 + 22);  // 554 pools
+  EXPECT_EQ(countries.size(), 4u + 19 + 29 + 3 + 3 + 4);     // 62 countries
+}
+
+TEST(Vantage, LocationsInsideRegionBoxes) {
+  Fixture f;
+  for (const auto& vp : f.vps) {
+    const util::RegionBox& box = util::region_box(vp.view.region);
+    // Facility-clustered VPs can scatter slightly outside the box.
+    EXPECT_GE(vp.view.location.lat_deg, box.lat_min - 4);
+    EXPECT_LE(vp.view.location.lat_deg, box.lat_max + 4);
+  }
+}
+
+TEST(Vantage, ConnectivityFacilitiesAreRegional) {
+  Fixture f;
+  for (const auto& vp : f.vps) {
+    EXPECT_GE(vp.view.connectivity.size(), 1u);
+    EXPECT_LE(vp.view.connectivity.size(), 3u);
+    for (auto facility_id : vp.view.connectivity)
+      EXPECT_EQ(f.topology.facilities[facility_id].region, vp.view.region);
+  }
+}
+
+TEST(Vantage, ChurnMultipliersHeavyTailed) {
+  Fixture f;
+  std::vector<double> multipliers;
+  for (const auto& vp : f.vps) multipliers.push_back(vp.view.churn_multiplier);
+  double median = util::percentile(multipliers, 0.5);
+  double p99 = util::percentile(multipliers, 0.99);
+  EXPECT_NEAR(median, 1.0, 0.4);  // lognormal median ~1
+  EXPECT_GT(p99, 5.0);            // the Fig. 3 long tail exists
+}
+
+TEST(Vantage, CleanByDefault) {
+  Fixture f;
+  for (const auto& vp : f.vps) {
+    EXPECT_EQ(vp.clock_offset_s, 0);
+    EXPECT_EQ(vp.bitflip_probability, 0);
+  }
+}
+
+TEST(Vantage, DeterministicGeneration) {
+  Fixture a, b;
+  ASSERT_EQ(a.vps.size(), b.vps.size());
+  for (size_t i = 0; i < a.vps.size(); ++i) {
+    EXPECT_EQ(a.vps[i].view.asn, b.vps[i].view.asn);
+    EXPECT_DOUBLE_EQ(a.vps[i].view.location.lat_deg,
+                     b.vps[i].view.location.lat_deg);
+  }
+}
+
+TEST(Vantage, NodeNamesUnique) {
+  Fixture f;
+  std::set<std::string> names;
+  for (const auto& vp : f.vps) EXPECT_TRUE(names.insert(vp.node_name).second);
+}
+
+TEST(Vantage, LocalClockAppliesOffset) {
+  VantagePoint vp;
+  vp.clock_offset_s = -259200;  // 3 days slow
+  EXPECT_EQ(vp.local_clock(util::make_time(2023, 12, 21)),
+            util::make_time(2023, 12, 18));
+}
+
+}  // namespace
+}  // namespace rootsim::measure

@@ -1,0 +1,264 @@
+#include "netsim/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "rss/catalog.h"
+#include "util/stats.h"
+
+namespace rootsim::netsim {
+namespace {
+
+struct Fixture {
+  rss::RootCatalog catalog;
+  Topology topology;
+  RouterConfig config;
+  std::unique_ptr<AnycastRouter> router;
+
+  Fixture() {
+    TopologyConfig topo_config;
+    topology = build_topology(topo_config, catalog.all_deployment_specs(),
+                              rss::paper_detour_rules());
+    config.churn = default_churn_specs();
+    config.campaign_rounds = 10000;
+    router = std::make_unique<AnycastRouter>(topology, config);
+  }
+
+  VantageView vp_at(uint32_t id, util::Region region, double lat, double lon) {
+    VantageView vp;
+    vp.vp_id = id;
+    vp.region = region;
+    vp.location = {lat, lon};
+    vp.asn = 64500 + id;
+    vp.churn_multiplier = 1.0;
+    return vp;
+  }
+};
+
+TEST(Routing, RouteIsDeterministic) {
+  Fixture f;
+  VantageView vp = f.vp_at(1, util::Region::Europe, 50.1, 8.7);
+  RouteResult a = f.router->route(vp, 0, util::IpFamily::V4);
+  RouteResult b = f.router->route(vp, 0, util::IpFamily::V4);
+  EXPECT_EQ(a.site_id, b.site_id);
+  EXPECT_DOUBLE_EQ(a.rtt_ms, b.rtt_ms);
+  EXPECT_EQ(a.second_to_last_hop, b.second_to_last_hop);
+}
+
+TEST(Routing, SelectedSiteBelongsToRequestedRoot) {
+  Fixture f;
+  VantageView vp = f.vp_at(2, util::Region::NorthAmerica, 40.7, -74.0);
+  for (uint32_t root = 0; root < 13; ++root) {
+    for (util::IpFamily family : {util::IpFamily::V4, util::IpFamily::V6}) {
+      RouteResult route = f.router->route(vp, root, family);
+      EXPECT_EQ(f.topology.sites[route.site_id].root_index, root);
+      EXPECT_GT(route.rtt_ms, 0);
+    }
+  }
+}
+
+TEST(Routing, EuropeanVpPrefersNearbyReplicaForLargeDeployments) {
+  // With 46 f.root global sites in Europe, a Frankfurt VP should reach one
+  // within a few thousand km, never a 15,000 km one.
+  Fixture f;
+  VantageView vp = f.vp_at(3, util::Region::Europe, 50.1, 8.7);
+  RouteResult route = f.router->route(vp, 5, util::IpFamily::V4);  // f.root
+  double km = f.router->distance_km(vp, route.site_id);
+  EXPECT_LT(km, 5000);
+}
+
+TEST(Routing, ClosestGlobalSiteIsGlobalAndClosest) {
+  Fixture f;
+  VantageView vp = f.vp_at(4, util::Region::Asia, 35.6, 139.7);
+  for (uint32_t root = 0; root < 13; ++root) {
+    const AnycastSite& closest = f.router->closest_global_site(vp, root);
+    EXPECT_EQ(closest.type, SiteType::Global);
+    double closest_km = util::haversine_km(vp.location, closest.location);
+    for (uint32_t site_id : f.topology.sites_by_root[root]) {
+      const AnycastSite& site = f.topology.sites[site_id];
+      if (site.type != SiteType::Global) continue;
+      EXPECT_LE(closest_km, util::haversine_km(vp.location, site.location) + 1e-6);
+    }
+  }
+}
+
+TEST(Routing, AsLocalSitesInvisibleToOutsiders) {
+  // Route many VPs to f.root (70% AS-local locals): AS-local sites must
+  // almost never be selected.
+  Fixture f;
+  int as_local_selections = 0, total = 0;
+  for (uint32_t id = 0; id < 200; ++id) {
+    VantageView vp = f.vp_at(1000 + id, util::Region::Europe,
+                             45 + (id % 10), 5 + (id % 20));
+    RouteResult route = f.router->route(vp, 5, util::IpFamily::V4);
+    const AnycastSite& site = f.topology.sites[route.site_id];
+    if (site.type == SiteType::Local && site.local_scope == LocalScope::AsLocal)
+      ++as_local_selections;
+    ++total;
+  }
+  EXPECT_LT(as_local_selections, total / 10);
+}
+
+TEST(Routing, ChurnProducesCalibratedMedianChanges) {
+  // Count changes over the campaign for b.root (target median 8) and g.root
+  // (targets 36 v4 / 64 v6) over a population of unit-multiplier VPs.
+  Fixture f;
+  auto median_changes = [&](uint32_t root, util::IpFamily family) {
+    std::vector<double> counts;
+    for (uint32_t id = 0; id < 60; ++id) {
+      VantageView vp = f.vp_at(id, util::Region::Europe, 48 + id % 10, id % 20);
+      auto selection = f.router->prepare_selection(vp, root, family);
+      uint64_t changes = 0;
+      uint32_t previous = AnycastRouter::site_at_round(selection, 0);
+      for (uint64_t round = 1; round < f.config.campaign_rounds; ++round) {
+        uint32_t current = AnycastRouter::site_at_round(selection, round);
+        if (current != previous) ++changes;
+        previous = current;
+      }
+      counts.push_back(static_cast<double>(changes));
+    }
+    return util::percentile(counts, 0.5);
+  };
+  double b_v4 = median_changes(1, util::IpFamily::V4);
+  double g_v4 = median_changes(6, util::IpFamily::V4);
+  double g_v6 = median_changes(6, util::IpFamily::V6);
+  EXPECT_NEAR(b_v4, 8, 5);
+  EXPECT_NEAR(g_v4, 36, 14);
+  EXPECT_NEAR(g_v6, 64, 20);
+  EXPECT_GT(g_v6, g_v4);  // the paper's headline ordering
+  EXPECT_GT(g_v4, b_v4);
+}
+
+TEST(Routing, ChurnFlipsBetweenPreparedCandidates) {
+  Fixture f;
+  VantageView vp = f.vp_at(5, util::Region::Europe, 52.5, 13.4);
+  vp.churn_multiplier = 50;  // heavy-churn VP
+  auto selection = f.router->prepare_selection(vp, 6, util::IpFamily::V6);
+  std::set<uint32_t> seen;
+  for (uint64_t round = 0; round < 2000; ++round)
+    seen.insert(AnycastRouter::site_at_round(selection, round));
+  EXPECT_GE(seen.size(), 2u);
+  for (uint32_t site : seen)
+    EXPECT_TRUE(site == selection.primary_site || site == selection.secondary_site);
+}
+
+TEST(Routing, RouteAtAgreesWithPreparedSelection) {
+  Fixture f;
+  VantageView vp = f.vp_at(6, util::Region::Asia, 1.3, 103.8);
+  vp.churn_multiplier = 20;
+  auto selection = f.router->prepare_selection(vp, 6, util::IpFamily::V4);
+  for (uint64_t round = 0; round < 500; ++round) {
+    RouteResult route = f.router->route_at(vp, 6, util::IpFamily::V4, round);
+    EXPECT_EQ(route.site_id, AnycastRouter::site_at_round(selection, round));
+  }
+}
+
+TEST(Routing, DetourRulesChangeRttDistribution) {
+  // i.root North America IPv6: many VPs go via the fast AS6939 path
+  // (mean 23.4ms), making mean v6 RTT lower than v4 (paper: 46.2 vs 62.6).
+  Fixture f;
+  std::vector<double> v4, v6;
+  int via_detour_v6 = 0;
+  for (uint32_t id = 0; id < 300; ++id) {
+    VantageView vp = f.vp_at(2000 + id, util::Region::NorthAmerica,
+                             30 + id % 20, -120 + id % 45);
+    RouteResult route_v4 = f.router->route(vp, 8, util::IpFamily::V4);
+    RouteResult route_v6 = f.router->route(vp, 8, util::IpFamily::V6);
+    v4.push_back(route_v4.rtt_ms);
+    v6.push_back(route_v6.rtt_ms);
+    if (route_v6.via_detour) {
+      ++via_detour_v6;
+      EXPECT_EQ(route_v6.detour_as, 6939u);
+    }
+  }
+  EXPECT_GT(via_detour_v6, 100);  // ~55% of VPs
+  EXPECT_LT(util::mean(v6), util::mean(v4));
+}
+
+TEST(Routing, SecondToLastHopSharedAcrossCoLocatedRoots) {
+  // At least some VP observes two roots behind the same second-to-last hop.
+  Fixture f;
+  bool found_sharing = false;
+  for (uint32_t id = 0; id < 100 && !found_sharing; ++id) {
+    VantageView vp = f.vp_at(3000 + id, util::Region::Europe, 48 + id % 12,
+                             -5 + id % 30);
+    std::map<RouterId, int> hops;
+    for (uint32_t root = 0; root < 13; ++root) {
+      RouteResult route = f.router->route(vp, root, util::IpFamily::V4);
+      if (route.second_to_last_hop != 0) ++hops[route.second_to_last_hop];
+    }
+    for (const auto& [hop, count] : hops)
+      if (count >= 2) found_sharing = true;
+  }
+  EXPECT_TRUE(found_sharing);
+}
+
+TEST(Routing, HopLossProducesZeroMarker) {
+  Fixture f;
+  int lost = 0, total = 0;
+  for (uint32_t id = 0; id < 200; ++id) {
+    VantageView vp = f.vp_at(4000 + id, util::Region::NorthAmerica,
+                             25 + id % 25, -120 + id % 50);
+    for (uint32_t root = 0; root < 13; ++root) {
+      RouteResult route = f.router->route(vp, root, util::IpFamily::V4);
+      if (route.second_to_last_hop == 0) ++lost;
+      ++total;
+    }
+  }
+  double loss_rate = static_cast<double>(lost) / total;
+  EXPECT_NEAR(loss_rate, f.config.hop_loss_probability, 0.02);
+}
+
+TEST(Routing, AnnouncedRoutesMatchDataPlane) {
+  Fixture f;
+  size_t agree = 0, total = 0;
+  for (uint32_t id = 0; id < 50; ++id) {
+    VantageView vp = f.vp_at(5000 + id, util::Region::Europe, 45 + id % 15,
+                             id % 25);
+    for (uint32_t root : {1u, 5u, 10u}) {
+      auto routes = f.router->announced_routes(vp, root, util::IpFamily::V4);
+      ASSERT_FALSE(routes.empty());
+      // Costs are sorted ascending.
+      for (size_t i = 1; i < routes.size(); ++i)
+        EXPECT_GE(routes[i].path_cost, routes[i - 1].path_cost);
+      // AS paths start at the VP's AS and end at the operator's origin.
+      for (const auto& route : routes) {
+        ASSERT_GE(route.as_path.size(), 2u);
+        EXPECT_EQ(route.as_path.front(), vp.asn);
+        EXPECT_EQ(route.as_path.back(), 64496 + root);
+      }
+      RouteResult selected = f.router->route(vp, root, util::IpFamily::V4);
+      ++total;
+      if (routes[0].site_id == selected.site_id) ++agree;
+    }
+  }
+  // Absent detours (none for these roots in Europe), the control-plane best
+  // path must be the data-plane selection.
+  EXPECT_EQ(agree, total);
+}
+
+TEST(Routing, AnnouncedRoutesRespectMaxAndVisibility) {
+  Fixture f;
+  VantageView vp = f.vp_at(6001, util::Region::NorthAmerica, 40.7, -74.0);
+  auto routes = f.router->announced_routes(vp, 5, util::IpFamily::V4, 4);
+  EXPECT_LE(routes.size(), 4u);
+  // b.root has only 6 sites worldwide.
+  auto b_routes = f.router->announced_routes(vp, 1, util::IpFamily::V4, 100);
+  EXPECT_LE(b_routes.size(), 6u);
+  for (const auto& route : b_routes)
+    EXPECT_EQ(f.topology.sites[route.site_id].root_index, 1u);
+}
+
+TEST(Routing, TracerouteHopsEndAtSite) {
+  Fixture f;
+  VantageView vp = f.vp_at(7, util::Region::Oceania, -33.9, 151.2);
+  RouteResult route = f.router->route(vp, 10, util::IpFamily::V6);
+  ASSERT_GE(route.hops.size(), 4u);
+  // Second-to-last entry in the hop list is the recorded hop.
+  EXPECT_EQ(route.hops[route.hops.size() - 2], route.second_to_last_hop);
+}
+
+}  // namespace
+}  // namespace rootsim::netsim

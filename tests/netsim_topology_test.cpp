@@ -1,0 +1,113 @@
+#include "netsim/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "rss/catalog.h"
+#include "util/stats.h"
+
+namespace rootsim::netsim {
+namespace {
+
+Topology make_topology(uint64_t seed = 42) {
+  rss::RootCatalog catalog;
+  TopologyConfig config;
+  config.seed = seed;
+  return build_topology(config, catalog.all_deployment_specs(),
+                        rss::paper_detour_rules());
+}
+
+TEST(Topology, SiteCountsMatchCatalog) {
+  rss::RootCatalog catalog;
+  Topology topo = make_topology();
+  for (size_t root = 0; root < rss::kRootCount; ++root) {
+    const auto& spec = catalog.server(root).deployment;
+    int expected = spec.total_global() + spec.total_local();
+    EXPECT_EQ(topo.sites_by_root[root].size(), static_cast<size_t>(expected))
+        << "root " << static_cast<char>('a' + root);
+  }
+  // Worldwide totals from the paper's Table 1.
+  EXPECT_EQ(topo.sites_by_root[1].size(), 6u);    // b
+  EXPECT_EQ(topo.sites_by_root[5].size(), 345u);  // f
+  EXPECT_EQ(topo.sites_by_root[11].size(), 132u); // l
+}
+
+TEST(Topology, SitesSitAtFacilitiesOfTheirRegion) {
+  Topology topo = make_topology();
+  for (const AnycastSite& site : topo.sites) {
+    ASSERT_LT(site.facility, topo.facilities.size());
+    EXPECT_EQ(topo.facilities[site.facility].region, site.region);
+    // Metro scatter keeps the instance within ~1 degree of the facility.
+    EXPECT_NEAR(site.location.lat_deg,
+                topo.facilities[site.facility].location.lat_deg, 1.5);
+  }
+}
+
+TEST(Topology, DeterministicForSeed) {
+  Topology a = make_topology(7);
+  Topology b = make_topology(7);
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  for (size_t i = 0; i < a.sites.size(); ++i) {
+    EXPECT_EQ(a.sites[i].facility, b.sites[i].facility);
+    EXPECT_EQ(a.sites[i].identity, b.sites[i].identity);
+  }
+}
+
+TEST(Topology, DifferentSeedsDiffer) {
+  Topology a = make_topology(1);
+  Topology b = make_topology(2);
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  size_t same_facility = 0;
+  for (size_t i = 0; i < a.sites.size(); ++i)
+    if (a.sites[i].facility == b.sites[i].facility) ++same_facility;
+  EXPECT_LT(same_facility, a.sites.size());
+}
+
+TEST(Topology, CoLocationExistsByConstruction) {
+  // Attractiveness-weighted placement must put multiple roots into the same
+  // facility somewhere — the structural premise of RQ1.
+  Topology topo = make_topology();
+  std::map<FacilityId, std::set<uint32_t>> roots_at;
+  for (const AnycastSite& site : topo.sites)
+    roots_at[site.facility].insert(site.root_index);
+  size_t max_roots = 0;
+  for (const auto& [facility, roots] : roots_at)
+    max_roots = std::max(max_roots, roots.size());
+  EXPECT_GE(max_roots, 6u) << "big facilities should host many roots";
+}
+
+TEST(Topology, LocalSitesHaveScope) {
+  Topology topo = make_topology();
+  size_t as_local = 0, ixp_local = 0;
+  for (const AnycastSite& site : topo.sites) {
+    if (site.type != SiteType::Local) continue;
+    if (site.local_scope == LocalScope::AsLocal) ++as_local;
+    else ++ixp_local;
+  }
+  EXPECT_GT(as_local, 0u);
+  EXPECT_GT(ixp_local, 0u);
+}
+
+TEST(Topology, IdentitiesAreUniquePerRoot) {
+  Topology topo = make_topology();
+  std::set<std::pair<uint32_t, std::string>> identities;
+  for (const AnycastSite& site : topo.sites) {
+    auto [it, inserted] = identities.insert({site.root_index, site.identity});
+    EXPECT_TRUE(inserted) << "duplicate identity " << site.identity;
+  }
+}
+
+TEST(DeploymentSpec, Totals) {
+  rss::RootCatalog catalog;
+  // Worldwide ground truth from Table 1.
+  EXPECT_EQ(catalog.server(0).deployment.total_global(), 33);   // a
+  EXPECT_EQ(catalog.server(0).deployment.total_local(), 23);
+  EXPECT_EQ(catalog.server(3).deployment.total_local(), 186);   // d
+  EXPECT_EQ(catalog.server(4).deployment.total_local(), 147);   // e
+  EXPECT_EQ(catalog.server(5).deployment.total_global(), 129);  // f
+  EXPECT_EQ(catalog.server(5).deployment.total_local(), 216);
+  EXPECT_EQ(catalog.server(10).deployment.total_global(), 105); // k
+  EXPECT_EQ(catalog.server(12).deployment.total_global(), 7);   // m
+}
+
+}  // namespace
+}  // namespace rootsim::netsim

@@ -1,0 +1,135 @@
+#include "resolver/priming.h"
+
+#include <gtest/gtest.h>
+
+namespace rootsim::resolver {
+namespace {
+
+using util::make_time;
+
+const measure::Campaign& test_campaign() {
+  static const measure::Campaign* campaign = [] {
+    measure::CampaignConfig config;
+    config.zone.tld_count = 25;
+    config.zone.rsa_modulus_bits = 512;
+    config.vp_scale = 0.05;
+    return new measure::Campaign(config);
+  }();
+  return *campaign;
+}
+
+PrimingResolver make_resolver(PrimingConfig config = {},
+                              util::UnixTime hints_as_of = make_time(2020, 1, 1)) {
+  return PrimingResolver(
+      test_campaign(), test_campaign().vantage_points()[0],
+      builtin_hints(test_campaign().catalog(), hints_as_of), config);
+}
+
+TEST(Priming, HintsReflectTheirEra) {
+  const auto& catalog = test_campaign().catalog();
+  auto old_hints = builtin_hints(catalog, make_time(2020, 1, 1));
+  auto new_hints = builtin_hints(catalog, make_time(2024, 3, 1));
+  ASSERT_EQ(old_hints.size(), 13u);
+  ASSERT_EQ(new_hints.size(), 13u);
+  EXPECT_EQ(old_hints[1].ipv4->to_string(), "199.9.14.201");   // old b
+  EXPECT_EQ(new_hints[1].ipv4->to_string(), "170.247.170.2");  // new b
+  EXPECT_EQ(old_hints[0].ipv4->to_string(), "198.41.0.4");     // a unchanged
+  EXPECT_EQ(new_hints[0].ipv4->to_string(), "198.41.0.4");
+}
+
+TEST(Priming, PrimingLearnsNewBrootAddress) {
+  // A resolver with a 2020 hints file primes after the renumbering and must
+  // learn b.root's new address from the zone.
+  auto resolver = make_resolver();
+  util::UnixTime after_change = make_time(2023, 12, 1, 12, 0);
+  EXPECT_EQ(resolver.address_of('b', util::IpFamily::V4)->to_string(),
+            "199.9.14.201");
+  EXPECT_TRUE(resolver.ensure_primed(after_change));
+  EXPECT_TRUE(resolver.ever_primed());
+  EXPECT_EQ(resolver.address_of('b', util::IpFamily::V4)->to_string(),
+            "170.247.170.2");
+  EXPECT_EQ(resolver.address_of('b', util::IpFamily::V6)->to_string(),
+            "2801:1b8:10::b");
+}
+
+TEST(Priming, PrimingBeforeChangeKeepsOldAddress) {
+  auto resolver = make_resolver();
+  util::UnixTime before_change = make_time(2023, 10, 1, 12, 0);
+  EXPECT_TRUE(resolver.ensure_primed(before_change));
+  EXPECT_EQ(resolver.address_of('b', util::IpFamily::V4)->to_string(),
+            "199.9.14.201");
+}
+
+TEST(Priming, NonPrimingResolverKeepsHintsForever) {
+  PrimingConfig config;
+  config.primes = false;
+  auto resolver = make_resolver(config);
+  util::UnixTime long_after = make_time(2024, 4, 1);
+  EXPECT_FALSE(resolver.ensure_primed(long_after));
+  EXPECT_FALSE(resolver.ever_primed());
+  // Thirteen-years-of-old-j-root behaviour: still the hints-file address.
+  EXPECT_EQ(resolver.address_of('b', util::IpFamily::V4)->to_string(),
+            "199.9.14.201");
+  EXPECT_EQ(resolver.priming_queries_sent(), 0u);
+}
+
+TEST(Priming, RefreshIntervalRespected) {
+  auto resolver = make_resolver();
+  util::UnixTime t0 = make_time(2023, 12, 1, 0, 0);
+  EXPECT_TRUE(resolver.ensure_primed(t0));
+  // Within the NS TTL: no re-prime.
+  EXPECT_FALSE(resolver.ensure_primed(t0 + 3600));
+  EXPECT_FALSE(resolver.ensure_primed(t0 + 518400 - 1));
+  // Past the TTL: re-prime.
+  EXPECT_TRUE(resolver.ensure_primed(t0 + 518400 + 1));
+  EXPECT_EQ(resolver.priming_queries_sent(), 2u);
+}
+
+TEST(Priming, AllThirteenRootsLearned) {
+  auto resolver = make_resolver();
+  ASSERT_TRUE(resolver.ensure_primed(make_time(2023, 12, 10)));
+  const auto& catalog = test_campaign().catalog();
+  for (char letter = 'a'; letter <= 'm'; ++letter) {
+    auto v4 = resolver.address_of(letter, util::IpFamily::V4);
+    auto v6 = resolver.address_of(letter, util::IpFamily::V6);
+    ASSERT_TRUE(v4.has_value()) << letter;
+    ASSERT_TRUE(v6.has_value()) << letter;
+    EXPECT_EQ(*v4, catalog.by_letter(letter).ipv4) << letter;
+    EXPECT_EQ(*v6, catalog.by_letter(letter).ipv6) << letter;
+  }
+}
+
+TEST(Priming, NextTargetRoundRobinsAndPrimes) {
+  PrimingConfig config;
+  config.preferred_family = util::IpFamily::V6;
+  auto resolver = make_resolver(config);
+  util::UnixTime now = make_time(2023, 12, 10);
+  std::set<std::string> seen;
+  for (int i = 0; i < 13; ++i) {
+    auto target = resolver.next_target(now);
+    ASSERT_TRUE(target.has_value());
+    EXPECT_TRUE(target->is_v6());
+    seen.insert(target->to_string());
+  }
+  EXPECT_EQ(seen.size(), 13u);  // all roots hit once per cycle
+  EXPECT_TRUE(resolver.ever_primed());
+}
+
+TEST(Priming, PrimedOldAddressTouchIsTheFig8Signal) {
+  // After the change, a priming resolver's only contact with the old subnet
+  // is the priming exchange itself (when hints still point there).
+  auto resolver = make_resolver();  // 2020 hints: b -> old address
+  util::UnixTime after = make_time(2023, 12, 1);
+  size_t before_queries = resolver.priming_queries_sent();
+  resolver.ensure_primed(after);
+  EXPECT_EQ(resolver.priming_queries_sent(), before_queries + 1);
+  // From now on, all traffic goes to learned (new) addresses.
+  for (int i = 0; i < 13; ++i) {
+    auto target = resolver.next_target(after + 60);
+    ASSERT_TRUE(target.has_value());
+    EXPECT_NE(target->to_string(), "199.9.14.201");
+  }
+}
+
+}  // namespace
+}  // namespace rootsim::resolver

@@ -1,0 +1,74 @@
+#include "rss/catalog.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+namespace rootsim::rss {
+namespace {
+
+TEST(Catalog, ThirteenServersWithCorrectAddresses) {
+  RootCatalog catalog;
+  EXPECT_EQ(catalog.servers().size(), 13u);
+  // Spot-check service addresses against the measurement script's list.
+  EXPECT_EQ(catalog.by_letter('a').ipv4.to_string(), "198.41.0.4");
+  EXPECT_EQ(catalog.by_letter('b').ipv4.to_string(), "170.247.170.2");
+  EXPECT_EQ(catalog.by_letter('b').ipv6.to_string(), "2801:1b8:10::b");
+  EXPECT_EQ(catalog.by_letter('k').ipv4.to_string(), "193.0.14.129");
+  EXPECT_EQ(catalog.by_letter('k').ipv6.to_string(), "2001:7fd::1");
+  EXPECT_EQ(catalog.by_letter('m').ipv4.to_string(), "202.12.27.33");
+  EXPECT_EQ(catalog.by_letter('m').ipv6.to_string(), "2001:dc3::35");
+}
+
+TEST(Catalog, RenumberingAddresses) {
+  RootCatalog catalog;
+  const auto& renumbering = catalog.renumbering();
+  EXPECT_EQ(renumbering.old_ipv4.to_string(), "199.9.14.201");
+  EXPECT_EQ(renumbering.old_ipv6.to_string(), "2001:500:200::b");
+  EXPECT_EQ(renumbering.new_ipv4, catalog.by_letter('b').ipv4);
+  EXPECT_EQ(renumbering.new_ipv6, catalog.by_letter('b').ipv6);
+  EXPECT_EQ(util::format_date(renumbering.zone_change_time), "2023-11-27");
+}
+
+TEST(Catalog, IndexOfAddressCoversOldAndNew) {
+  RootCatalog catalog;
+  EXPECT_EQ(catalog.index_of_address(*util::IpAddress::parse("198.41.0.4")), 0);
+  EXPECT_EQ(catalog.index_of_address(*util::IpAddress::parse("199.9.14.201")), 1);
+  EXPECT_EQ(catalog.index_of_address(*util::IpAddress::parse("2001:500:200::b")), 1);
+  EXPECT_EQ(catalog.index_of_address(*util::IpAddress::parse("170.247.170.2")), 1);
+  EXPECT_EQ(catalog.index_of_address(*util::IpAddress::parse("2001:dc3::35")), 12);
+  EXPECT_EQ(catalog.index_of_address(*util::IpAddress::parse("192.0.2.1")), -1);
+}
+
+TEST(Catalog, ServiceAddressListHas28Entries) {
+  RootCatalog catalog;
+  // 12 roots x 2 families + b.root's 4 addresses = 28.
+  auto addresses = catalog.service_addresses(util::make_time(2023, 12, 1));
+  EXPECT_EQ(addresses.size(), 28u);
+  // All addresses resolve back to a root.
+  for (const auto& address : addresses)
+    EXPECT_GE(catalog.index_of_address(address), 0);
+}
+
+TEST(Catalog, LocalSiteOperatorsMatchPaper) {
+  RootCatalog catalog;
+  // Paper §2: b, c, g, h, i, l use no local sites at all.
+  for (char letter : {'b', 'c', 'g', 'h', 'i', 'l'})
+    EXPECT_FALSE(catalog.by_letter(letter).has_local_sites()) << letter;
+  for (char letter : {'a', 'd', 'e', 'f', 'j', 'k', 'm'})
+    EXPECT_TRUE(catalog.by_letter(letter).has_local_sites()) << letter;
+}
+
+TEST(Catalog, DetourRulesReferenceKnownAses) {
+  auto rules = paper_detour_rules();
+  EXPECT_GE(rules.size(), 6u);
+  for (const auto& rule : rules) {
+    EXPECT_TRUE(rule.via_as == 6939 || rule.via_as == 12956);
+    EXPECT_GT(rule.vp_fraction, 0);
+    EXPECT_LE(rule.vp_fraction, 1);
+    EXPECT_GT(rule.mean_rtt_ms, 0);
+    EXPECT_LT(rule.root_index, 13u);
+  }
+}
+
+}  // namespace
+}  // namespace rootsim::rss

@@ -1,0 +1,192 @@
+#include "rss/server.h"
+
+#include <gtest/gtest.h>
+
+#include "dnssec/validator.h"
+
+namespace rootsim::rss {
+namespace {
+
+using util::make_time;
+
+struct Fixture {
+  RootCatalog catalog;
+  ZoneAuthorityConfig config;
+  std::unique_ptr<ZoneAuthority> authority;
+  std::unique_ptr<RootServerInstance> instance;
+
+  Fixture() {
+    config.tld_count = 25;
+    config.rsa_modulus_bits = 512;
+    authority = std::make_unique<ZoneAuthority>(catalog, config);
+    instance = std::make_unique<RootServerInstance>(*authority, catalog, 5,
+                                                    "eu01.f.root-servers.org");
+  }
+};
+
+dns::Message query(const char* qname, dns::RRType qtype,
+                   dns::RRClass qclass = dns::RRClass::IN, bool dnssec = false) {
+  return dns::make_query(1234, *dns::Name::parse(qname), qtype, qclass, dnssec);
+}
+
+TEST(RootServer, AnswersRootNsAuthoritatively) {
+  Fixture f;
+  dns::Message response =
+      f.instance->handle_query(query(".", dns::RRType::NS), make_time(2023, 10, 1));
+  EXPECT_TRUE(response.qr);
+  EXPECT_TRUE(response.aa);
+  EXPECT_EQ(response.rcode, dns::Rcode::NoError);
+  EXPECT_EQ(response.answers.size(), 13u);
+}
+
+TEST(RootServer, AnswersSoaWithCurrentSerial) {
+  Fixture f;
+  util::UnixTime now = make_time(2023, 10, 8, 14, 0);
+  dns::Message response = f.instance->handle_query(query(".", dns::RRType::SOA), now);
+  ASSERT_EQ(response.answers.size(), 1u);
+  const auto& soa = std::get<dns::SoaData>(response.answers[0].rdata);
+  EXPECT_EQ(soa.serial, f.authority->serial_at(now));
+}
+
+TEST(RootServer, HostnameBindReturnsIdentity) {
+  Fixture f;
+  dns::Message response = f.instance->handle_query(
+      query("hostname.bind.", dns::RRType::TXT, dns::RRClass::CH),
+      make_time(2023, 10, 1));
+  ASSERT_EQ(response.answers.size(), 1u);
+  const auto& txt = std::get<dns::TxtData>(response.answers[0].rdata);
+  ASSERT_EQ(txt.strings.size(), 1u);
+  EXPECT_EQ(txt.strings[0], "eu01.f.root-servers.org");
+  EXPECT_EQ(response.answers[0].rclass, dns::RRClass::CH);
+  // id.server gives the same answer.
+  dns::Message id_response = f.instance->handle_query(
+      query("id.server.", dns::RRType::TXT, dns::RRClass::CH),
+      make_time(2023, 10, 1));
+  EXPECT_EQ(std::get<dns::TxtData>(id_response.answers[0].rdata).strings[0],
+            "eu01.f.root-servers.org");
+}
+
+TEST(RootServer, VersionBindReturnsBanner) {
+  Fixture f;
+  dns::Message response = f.instance->handle_query(
+      query("version.bind.", dns::RRType::TXT, dns::RRClass::CH),
+      make_time(2023, 10, 1));
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_FALSE(
+      std::get<dns::TxtData>(response.answers[0].rdata).strings[0].empty());
+}
+
+TEST(RootServer, UnknownChaosQueryRefused) {
+  Fixture f;
+  dns::Message response = f.instance->handle_query(
+      query("nonsense.bind.", dns::RRType::TXT, dns::RRClass::CH),
+      make_time(2023, 10, 1));
+  EXPECT_EQ(response.rcode, dns::Rcode::Refused);
+}
+
+TEST(RootServer, TldQueryGivesReferral) {
+  Fixture f;
+  dns::Message response = f.instance->handle_query(
+      query("com.", dns::RRType::NS), make_time(2023, 10, 1));
+  // Delegation data is non-authoritative.
+  EXPECT_FALSE(response.aa);
+  EXPECT_EQ(response.rcode, dns::Rcode::NoError);
+  EXPECT_FALSE(response.answers.empty());
+}
+
+TEST(RootServer, BelowDelegationGivesReferralToTld) {
+  Fixture f;
+  dns::Message response = f.instance->handle_query(
+      query("www.example.com.", dns::RRType::A), make_time(2023, 10, 1));
+  EXPECT_FALSE(response.aa);
+  EXPECT_EQ(response.rcode, dns::Rcode::NoError);
+  EXPECT_TRUE(response.answers.empty());
+  ASSERT_FALSE(response.authority.empty());
+  EXPECT_EQ(response.authority[0].name, *dns::Name::parse("com."));
+  EXPECT_EQ(response.authority[0].type, dns::RRType::NS);
+}
+
+TEST(RootServer, NxDomainForUnknownTld) {
+  Fixture f;
+  dns::Message response = f.instance->handle_query(
+      query("definitely-not-a-tld-xyzq.", dns::RRType::A), make_time(2023, 10, 1));
+  EXPECT_EQ(response.rcode, dns::Rcode::NxDomain);
+  EXPECT_TRUE(response.aa);
+  // SOA in authority for negative caching.
+  ASSERT_FALSE(response.authority.empty());
+  EXPECT_EQ(response.authority[0].type, dns::RRType::SOA);
+}
+
+TEST(RootServer, NodataForExistingNameWrongType) {
+  Fixture f;
+  dns::Message response = f.instance->handle_query(
+      query(".", dns::RRType::MX), make_time(2023, 10, 1));
+  EXPECT_EQ(response.rcode, dns::Rcode::NoError);
+  EXPECT_TRUE(response.answers.empty());
+  ASSERT_FALSE(response.authority.empty());
+  EXPECT_EQ(response.authority[0].type, dns::RRType::SOA);
+}
+
+TEST(RootServer, DnssecOkAttachesRrsigs) {
+  Fixture f;
+  util::UnixTime now = make_time(2023, 10, 1);
+  dns::Message plain = f.instance->handle_query(query(".", dns::RRType::NS), now);
+  dns::Message with_do = f.instance->handle_query(
+      query(".", dns::RRType::NS, dns::RRClass::IN, /*dnssec=*/true), now);
+  auto count_rrsigs = [](const dns::Message& m) {
+    size_t count = 0;
+    for (const auto& rr : m.answers)
+      if (rr.type == dns::RRType::RRSIG) ++count;
+    return count;
+  };
+  EXPECT_EQ(count_rrsigs(plain), 0u);
+  EXPECT_GE(count_rrsigs(with_do), 1u);
+}
+
+TEST(RootServer, EmptyQuestionIsFormErr) {
+  Fixture f;
+  dns::Message empty;
+  dns::Message response = f.instance->handle_query(empty, make_time(2023, 10, 1));
+  EXPECT_EQ(response.rcode, dns::Rcode::FormErr);
+}
+
+TEST(RootServer, AxfrServesFullZone) {
+  Fixture f;
+  util::UnixTime now = make_time(2023, 10, 1);
+  auto records = f.instance->handle_axfr(now);
+  ASSERT_GE(records.size(), 2u);
+  EXPECT_EQ(records.front().type, dns::RRType::SOA);
+  EXPECT_EQ(records.back().type, dns::RRType::SOA);
+  auto zone = dns::Zone::from_axfr(records, dns::Name());
+  ASSERT_TRUE(zone.has_value());
+  EXPECT_EQ(zone->serial(), f.authority->serial_at(now));
+}
+
+TEST(RootServer, AxfrRefusalWhenDisabled) {
+  Fixture f;
+  InstanceBehavior behavior;
+  behavior.allow_axfr = false;
+  RootServerInstance strict(*f.authority, f.catalog, 6, "na01.g", behavior);
+  EXPECT_TRUE(strict.handle_axfr(make_time(2023, 10, 1)).empty());
+}
+
+TEST(RootServer, FrozenInstanceServesStaleZone) {
+  // The paper's stale d.root sites: expired signatures weeks later.
+  Fixture f;
+  InstanceBehavior behavior;
+  behavior.frozen_at = make_time(2023, 7, 28);
+  RootServerInstance stale(*f.authority, f.catalog, 3, "as01.d", behavior);
+  util::UnixTime query_time = make_time(2023, 8, 16, 10, 0);
+  auto records = stale.handle_axfr(query_time);
+  auto zone = dns::Zone::from_axfr(records, dns::Name());
+  ASSERT_TRUE(zone.has_value());
+  EXPECT_EQ(zone->serial(), f.authority->serial_at(make_time(2023, 7, 28)));
+  // Validating at the (later) query time: signatures have expired.
+  auto result = dnssec::validate_zone(*zone, f.authority->trust_anchors(),
+                                      query_time);
+  EXPECT_EQ(result.dominant_failure(),
+            dnssec::ValidationStatus::SignatureExpired);
+}
+
+}  // namespace
+}  // namespace rootsim::rss

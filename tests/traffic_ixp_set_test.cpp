@@ -1,0 +1,98 @@
+#include "traffic/ixp_set.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/traffic_report.h"
+#include "util/stats.h"
+
+namespace rootsim::traffic {
+namespace {
+
+using util::make_time;
+
+const util::UnixTime kChange = make_time(2023, 11, 27);
+
+IxpSetConfig small_config() {
+  IxpSetConfig config;
+  config.clients_per_peer = 8;  // keep tests fast
+  return config;
+}
+
+TEST(IxpSet, FourteenIxpsAsInThePaper) {
+  auto ixps = build_ixp_set(kChange, small_config());
+  EXPECT_EQ(ixps.size(), 14u);
+  size_t eu = 0, na = 0;
+  std::set<std::string> names;
+  for (const auto& ixp : ixps) {
+    if (ixp.region == util::Region::Europe) ++eu;
+    if (ixp.region == util::Region::NorthAmerica) ++na;
+    EXPECT_TRUE(names.insert(ixp.name).second);
+    ASSERT_NE(ixp.collector, nullptr);
+  }
+  EXPECT_EQ(eu, 9u);
+  EXPECT_EQ(na, 5u);
+}
+
+TEST(IxpSet, SizesAreHeavyTailed) {
+  auto ixps = build_ixp_set(kChange, small_config());
+  size_t largest = 0, smallest = SIZE_MAX;
+  for (const auto& ixp : ixps) {
+    largest = std::max(largest, ixp.peer_count);
+    smallest = std::min(smallest, ixp.peer_count);
+  }
+  EXPECT_GT(largest, smallest * 4);
+}
+
+TEST(IxpSet, PerIxpEagernessVariesAroundRegionalMean) {
+  auto ixps = build_ixp_set(kChange, small_config());
+  std::vector<double> eu_shifts, na_shifts;
+  for (const auto& ixp : ixps) {
+    auto days = ixp.collector->collect(make_time(2023, 12, 10),
+                                       make_time(2023, 12, 22));
+    double shift = analysis::shift_ratio(days).v6;
+    (ixp.region == util::Region::Europe ? eu_shifts : na_shifts).push_back(shift);
+  }
+  // Per-IXP spread exists...
+  auto spread = [](const std::vector<double>& v) {
+    return *std::max_element(v.begin(), v.end()) -
+           *std::min_element(v.begin(), v.end());
+  };
+  EXPECT_GT(spread(eu_shifts), 0.03);
+  // ...and the regional means stay well separated (the paper reports only
+  // the regional aggregates; individual IXPs may straggle).
+  EXPECT_GT(util::mean(eu_shifts), util::mean(na_shifts) + 0.2);
+}
+
+TEST(IxpSet, AggregationMatchesPaperRegionalNumbers) {
+  IxpSetConfig config;
+  config.clients_per_peer = 20;
+  auto ixps = build_ixp_set(kChange, config);
+  auto eu_days = aggregate_ixps(ixps, util::Region::Europe,
+                                make_time(2023, 12, 8), make_time(2023, 12, 28));
+  auto na_days = aggregate_ixps(ixps, util::Region::NorthAmerica,
+                                make_time(2023, 12, 8), make_time(2023, 12, 28));
+  double eu_shift = analysis::shift_ratio(eu_days).v6;
+  double na_shift = analysis::shift_ratio(na_days).v6;
+  EXPECT_NEAR(eu_shift, 0.608, 0.15);
+  EXPECT_NEAR(na_shift, 0.165, 0.12);
+}
+
+TEST(IxpSet, AggregateSumsFlows) {
+  auto ixps = build_ixp_set(kChange, small_config());
+  auto all_eu = aggregate_ixps(ixps, util::Region::Europe,
+                               make_time(2023, 11, 1), make_time(2023, 11, 3));
+  ASSERT_EQ(all_eu.size(), 2u);
+  double aggregate_total = all_eu[0].total_flows();
+  double sum_of_parts = 0;
+  for (const auto& ixp : ixps) {
+    if (ixp.region != util::Region::Europe) continue;
+    sum_of_parts += ixp.collector
+                        ->collect(make_time(2023, 11, 1), make_time(2023, 11, 2))
+                        .at(0)
+                        .total_flows();
+  }
+  EXPECT_NEAR(aggregate_total, sum_of_parts, 1e-6);
+}
+
+}  // namespace
+}  // namespace rootsim::traffic

@@ -1,0 +1,99 @@
+#include "traffic/querymix.h"
+
+#include <gtest/gtest.h>
+
+#include "rss/zone_authority.h"
+
+namespace rootsim::traffic {
+namespace {
+
+struct Fixture {
+  rss::RootCatalog catalog;
+  rss::ZoneAuthorityConfig config;
+  std::unique_ptr<rss::ZoneAuthority> authority;
+  std::unique_ptr<rss::RootServerInstance> instance;
+
+  Fixture() {
+    config.tld_count = 40;
+    config.rsa_modulus_bits = 512;
+    authority = std::make_unique<rss::ZoneAuthority>(catalog, config);
+    instance = std::make_unique<rss::RootServerInstance>(*authority, catalog, 0,
+                                                         "na00.a");
+  }
+};
+
+TEST(QueryMix, GeneratedMixMatchesConfiguredFractions) {
+  Fixture f;
+  QueryMixConfig config;
+  config.queries = 20000;
+  auto workload = generate_query_workload(f.authority->tlds(), config);
+  ASSERT_EQ(workload.size(), config.queries);
+  std::array<size_t, 5> counts{};
+  for (const auto& q : workload) ++counts[static_cast<size_t>(q.cls)];
+  auto fraction = [&](QueryClass cls) {
+    return static_cast<double>(counts[static_cast<size_t>(cls)]) /
+           config.queries;
+  };
+  EXPECT_NEAR(fraction(QueryClass::NonexistentTld), 0.55, 0.02);
+  EXPECT_NEAR(fraction(QueryClass::RepeatedQuery), 0.18, 0.02);
+  EXPECT_NEAR(fraction(QueryClass::RootNs), 0.02, 0.01);
+  EXPECT_NEAR(fraction(QueryClass::Junk), 0.05, 0.01);
+  EXPECT_NEAR(fraction(QueryClass::ValidTld), 0.20, 0.02);
+}
+
+TEST(QueryMix, ReplayReproducesGaoFinding) {
+  // Gao et al. (via the paper's §3): more than half of all queries to the
+  // root fail due to non-existent TLDs.
+  Fixture f;
+  QueryMixConfig config;
+  config.queries = 8000;
+  auto workload = generate_query_workload(f.authority->tlds(), config);
+  auto report = replay_workload(*f.instance, workload,
+                                util::make_time(2023, 10, 1));
+  EXPECT_EQ(report.total, config.queries);
+  EXPECT_GT(report.nxdomain_fraction(), 0.5);
+  // Valid-TLD queries get referrals, never NXDOMAIN.
+  size_t valid = static_cast<size_t>(QueryClass::ValidTld);
+  EXPECT_EQ(report.per_class_nxdomain[valid], 0u);
+  EXPECT_GT(report.referrals, 0u);
+  // Nonexistent-TLD queries are all NXDOMAIN.
+  size_t nxd = static_cast<size_t>(QueryClass::NonexistentTld);
+  EXPECT_EQ(report.per_class_nxdomain[nxd], report.per_class_count[nxd]);
+}
+
+TEST(QueryMix, RepeatedQueriesComeFromSmallPool) {
+  Fixture f;
+  QueryMixConfig config;
+  config.queries = 5000;
+  auto workload = generate_query_workload(f.authority->tlds(), config);
+  std::set<std::string> repeated_names;
+  size_t repeated_total = 0;
+  for (const auto& q : workload) {
+    if (q.cls != QueryClass::RepeatedQuery) continue;
+    repeated_names.insert(q.qname.to_string());
+    ++repeated_total;
+  }
+  EXPECT_GT(repeated_total, 500u);
+  EXPECT_LE(repeated_names.size(), 5u) << "repeats concentrate on few names";
+}
+
+TEST(QueryMix, DeterministicForSeed) {
+  Fixture f;
+  QueryMixConfig config;
+  config.queries = 500;
+  auto a = generate_query_workload(f.authority->tlds(), config);
+  auto b = generate_query_workload(f.authority->tlds(), config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cls, b[i].cls);
+    EXPECT_EQ(a[i].qname, b[i].qname);
+  }
+}
+
+TEST(QueryMix, ClassNames) {
+  EXPECT_EQ(to_string(QueryClass::NonexistentTld), "nonexistent-tld");
+  EXPECT_EQ(to_string(QueryClass::Junk), "junk");
+}
+
+}  // namespace
+}  // namespace rootsim::traffic

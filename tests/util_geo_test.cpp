@@ -1,0 +1,68 @@
+#include "util/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace rootsim::util {
+namespace {
+
+TEST(Geo, HaversineKnownDistances) {
+  // Frankfurt <-> Ashburn (the paper's EU/NA IXP perspective) ~ 6,550 km.
+  GeoPoint fra{50.11, 8.68};
+  GeoPoint iad{39.04, -77.49};
+  double d = haversine_km(fra, iad);
+  EXPECT_NEAR(d, 6550, 150);
+  // Symmetry and identity.
+  EXPECT_DOUBLE_EQ(haversine_km(fra, iad), haversine_km(iad, fra));
+  EXPECT_DOUBLE_EQ(haversine_km(fra, fra), 0.0);
+}
+
+TEST(Geo, HaversineAntipodal) {
+  GeoPoint a{0, 0}, b{0, 180};
+  EXPECT_NEAR(haversine_km(a, b), 6371 * 3.14159265, 1.0);
+}
+
+TEST(Geo, FiberRttRuleOfThumb) {
+  // Paper §6: every 1,000 km induces ~10 ms of delay.
+  EXPECT_DOUBLE_EQ(fiber_rtt_ms(1000), 10.0);
+  EXPECT_DOUBLE_EQ(fiber_rtt_ms(0), 0.0);
+  EXPECT_DOUBLE_EQ(fiber_rtt_ms(15000), 150.0);
+}
+
+TEST(Geo, SixRegions) {
+  EXPECT_EQ(all_regions().size(), kRegionCount);
+  EXPECT_EQ(region_name(Region::SouthAmerica), "South America");
+  EXPECT_EQ(region_short_name(Region::Europe), "EU");
+}
+
+class RegionBoxes : public ::testing::TestWithParam<Region> {};
+
+TEST_P(RegionBoxes, BoxIsWellFormedAndContainsCentroid) {
+  Region r = GetParam();
+  const RegionBox& box = region_box(r);
+  EXPECT_EQ(box.region, r);
+  EXPECT_LT(box.lat_min, box.lat_max);
+  EXPECT_LT(box.lon_min, box.lon_max);
+  GeoPoint c = region_centroid(r);
+  EXPECT_GE(c.lat_deg, box.lat_min);
+  EXPECT_LE(c.lat_deg, box.lat_max);
+  EXPECT_GE(c.lon_deg, box.lon_min);
+  EXPECT_LE(c.lon_deg, box.lon_max);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegions, RegionBoxes,
+                         ::testing::ValuesIn(all_regions()));
+
+TEST(Geo, RegionsAreGeographicallyDistinct) {
+  // Centroid pairwise distances should all be > 2,000 km: regions must not
+  // overlap or the per-region RTT analysis would be meaningless.
+  const auto& regions = all_regions();
+  for (size_t i = 0; i < regions.size(); ++i)
+    for (size_t j = i + 1; j < regions.size(); ++j)
+      EXPECT_GT(haversine_km(region_centroid(regions[i]),
+                             region_centroid(regions[j])),
+                2000)
+          << region_name(regions[i]) << " vs " << region_name(regions[j]);
+}
+
+}  // namespace
+}  // namespace rootsim::util

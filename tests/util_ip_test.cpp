@@ -1,0 +1,129 @@
+#include "util/ip.h"
+
+#include <gtest/gtest.h>
+
+namespace rootsim::util {
+namespace {
+
+TEST(IpAddress, V4RoundTrip) {
+  auto ip = IpAddress::v4(198, 41, 0, 4);  // a.root
+  EXPECT_EQ(ip.to_string(), "198.41.0.4");
+  EXPECT_TRUE(ip.is_v4());
+  EXPECT_EQ(ip.byte_length(), 4u);
+  EXPECT_EQ(ip.v4_value(), 0xC6290004u);
+}
+
+TEST(IpAddress, V4FromHostOrder) {
+  auto ip = IpAddress::v4(0xC0000201u);
+  EXPECT_EQ(ip.to_string(), "192.0.2.1");
+}
+
+TEST(IpAddress, ParseV4) {
+  auto ip = IpAddress::parse("199.9.14.201");  // old b.root
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->to_string(), "199.9.14.201");
+}
+
+TEST(IpAddress, ParseV4Invalid) {
+  EXPECT_FALSE(IpAddress::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(IpAddress::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(IpAddress::parse("").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4 ").has_value());
+}
+
+struct V6Case {
+  const char* input;
+  const char* canonical;
+};
+
+class V6ParseFormat : public ::testing::TestWithParam<V6Case> {};
+
+TEST_P(V6ParseFormat, RoundTrips) {
+  const auto& c = GetParam();
+  auto ip = IpAddress::parse(c.input);
+  ASSERT_TRUE(ip.has_value()) << c.input;
+  EXPECT_TRUE(ip->is_v6());
+  EXPECT_EQ(ip->to_string(), c.canonical);
+  // Canonical text parses back to the same address.
+  auto again = IpAddress::parse(ip->to_string());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *ip);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RootServerAddresses, V6ParseFormat,
+    ::testing::Values(
+        V6Case{"2001:503:ba3e::2:30", "2001:503:ba3e::2:30"},    // a.root
+        V6Case{"2001:500:200::b", "2001:500:200::b"},            // b.root old
+        V6Case{"2801:1b8:10::b", "2801:1b8:10::b"},              // b.root new
+        V6Case{"2001:500:2::c", "2001:500:2::c"},                // c.root
+        V6Case{"2001:7fd::1", "2001:7fd::1"},                    // k.root
+        V6Case{"2001:dc3::35", "2001:dc3::35"},                  // m.root
+        V6Case{"2001:0503:BA3E:0000:0000:0000:0002:0030", "2001:503:ba3e::2:30"},
+        V6Case{"::", "::"}, V6Case{"::1", "::1"}, V6Case{"1::", "1::"},
+        V6Case{"0:0:0:0:0:0:0:1", "::1"},
+        V6Case{"2001:db8:0:0:1:0:0:1", "2001:db8::1:0:0:1"},
+        V6Case{"fe80:0:0:0:0:0:0:0", "fe80::"}));
+
+TEST(IpAddress, ParseV6Invalid) {
+  EXPECT_FALSE(IpAddress::parse(":::").has_value());
+  EXPECT_FALSE(IpAddress::parse("1:2:3:4:5:6:7").has_value());
+  EXPECT_FALSE(IpAddress::parse("1:2:3:4:5:6:7:8:9").has_value());
+  EXPECT_FALSE(IpAddress::parse("2001::db8::1").has_value());
+  EXPECT_FALSE(IpAddress::parse("12345::").has_value());
+  EXPECT_FALSE(IpAddress::parse("g::1").has_value());
+  // "::" present but all 8 groups already specified.
+  EXPECT_FALSE(IpAddress::parse("1:2:3:4:5:6:7:8::").has_value());
+}
+
+TEST(IpAddress, OrderingGroupsByFamily) {
+  auto v4 = IpAddress::v4(255, 255, 255, 255);
+  auto v6 = *IpAddress::parse("::1");
+  EXPECT_LT(v4, v6);  // all v4 sort before all v6
+}
+
+TEST(Prefix, MasksHostBits) {
+  auto ip = *IpAddress::parse("192.0.2.77");
+  Prefix p(ip, 24);
+  EXPECT_EQ(p.to_string(), "192.0.2.0/24");
+  EXPECT_TRUE(p.contains(ip));
+  EXPECT_TRUE(p.contains(*IpAddress::parse("192.0.2.255")));
+  EXPECT_FALSE(p.contains(*IpAddress::parse("192.0.3.0")));
+}
+
+TEST(Prefix, NonOctetAlignedLength) {
+  auto ip = *IpAddress::parse("10.255.255.255");
+  Prefix p(ip, 12);
+  EXPECT_EQ(p.to_string(), "10.240.0.0/12");
+  EXPECT_TRUE(p.contains(*IpAddress::parse("10.250.1.1")));
+  EXPECT_FALSE(p.contains(*IpAddress::parse("10.128.0.0")));
+}
+
+TEST(Prefix, PrivacyAggregation) {
+  // The paper normalizes client IPs to /24 (v4) and /48 (v6).
+  auto v4 = Prefix::privacy_prefix_of(*IpAddress::parse("203.0.113.99"));
+  EXPECT_EQ(v4.to_string(), "203.0.113.0/24");
+  auto v6 = Prefix::privacy_prefix_of(*IpAddress::parse("2001:db8:abcd:12:34::1"));
+  EXPECT_EQ(v6.to_string(), "2001:db8:abcd::/48");
+}
+
+TEST(Prefix, ParseAndCrossFamilyContains) {
+  auto p = Prefix::parse("2001:500:200::/48");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 48);
+  EXPECT_TRUE(p->contains(*IpAddress::parse("2001:500:200::b")));
+  EXPECT_FALSE(p->contains(*IpAddress::parse("199.9.14.201")));  // wrong family
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/33").has_value());
+  EXPECT_FALSE(Prefix::parse("1.2.3.4").has_value());
+  EXPECT_FALSE(Prefix::parse("::/129").has_value());
+}
+
+TEST(Prefix, V4LengthClamped) {
+  Prefix p(IpAddress::v4(1, 2, 3, 4), 40);
+  EXPECT_EQ(p.length(), 32);
+}
+
+}  // namespace
+}  // namespace rootsim::util

@@ -1,0 +1,85 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace rootsim::util {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+  Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0 / 3.0), 20);
+}
+
+TEST(Stats, SummaryOrdering) {
+  std::vector<double> v;
+  for (int i = 100; i >= 1; --i) v.push_back(i);
+  Summary s = summarize(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 100);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+  EXPECT_LE(s.p75, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+}
+
+TEST(Ecdf, StepFunction) {
+  Ecdf e({1, 2, 2, 3});
+  EXPECT_DOUBLE_EQ(e.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(1), 0.25);
+  EXPECT_DOUBLE_EQ(e.at(2), 0.75);
+  EXPECT_DOUBLE_EQ(e.at(3), 1.0);
+  EXPECT_DOUBLE_EQ(e.at(99), 1.0);
+  EXPECT_DOUBLE_EQ(e.complementary(2), 0.25);
+}
+
+TEST(Ecdf, QuantileMatchesSortedSamples) {
+  Ecdf e({5, 1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 1);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 3);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 5);
+}
+
+TEST(IntHistogram, CountsAndMean) {
+  IntHistogram h;
+  h.add(0, 3);
+  h.add(2, 1);
+  h.add(12);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 3u);
+  EXPECT_EQ(h.count(1), 0u);
+  EXPECT_EQ(h.count(12), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), (0 * 3 + 2 + 12) / 5.0);
+  EXPECT_EQ(h.min_value(), 0);
+  EXPECT_EQ(h.max_value(), 12);
+}
+
+TEST(IntHistogram, RenderContainsEachBin) {
+  IntHistogram h;
+  h.add(1, 10);
+  h.add(2, 5);
+  std::string out = render_histogram(h, 10);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // peak bar
+  EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rootsim::util

@@ -1,0 +1,57 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace rootsim::util {
+namespace {
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty) {
+  auto parts = split_whitespace("  a\t b\n\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(split_whitespace("   ").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, ToLowerAsciiOnly) {
+  EXPECT_EQ(to_lower("B.ROOT-Servers.NET"), "b.root-servers.net");
+  EXPECT_EQ(to_lower("abc123"), "abc123");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("hostname.bind", "hostname"));
+  EXPECT_FALSE(starts_with("bind", "hostname"));
+  EXPECT_TRUE(ends_with("b.root-servers.net", ".net"));
+  EXPECT_FALSE(ends_with("net", "b.root-servers.net"));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f%%", 69.95), "69.95%");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+}  // namespace
+}  // namespace rootsim::util

@@ -1,0 +1,64 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace rootsim::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"Root", "Sites", "%Cov"});
+  table.add_row({"a", "56", "89.3"});
+  table.add_row({"b", "6", "100.0"});
+  std::string out = table.render();
+  EXPECT_NE(out.find("Root"), std::string::npos);
+  EXPECT_NE(out.find("89.3"), std::string::npos);
+  // Three lines of content: header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsAlign) {
+  TextTable table({"x", "value"});
+  table.add_row({"short", "1"});
+  table.add_row({"a-much-longer-cell", "22"});
+  auto lines = split(table.render(), '\n');
+  ASSERT_GE(lines.size(), 4u);
+  // All non-empty lines have equal rendered width.
+  size_t width = lines[1].size();  // separator line defines total width
+  for (const auto& line : lines) {
+    if (line.empty()) continue;
+    EXPECT_LE(line.size(), width + 2);
+  }
+  // Numeric column is right-aligned: "1" and "22" end at the same column.
+  EXPECT_EQ(lines[2].find_last_not_of(' '), lines[3].find_last_not_of(' '));
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  std::string out = table.render();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(TextTable, NumAndPctFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.14159, 0), "3");
+  EXPECT_EQ(TextTable::pct(0.695, 1), "69.5%");
+  EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+TEST(TextTable, CustomAlignment) {
+  TextTable table({"l", "r"});
+  table.set_alignment({Align::Right, Align::Left});
+  table.add_row({"x", "y"});
+  table.add_row({"xx", "yy"});
+  auto lines = split(table.render(), '\n');
+  // First column right-aligned: "x" is indented relative to "xx".
+  EXPECT_EQ(lines[2][0], ' ');
+  EXPECT_EQ(lines[3][0], 'x');
+}
+
+}  // namespace
+}  // namespace rootsim::util
