@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_querymix.dir/bench_ext_querymix.cpp.o"
+  "CMakeFiles/bench_ext_querymix.dir/bench_ext_querymix.cpp.o.d"
+  "bench_ext_querymix"
+  "bench_ext_querymix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_querymix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

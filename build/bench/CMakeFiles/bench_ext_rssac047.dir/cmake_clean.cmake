@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_rssac047.dir/bench_ext_rssac047.cpp.o"
+  "CMakeFiles/bench_ext_rssac047.dir/bench_ext_rssac047.cpp.o.d"
+  "bench_ext_rssac047"
+  "bench_ext_rssac047.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rssac047.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

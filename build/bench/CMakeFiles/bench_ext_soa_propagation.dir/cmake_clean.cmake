@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_soa_propagation.dir/bench_ext_soa_propagation.cpp.o"
+  "CMakeFiles/bench_ext_soa_propagation.dir/bench_ext_soa_propagation.cpp.o.d"
+  "bench_ext_soa_propagation"
+  "bench_ext_soa_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_soa_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_isp_all_roots.dir/bench_fig12_isp_all_roots.cpp.o"
+  "CMakeFiles/bench_fig12_isp_all_roots.dir/bench_fig12_isp_all_roots.cpp.o.d"
+  "bench_fig12_isp_all_roots"
+  "bench_fig12_isp_all_roots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_isp_all_roots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

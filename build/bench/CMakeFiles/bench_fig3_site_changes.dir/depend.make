@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3_site_changes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_rtt_by_region.dir/bench_fig6_rtt_by_region.cpp.o"
+  "CMakeFiles/bench_fig6_rtt_by_region.dir/bench_fig6_rtt_by_region.cpp.o.d"
+  "bench_fig6_rtt_by_region"
+  "bench_fig6_rtt_by_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rtt_by_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

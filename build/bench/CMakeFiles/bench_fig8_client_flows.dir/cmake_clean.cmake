@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_client_flows.dir/bench_fig8_client_flows.cpp.o"
+  "CMakeFiles/bench_fig8_client_flows.dir/bench_fig8_client_flows.cpp.o.d"
+  "bench_fig8_client_flows"
+  "bench_fig8_client_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_client_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_ixp_broot_v6.dir/bench_fig9_ixp_broot_v6.cpp.o"
+  "CMakeFiles/bench_fig9_ixp_broot_v6.dir/bench_fig9_ixp_broot_v6.cpp.o.d"
+  "bench_fig9_ixp_broot_v6"
+  "bench_fig9_ixp_broot_v6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_ixp_broot_v6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dns.dir/bench_micro_dns.cpp.o"
+  "CMakeFiles/bench_micro_dns.dir/bench_micro_dns.cpp.o.d"
+  "bench_micro_dns"
+  "bench_micro_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_channels.dir/bench_sec7_channels.cpp.o"
+  "CMakeFiles/bench_sec7_channels.dir/bench_sec7_channels.cpp.o.d"
+  "bench_sec7_channels"
+  "bench_sec7_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycast_atlas.dir/anycast_atlas.cpp.o"
+  "CMakeFiles/anycast_atlas.dir/anycast_atlas.cpp.o.d"
+  "anycast_atlas"
+  "anycast_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycast_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broot_renumbering.dir/broot_renumbering.cpp.o"
+  "CMakeFiles/broot_renumbering.dir/broot_renumbering.cpp.o.d"
+  "broot_renumbering"
+  "broot_renumbering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broot_renumbering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

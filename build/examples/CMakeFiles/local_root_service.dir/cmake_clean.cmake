@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_root_service.dir/local_root_service.cpp.o"
+  "CMakeFiles/local_root_service.dir/local_root_service.cpp.o.d"
+  "local_root_service"
+  "local_root_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_root_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootdig.dir/rootdig.cpp.o"
+  "CMakeFiles/rootdig.dir/rootdig.cpp.o.d"
+  "rootdig"
+  "rootdig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootdig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_integrity_audit.dir/zone_integrity_audit.cpp.o"
+  "CMakeFiles/zone_integrity_audit.dir/zone_integrity_audit.cpp.o.d"
+  "zone_integrity_audit"
+  "zone_integrity_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_integrity_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

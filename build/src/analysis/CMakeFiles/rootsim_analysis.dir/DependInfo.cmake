@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/colocation.cpp" "src/analysis/CMakeFiles/rootsim_analysis.dir/colocation.cpp.o" "gcc" "src/analysis/CMakeFiles/rootsim_analysis.dir/colocation.cpp.o.d"
+  "/root/repo/src/analysis/coverage.cpp" "src/analysis/CMakeFiles/rootsim_analysis.dir/coverage.cpp.o" "gcc" "src/analysis/CMakeFiles/rootsim_analysis.dir/coverage.cpp.o.d"
+  "/root/repo/src/analysis/distance.cpp" "src/analysis/CMakeFiles/rootsim_analysis.dir/distance.cpp.o" "gcc" "src/analysis/CMakeFiles/rootsim_analysis.dir/distance.cpp.o.d"
+  "/root/repo/src/analysis/propagation.cpp" "src/analysis/CMakeFiles/rootsim_analysis.dir/propagation.cpp.o" "gcc" "src/analysis/CMakeFiles/rootsim_analysis.dir/propagation.cpp.o.d"
+  "/root/repo/src/analysis/rssac_metrics.cpp" "src/analysis/CMakeFiles/rootsim_analysis.dir/rssac_metrics.cpp.o" "gcc" "src/analysis/CMakeFiles/rootsim_analysis.dir/rssac_metrics.cpp.o.d"
+  "/root/repo/src/analysis/rtt.cpp" "src/analysis/CMakeFiles/rootsim_analysis.dir/rtt.cpp.o" "gcc" "src/analysis/CMakeFiles/rootsim_analysis.dir/rtt.cpp.o.d"
+  "/root/repo/src/analysis/stability.cpp" "src/analysis/CMakeFiles/rootsim_analysis.dir/stability.cpp.o" "gcc" "src/analysis/CMakeFiles/rootsim_analysis.dir/stability.cpp.o.d"
+  "/root/repo/src/analysis/traffic_report.cpp" "src/analysis/CMakeFiles/rootsim_analysis.dir/traffic_report.cpp.o" "gcc" "src/analysis/CMakeFiles/rootsim_analysis.dir/traffic_report.cpp.o.d"
+  "/root/repo/src/analysis/zonemd_report.cpp" "src/analysis/CMakeFiles/rootsim_analysis.dir/zonemd_report.cpp.o" "gcc" "src/analysis/CMakeFiles/rootsim_analysis.dir/zonemd_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measure/CMakeFiles/rootsim_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/rootsim_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/rss/CMakeFiles/rootsim_rss.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/rootsim_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnssec/CMakeFiles/rootsim_dnssec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/rootsim_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rootsim_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rootsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

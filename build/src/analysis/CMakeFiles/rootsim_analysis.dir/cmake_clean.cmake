@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootsim_analysis.dir/colocation.cpp.o"
+  "CMakeFiles/rootsim_analysis.dir/colocation.cpp.o.d"
+  "CMakeFiles/rootsim_analysis.dir/coverage.cpp.o"
+  "CMakeFiles/rootsim_analysis.dir/coverage.cpp.o.d"
+  "CMakeFiles/rootsim_analysis.dir/distance.cpp.o"
+  "CMakeFiles/rootsim_analysis.dir/distance.cpp.o.d"
+  "CMakeFiles/rootsim_analysis.dir/propagation.cpp.o"
+  "CMakeFiles/rootsim_analysis.dir/propagation.cpp.o.d"
+  "CMakeFiles/rootsim_analysis.dir/rssac_metrics.cpp.o"
+  "CMakeFiles/rootsim_analysis.dir/rssac_metrics.cpp.o.d"
+  "CMakeFiles/rootsim_analysis.dir/rtt.cpp.o"
+  "CMakeFiles/rootsim_analysis.dir/rtt.cpp.o.d"
+  "CMakeFiles/rootsim_analysis.dir/stability.cpp.o"
+  "CMakeFiles/rootsim_analysis.dir/stability.cpp.o.d"
+  "CMakeFiles/rootsim_analysis.dir/traffic_report.cpp.o"
+  "CMakeFiles/rootsim_analysis.dir/traffic_report.cpp.o.d"
+  "CMakeFiles/rootsim_analysis.dir/zonemd_report.cpp.o"
+  "CMakeFiles/rootsim_analysis.dir/zonemd_report.cpp.o.d"
+  "librootsim_analysis.a"
+  "librootsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

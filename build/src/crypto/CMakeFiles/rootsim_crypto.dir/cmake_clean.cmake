@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootsim_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/rootsim_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/rootsim_crypto.dir/encoding.cpp.o"
+  "CMakeFiles/rootsim_crypto.dir/encoding.cpp.o.d"
+  "CMakeFiles/rootsim_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/rootsim_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/rootsim_crypto.dir/sha2.cpp.o"
+  "CMakeFiles/rootsim_crypto.dir/sha2.cpp.o.d"
+  "librootsim_crypto.a"
+  "librootsim_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootsim_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

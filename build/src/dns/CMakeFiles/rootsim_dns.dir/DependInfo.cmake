@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/axfr.cpp" "src/dns/CMakeFiles/rootsim_dns.dir/axfr.cpp.o" "gcc" "src/dns/CMakeFiles/rootsim_dns.dir/axfr.cpp.o.d"
+  "/root/repo/src/dns/codec.cpp" "src/dns/CMakeFiles/rootsim_dns.dir/codec.cpp.o" "gcc" "src/dns/CMakeFiles/rootsim_dns.dir/codec.cpp.o.d"
+  "/root/repo/src/dns/message.cpp" "src/dns/CMakeFiles/rootsim_dns.dir/message.cpp.o" "gcc" "src/dns/CMakeFiles/rootsim_dns.dir/message.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/dns/CMakeFiles/rootsim_dns.dir/name.cpp.o" "gcc" "src/dns/CMakeFiles/rootsim_dns.dir/name.cpp.o.d"
+  "/root/repo/src/dns/rdata.cpp" "src/dns/CMakeFiles/rootsim_dns.dir/rdata.cpp.o" "gcc" "src/dns/CMakeFiles/rootsim_dns.dir/rdata.cpp.o.d"
+  "/root/repo/src/dns/wire.cpp" "src/dns/CMakeFiles/rootsim_dns.dir/wire.cpp.o" "gcc" "src/dns/CMakeFiles/rootsim_dns.dir/wire.cpp.o.d"
+  "/root/repo/src/dns/zone.cpp" "src/dns/CMakeFiles/rootsim_dns.dir/zone.cpp.o" "gcc" "src/dns/CMakeFiles/rootsim_dns.dir/zone.cpp.o.d"
+  "/root/repo/src/dns/zone_diff.cpp" "src/dns/CMakeFiles/rootsim_dns.dir/zone_diff.cpp.o" "gcc" "src/dns/CMakeFiles/rootsim_dns.dir/zone_diff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rootsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rootsim_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootsim_dns.dir/axfr.cpp.o"
+  "CMakeFiles/rootsim_dns.dir/axfr.cpp.o.d"
+  "CMakeFiles/rootsim_dns.dir/codec.cpp.o"
+  "CMakeFiles/rootsim_dns.dir/codec.cpp.o.d"
+  "CMakeFiles/rootsim_dns.dir/message.cpp.o"
+  "CMakeFiles/rootsim_dns.dir/message.cpp.o.d"
+  "CMakeFiles/rootsim_dns.dir/name.cpp.o"
+  "CMakeFiles/rootsim_dns.dir/name.cpp.o.d"
+  "CMakeFiles/rootsim_dns.dir/rdata.cpp.o"
+  "CMakeFiles/rootsim_dns.dir/rdata.cpp.o.d"
+  "CMakeFiles/rootsim_dns.dir/wire.cpp.o"
+  "CMakeFiles/rootsim_dns.dir/wire.cpp.o.d"
+  "CMakeFiles/rootsim_dns.dir/zone.cpp.o"
+  "CMakeFiles/rootsim_dns.dir/zone.cpp.o.d"
+  "CMakeFiles/rootsim_dns.dir/zone_diff.cpp.o"
+  "CMakeFiles/rootsim_dns.dir/zone_diff.cpp.o.d"
+  "librootsim_dns.a"
+  "librootsim_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootsim_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnssec/canonical.cpp" "src/dnssec/CMakeFiles/rootsim_dnssec.dir/canonical.cpp.o" "gcc" "src/dnssec/CMakeFiles/rootsim_dnssec.dir/canonical.cpp.o.d"
+  "/root/repo/src/dnssec/signer.cpp" "src/dnssec/CMakeFiles/rootsim_dnssec.dir/signer.cpp.o" "gcc" "src/dnssec/CMakeFiles/rootsim_dnssec.dir/signer.cpp.o.d"
+  "/root/repo/src/dnssec/validator.cpp" "src/dnssec/CMakeFiles/rootsim_dnssec.dir/validator.cpp.o" "gcc" "src/dnssec/CMakeFiles/rootsim_dnssec.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/rootsim_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rootsim_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rootsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootsim_dnssec.dir/canonical.cpp.o"
+  "CMakeFiles/rootsim_dnssec.dir/canonical.cpp.o.d"
+  "CMakeFiles/rootsim_dnssec.dir/signer.cpp.o"
+  "CMakeFiles/rootsim_dnssec.dir/signer.cpp.o.d"
+  "CMakeFiles/rootsim_dnssec.dir/validator.cpp.o"
+  "CMakeFiles/rootsim_dnssec.dir/validator.cpp.o.d"
+  "librootsim_dnssec.a"
+  "librootsim_dnssec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootsim_dnssec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

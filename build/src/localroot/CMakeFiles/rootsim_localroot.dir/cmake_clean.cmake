@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootsim_localroot.dir/local_root.cpp.o"
+  "CMakeFiles/rootsim_localroot.dir/local_root.cpp.o.d"
+  "librootsim_localroot.a"
+  "librootsim_localroot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootsim_localroot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librootsim_localroot.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for rootsim_localroot.
+# This may be replaced when dependencies are built.

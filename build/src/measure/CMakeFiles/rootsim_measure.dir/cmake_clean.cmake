@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootsim_measure.dir/campaign.cpp.o"
+  "CMakeFiles/rootsim_measure.dir/campaign.cpp.o.d"
+  "CMakeFiles/rootsim_measure.dir/faults.cpp.o"
+  "CMakeFiles/rootsim_measure.dir/faults.cpp.o.d"
+  "CMakeFiles/rootsim_measure.dir/prober.cpp.o"
+  "CMakeFiles/rootsim_measure.dir/prober.cpp.o.d"
+  "CMakeFiles/rootsim_measure.dir/schedule.cpp.o"
+  "CMakeFiles/rootsim_measure.dir/schedule.cpp.o.d"
+  "CMakeFiles/rootsim_measure.dir/vantage.cpp.o"
+  "CMakeFiles/rootsim_measure.dir/vantage.cpp.o.d"
+  "librootsim_measure.a"
+  "librootsim_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootsim_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootsim_netsim.dir/routing.cpp.o"
+  "CMakeFiles/rootsim_netsim.dir/routing.cpp.o.d"
+  "CMakeFiles/rootsim_netsim.dir/topology.cpp.o"
+  "CMakeFiles/rootsim_netsim.dir/topology.cpp.o.d"
+  "librootsim_netsim.a"
+  "librootsim_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootsim_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

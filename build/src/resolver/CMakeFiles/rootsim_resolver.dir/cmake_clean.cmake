@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootsim_resolver.dir/priming.cpp.o"
+  "CMakeFiles/rootsim_resolver.dir/priming.cpp.o.d"
+  "librootsim_resolver.a"
+  "librootsim_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootsim_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootsim_rss.dir/catalog.cpp.o"
+  "CMakeFiles/rootsim_rss.dir/catalog.cpp.o.d"
+  "CMakeFiles/rootsim_rss.dir/distribution.cpp.o"
+  "CMakeFiles/rootsim_rss.dir/distribution.cpp.o.d"
+  "CMakeFiles/rootsim_rss.dir/outages.cpp.o"
+  "CMakeFiles/rootsim_rss.dir/outages.cpp.o.d"
+  "CMakeFiles/rootsim_rss.dir/server.cpp.o"
+  "CMakeFiles/rootsim_rss.dir/server.cpp.o.d"
+  "CMakeFiles/rootsim_rss.dir/zone_authority.cpp.o"
+  "CMakeFiles/rootsim_rss.dir/zone_authority.cpp.o.d"
+  "librootsim_rss.a"
+  "librootsim_rss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootsim_rss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

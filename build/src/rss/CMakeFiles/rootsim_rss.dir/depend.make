@@ -1,0 +1,2 @@
+# Empty dependencies file for rootsim_rss.
+# This may be replaced when dependencies are built.

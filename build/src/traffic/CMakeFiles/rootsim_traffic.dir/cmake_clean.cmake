@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootsim_traffic.dir/clients.cpp.o"
+  "CMakeFiles/rootsim_traffic.dir/clients.cpp.o.d"
+  "CMakeFiles/rootsim_traffic.dir/collectors.cpp.o"
+  "CMakeFiles/rootsim_traffic.dir/collectors.cpp.o.d"
+  "CMakeFiles/rootsim_traffic.dir/ixp_set.cpp.o"
+  "CMakeFiles/rootsim_traffic.dir/ixp_set.cpp.o.d"
+  "CMakeFiles/rootsim_traffic.dir/querymix.cpp.o"
+  "CMakeFiles/rootsim_traffic.dir/querymix.cpp.o.d"
+  "librootsim_traffic.a"
+  "librootsim_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootsim_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

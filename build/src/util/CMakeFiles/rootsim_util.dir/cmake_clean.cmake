@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootsim_util.dir/geo.cpp.o"
+  "CMakeFiles/rootsim_util.dir/geo.cpp.o.d"
+  "CMakeFiles/rootsim_util.dir/ip.cpp.o"
+  "CMakeFiles/rootsim_util.dir/ip.cpp.o.d"
+  "CMakeFiles/rootsim_util.dir/stats.cpp.o"
+  "CMakeFiles/rootsim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rootsim_util.dir/strings.cpp.o"
+  "CMakeFiles/rootsim_util.dir/strings.cpp.o.d"
+  "CMakeFiles/rootsim_util.dir/table.cpp.o"
+  "CMakeFiles/rootsim_util.dir/table.cpp.o.d"
+  "CMakeFiles/rootsim_util.dir/timeutil.cpp.o"
+  "CMakeFiles/rootsim_util.dir/timeutil.cpp.o.d"
+  "librootsim_util.a"
+  "librootsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_fuzz_test.dir/dns_fuzz_test.cpp.o"
+  "CMakeFiles/dns_fuzz_test.dir/dns_fuzz_test.cpp.o.d"
+  "dns_fuzz_test"
+  "dns_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_zone_diff_test.dir/dns_zone_diff_test.cpp.o"
+  "CMakeFiles/dns_zone_diff_test.dir/dns_zone_diff_test.cpp.o.d"
+  "dns_zone_diff_test"
+  "dns_zone_diff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_zone_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnssec_canonical_test.dir/dnssec_canonical_test.cpp.o"
+  "CMakeFiles/dnssec_canonical_test.dir/dnssec_canonical_test.cpp.o.d"
+  "dnssec_canonical_test"
+  "dnssec_canonical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnssec_canonical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnssec_denial_test.dir/dnssec_denial_test.cpp.o"
+  "CMakeFiles/dnssec_denial_test.dir/dnssec_denial_test.cpp.o.d"
+  "dnssec_denial_test"
+  "dnssec_denial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnssec_denial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

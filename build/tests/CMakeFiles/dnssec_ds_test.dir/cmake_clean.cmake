@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnssec_ds_test.dir/dnssec_ds_test.cpp.o"
+  "CMakeFiles/dnssec_ds_test.dir/dnssec_ds_test.cpp.o.d"
+  "dnssec_ds_test"
+  "dnssec_ds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnssec_ds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnssec_sign_test.dir/dnssec_sign_test.cpp.o"
+  "CMakeFiles/dnssec_sign_test.dir/dnssec_sign_test.cpp.o.d"
+  "dnssec_sign_test"
+  "dnssec_sign_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnssec_sign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

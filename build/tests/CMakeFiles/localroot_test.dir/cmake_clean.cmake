@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localroot_test.dir/localroot_test.cpp.o"
+  "CMakeFiles/localroot_test.dir/localroot_test.cpp.o.d"
+  "localroot_test"
+  "localroot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localroot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

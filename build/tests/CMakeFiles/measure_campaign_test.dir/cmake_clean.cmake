@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_campaign_test.dir/measure_campaign_test.cpp.o"
+  "CMakeFiles/measure_campaign_test.dir/measure_campaign_test.cpp.o.d"
+  "measure_campaign_test"
+  "measure_campaign_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

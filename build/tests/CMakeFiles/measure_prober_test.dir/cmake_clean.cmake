@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_prober_test.dir/measure_prober_test.cpp.o"
+  "CMakeFiles/measure_prober_test.dir/measure_prober_test.cpp.o.d"
+  "measure_prober_test"
+  "measure_prober_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_prober_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

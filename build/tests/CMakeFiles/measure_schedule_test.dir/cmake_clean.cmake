@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_schedule_test.dir/measure_schedule_test.cpp.o"
+  "CMakeFiles/measure_schedule_test.dir/measure_schedule_test.cpp.o.d"
+  "measure_schedule_test"
+  "measure_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

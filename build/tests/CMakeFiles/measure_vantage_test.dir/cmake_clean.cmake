@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_vantage_test.dir/measure_vantage_test.cpp.o"
+  "CMakeFiles/measure_vantage_test.dir/measure_vantage_test.cpp.o.d"
+  "measure_vantage_test"
+  "measure_vantage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_vantage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

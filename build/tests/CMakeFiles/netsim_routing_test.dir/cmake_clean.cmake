@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_routing_test.dir/netsim_routing_test.cpp.o"
+  "CMakeFiles/netsim_routing_test.dir/netsim_routing_test.cpp.o.d"
+  "netsim_routing_test"
+  "netsim_routing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

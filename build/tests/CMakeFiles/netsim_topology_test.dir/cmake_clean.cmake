@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_topology_test.dir/netsim_topology_test.cpp.o"
+  "CMakeFiles/netsim_topology_test.dir/netsim_topology_test.cpp.o.d"
+  "netsim_topology_test"
+  "netsim_topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_priming_test.dir/resolver_priming_test.cpp.o"
+  "CMakeFiles/resolver_priming_test.dir/resolver_priming_test.cpp.o.d"
+  "resolver_priming_test"
+  "resolver_priming_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_priming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rss_catalog_test.dir/rss_catalog_test.cpp.o"
+  "CMakeFiles/rss_catalog_test.dir/rss_catalog_test.cpp.o.d"
+  "rss_catalog_test"
+  "rss_catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rss_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rss_distribution_test.dir/rss_distribution_test.cpp.o"
+  "CMakeFiles/rss_distribution_test.dir/rss_distribution_test.cpp.o.d"
+  "rss_distribution_test"
+  "rss_distribution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rss_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rss_server_test.dir/rss_server_test.cpp.o"
+  "CMakeFiles/rss_server_test.dir/rss_server_test.cpp.o.d"
+  "rss_server_test"
+  "rss_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rss_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

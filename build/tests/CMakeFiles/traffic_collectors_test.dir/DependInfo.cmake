@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/traffic_collectors_test.cpp" "tests/CMakeFiles/traffic_collectors_test.dir/traffic_collectors_test.cpp.o" "gcc" "tests/CMakeFiles/traffic_collectors_test.dir/traffic_collectors_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traffic/CMakeFiles/rootsim_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rootsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/rootsim_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/rss/CMakeFiles/rootsim_rss.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnssec/CMakeFiles/rootsim_dnssec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/rootsim_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rootsim_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/rootsim_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rootsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_collectors_test.dir/traffic_collectors_test.cpp.o"
+  "CMakeFiles/traffic_collectors_test.dir/traffic_collectors_test.cpp.o.d"
+  "traffic_collectors_test"
+  "traffic_collectors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_collectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

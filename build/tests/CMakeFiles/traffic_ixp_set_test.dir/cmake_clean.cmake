@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_ixp_set_test.dir/traffic_ixp_set_test.cpp.o"
+  "CMakeFiles/traffic_ixp_set_test.dir/traffic_ixp_set_test.cpp.o.d"
+  "traffic_ixp_set_test"
+  "traffic_ixp_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_ixp_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

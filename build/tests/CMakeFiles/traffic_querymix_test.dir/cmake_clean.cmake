@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_querymix_test.dir/traffic_querymix_test.cpp.o"
+  "CMakeFiles/traffic_querymix_test.dir/traffic_querymix_test.cpp.o.d"
+  "traffic_querymix_test"
+  "traffic_querymix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_querymix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_geo_test.dir/util_geo_test.cpp.o"
+  "CMakeFiles/util_geo_test.dir/util_geo_test.cpp.o.d"
+  "util_geo_test"
+  "util_geo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_geo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_ip_test.dir/util_ip_test.cpp.o"
+  "CMakeFiles/util_ip_test.dir/util_ip_test.cpp.o.d"
+  "util_ip_test"
+  "util_ip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_ip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
