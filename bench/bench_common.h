@@ -2,12 +2,19 @@
 // VPs, complete Fig. 2 schedule, seed 42) that every bench reproduces its
 // table or figure from. Numbers printed by the benches are recorded in
 // EXPERIMENTS.md next to the paper's values.
+//
+// Every bench records into a shared obs::Recorder; print_header() arms an
+// exit hook that prints the bench's wall time and a one-line RunReport so
+// each harness ends with the query/AXFR/validation totals behind its table.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "measure/campaign.h"
+#include "obs/report.h"
 
 namespace rootsim::bench {
 
@@ -21,13 +28,47 @@ inline measure::CampaignConfig paper_campaign_config() {
   return config;
 }
 
+inline obs::Recorder& paper_recorder() {
+  static obs::Recorder recorder;
+  return recorder;
+}
+
 inline const measure::Campaign& paper_campaign() {
-  static const measure::Campaign campaign(paper_campaign_config());
+  static const measure::Campaign campaign(paper_campaign_config(),
+                                          paper_recorder().obs());
   return campaign;
 }
 
+namespace detail {
+
+inline std::chrono::steady_clock::time_point& bench_start() {
+  static auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+inline void print_run_report() {
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - bench_start())
+                       .count();
+  auto report = obs::RunReport::capture(paper_recorder());
+  std::printf("\n----------------------------------------------------------------\n");
+  std::printf("wall time: %.2f s\n", seconds);
+  std::printf("%s\n", report.one_line().c_str());
+}
+
+}  // namespace detail
+
 inline void print_header(const std::string& experiment,
                          const std::string& paper_reference) {
+  // Construct the recorder *before* registering the atexit hook so it
+  // outlives the hook, then pin the wall clock's t0.
+  paper_recorder();
+  detail::bench_start();
+  static bool armed = [] {
+    std::atexit(detail::print_run_report);
+    return true;
+  }();
+  (void)armed;
   std::printf("================================================================\n");
   std::printf("%s\n", experiment.c_str());
   std::printf("reproduces: %s\n", paper_reference.c_str());

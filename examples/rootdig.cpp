@@ -20,9 +20,36 @@
 #include <string>
 
 #include "measure/campaign.h"
+#include "obs/obs.h"
 #include "util/strings.h"
 
 using namespace rootsim;
+
+namespace {
+
+// Scans the probe's trace for query-level failures (timeouts, REFUSED,
+// refused transfers) and surfaces them dig-style. Without this, a probe
+// whose inner queries all timed out printed empty sections and nothing else.
+void print_probe_warnings(const obs::Recorder& recorder) {
+  for (const auto& event : recorder.tracer().events()) {
+    if (event.kind != obs::TraceEvent::Kind::Event) continue;
+    std::string qname, status;
+    for (const auto& attr : event.attrs) {
+      if (attr.key == "qname") qname = attr.value;
+      if (attr.key == "status") status = attr.value;
+    }
+    if (event.name == "query" && !status.empty() && status != "NOERROR") {
+      std::printf(";; WARNING: query for %s failed: %s\n", qname.c_str(),
+                  status.c_str());
+    } else if (event.name == "axfr" && status == "refused") {
+      std::printf(";; WARNING: zone transfer refused\n");
+    } else if (event.name == "probe.error") {
+      std::printf(";; WARNING: probe error\n");
+    }
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string server = "193.0.14.129";
@@ -77,7 +104,8 @@ int main(int argc, char** argv) {
 
   measure::CampaignConfig config;
   config.zone.tld_count = 60;
-  measure::Campaign campaign(config);
+  obs::Recorder recorder;
+  measure::Campaign campaign(config, recorder.obs());
   if (campaign.catalog().index_of_address(*address) < 0) {
     std::fprintf(stderr, "rootdig: '%s' is not a root service address\n",
                  server.c_str());
@@ -97,6 +125,7 @@ int main(int argc, char** argv) {
   dns::RRType qtype = dns::rrtype_from_string(qtype_text);
   if (qtype == dns::RRType::AXFR) {
     if (!probe.axfr || probe.axfr->refused) {
+      print_probe_warnings(recorder);
       std::printf("; transfer failed\n");
       return 1;
     }
@@ -111,7 +140,8 @@ int main(int argc, char** argv) {
   const auto& site = campaign.topology().sites[probe.site_id];
   rss::RootServerInstance instance(
       campaign.authority(), campaign.catalog(),
-      static_cast<uint32_t>(probe.root_index), site.identity);
+      static_cast<uint32_t>(probe.root_index), site.identity, {},
+      recorder.obs());
   bool chaos = util::ends_with(util::to_lower(qname), ".bind.") ||
                util::ends_with(util::to_lower(qname), ".bind") ||
                util::starts_with(util::to_lower(qname), "id.server") ||
@@ -129,6 +159,7 @@ int main(int argc, char** argv) {
 
   std::printf("; <<>> rootsim rootdig <<>> @%s %s %s%s\n", server.c_str(),
               qname.c_str(), qtype_text.c_str(), dnssec ? " +dnssec" : "");
+  print_probe_warnings(recorder);
   std::printf(";; ->>HEADER<<- opcode: QUERY, status: %s, id: %u\n",
               rcode_to_string(response.rcode).c_str(), response.id);
   std::printf(";; flags: qr%s%s; QUERY: %zu, ANSWER: %zu, AUTHORITY: %zu, "

@@ -232,7 +232,7 @@ ZonemdStatus check_zonemd(const dns::Zone& zone) {
 
 ZoneValidationResult validate_zone(const dns::Zone& zone,
                                    const TrustAnchors& anchors,
-                                   util::UnixTime now) {
+                                   util::UnixTime now, obs::Obs obs) {
   ZoneValidationResult result;
   result.zonemd = check_zonemd(zone);
 
@@ -282,6 +282,13 @@ ZoneValidationResult validate_zone(const dns::Zone& zone,
                           set->name.to_string().c_str())});
       }
     }
+  }
+  if (obs.metrics) {
+    obs.count("dnssec.validations",
+              {{"status", to_string(result.dominant_failure())}});
+    obs.count("dnssec.zonemd", {{"status", to_string(result.zonemd)}});
+    obs.count("dnssec.rrsets_checked", result.rrsets_checked);
+    obs.count("dnssec.signatures_checked", result.signatures_checked);
   }
   return result;
 }

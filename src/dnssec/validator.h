@@ -14,6 +14,7 @@
 #include "dns/message.h"
 #include "dns/zone.h"
 #include "dnssec/signer.h"
+#include "obs/obs.h"
 #include "util/timeutil.h"
 
 namespace rootsim::dnssec {
@@ -90,10 +91,12 @@ bool ds_matches(const dns::Name& owner, const dns::DsData& ds,
 
 /// Validates all RRSIGs in `zone` against `anchors` at time `now`, plus the
 /// ZONEMD digest. `now` is the *validator's* clock — the paper found six
-/// time-related errors caused purely by skewed VP clocks.
+/// time-related errors caused purely by skewed VP clocks. `obs` (optional)
+/// counts outcomes: `dnssec.validations{status=...}` by the Table-2 dominant
+/// verdict, `dnssec.zonemd{status=...}`, and rrset/signature work counters.
 ZoneValidationResult validate_zone(const dns::Zone& zone,
                                    const TrustAnchors& anchors,
-                                   util::UnixTime now);
+                                   util::UnixTime now, obs::Obs obs = {});
 
 /// Verifies one RRSIG over one RRset against a specific key.
 ValidationStatus verify_rrsig(const dns::RRset& rrset, const dns::RrsigData& sig,

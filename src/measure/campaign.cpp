@@ -1,10 +1,36 @@
 #include "measure/campaign.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace rootsim::measure {
 
 namespace {
+
+const char* fault_kind_name(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::ClockSkew: return "clock-skew";
+    case FaultEvent::Kind::Bitflip: return "bitflip";
+    case FaultEvent::Kind::StaleServer: return "stale-server";
+  }
+  return "?";
+}
+
+// Wall-clock phase timing feeds a *volatile* gauge: excluded from the
+// deterministic exports, visible when a report is captured with
+// include_volatile = true.
+using WallClock = std::chrono::steady_clock;
+
+void record_phase_wall(obs::Obs obs, const char* phase,
+                       WallClock::time_point start) {
+  if (!obs.metrics) return;
+  double ms =
+      std::chrono::duration<double, std::milli>(WallClock::now() - start).count();
+  obs.metrics
+      ->gauge("campaign.phase_wall_ms", {{"phase", phase}},
+              /*volatile_metric=*/true)
+      .add(ms);
+}
 
 // Shrinks the VP set proportionally per region (for fast unit tests).
 std::vector<VantagePoint> scale_vps(std::vector<VantagePoint> vps, double scale) {
@@ -26,8 +52,8 @@ std::vector<VantagePoint> scale_vps(std::vector<VantagePoint> vps, double scale)
 
 }  // namespace
 
-Campaign::Campaign(CampaignConfig config)
-    : config_(std::move(config)), schedule_(config_.schedule) {
+Campaign::Campaign(CampaignConfig config, obs::Obs obs)
+    : config_(std::move(config)), obs_(obs), schedule_(config_.schedule) {
   config_.topology.seed = config_.seed;
   config_.router.seed = config_.seed;
   config_.vantage.seed = config_.seed;
@@ -36,15 +62,22 @@ Campaign::Campaign(CampaignConfig config)
   if (config_.router.churn == std::array<netsim::ChurnSpec, 13>{})
     config_.router.churn = netsim::default_churn_specs();
 
-  authority_ = std::make_unique<rss::ZoneAuthority>(catalog_, config_.zone);
+  authority_ = std::make_unique<rss::ZoneAuthority>(catalog_, config_.zone, obs_);
   topology_ = netsim::build_topology(config_.topology,
                                      catalog_.all_deployment_specs(),
                                      rss::paper_detour_rules());
-  router_ = std::make_unique<netsim::AnycastRouter>(topology_, config_.router);
+  router_ = std::make_unique<netsim::AnycastRouter>(topology_, config_.router,
+                                                    obs_);
   vps_ = scale_vps(generate_vantage_points(topology_, config_.vantage),
                    config_.vp_scale);
-  prober_ = std::make_unique<Prober>(*authority_, catalog_, *router_);
+  prober_ = std::make_unique<Prober>(*authority_, catalog_, *router_, obs_);
   faults_ = default_fault_plan();
+  if (obs_.metrics) {
+    obs_.metrics->gauge("campaign.vantage_points").set(
+        static_cast<double>(vps_.size()));
+    obs_.metrics->gauge("campaign.rounds").set(
+        static_cast<double>(schedule_.round_count()));
+  }
 }
 
 std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
@@ -66,8 +99,19 @@ std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
     obs.family = probe.family;
     obs.old_b_address = probe.old_b_address;
     obs.when = probe.true_time;
+    // Nests the verdict under the probe span that transferred the zone.
+    auto trace_verdict = [&](const ZoneAuditObservation& verdict) {
+      if (!obs_.tracer) return;
+      std::vector<obs::TraceAttr> attrs{
+          {"verdict", dnssec::to_string(verdict.verdict)},
+          {"zonemd", dnssec::to_string(verdict.zonemd)}};
+      if (!verdict.note.empty()) attrs.push_back({"note", verdict.note});
+      obs_.tracer->event(probe.trace_span, "validate", probe.true_time,
+                         std::move(attrs));
+    };
     if (!probe.axfr || probe.axfr->refused) {
       obs.note = "axfr-refused";
+      trace_verdict(obs);
       return obs;
     }
     obs.soa_serial = probe.axfr->soa_serial;
@@ -77,19 +121,25 @@ std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
       // got hit); report as bogus.
       obs.verdict = dnssec::ValidationStatus::BogusSignature;
       obs.note = "axfr-framing-broken: " + probe.axfr->bitflip_note;
+      trace_verdict(obs);
       return obs;
     }
     // Validation uses the VP's own clock — exactly how skew turns into
     // "signature not incepted" verdicts.
-    auto result = dnssec::validate_zone(*zone, anchors, probe.vp_time);
+    auto result = dnssec::validate_zone(*zone, anchors, probe.vp_time, obs_);
     obs.verdict = result.dominant_failure();
     obs.zonemd = result.zonemd;
     if (probe.axfr->bitflip_injected) obs.note = probe.axfr->bitflip_note;
+    trace_verdict(obs);
     return obs;
   };
 
   // Planned fault events: full-fidelity probes with the fault knobs set.
+  WallClock::time_point phase_start = WallClock::now();
   for (const FaultEvent& event : faults_) {
+    if (obs_.metrics)
+      obs_.count("campaign.fault_events",
+                 {{"kind", fault_kind_name(event.kind)}});
     std::vector<std::pair<int, util::IpAddress>> targets;
     const auto& renumbering = catalog_.renumbering();
     bool all_servers = event.root_index < 0;
@@ -129,8 +179,10 @@ std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
       observations.push_back(std::move(obs));
     }
   }
+  record_phase_wall(obs_, "audit-fault-events", phase_start);
 
   // Clean transfers sampled across the campaign and the address set.
+  phase_start = WallClock::now();
   auto addresses = catalog_.service_addresses(schedule_.config().end);
   for (size_t i = 0; i < clean_samples; ++i) {
     const VantagePoint& vp = vps_[rng.uniform(vps_.size())];
@@ -140,6 +192,8 @@ std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
         prober_->probe(vp, address, schedule_.round_time(round), round, {});
     observations.push_back(validate_probe(probe, nullptr));
   }
+  if (obs_.metrics) obs_.count("campaign.clean_samples", clean_samples);
+  record_phase_wall(obs_, "audit-clean-samples", phase_start);
 
   std::sort(observations.begin(), observations.end(),
             [](const ZoneAuditObservation& a, const ZoneAuditObservation& b) {

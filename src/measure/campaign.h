@@ -13,6 +13,7 @@
 #include "measure/schedule.h"
 #include "measure/vantage.h"
 #include "netsim/routing.h"
+#include "obs/obs.h"
 #include "rss/catalog.h"
 #include "rss/zone_authority.h"
 
@@ -48,9 +49,14 @@ struct ZoneAuditObservation {
 
 class Campaign {
  public:
-  explicit Campaign(CampaignConfig config = {});
+  /// `obs` (optional) is the observability sink threaded through every layer
+  /// the campaign builds — zone authority, router, prober and the audit
+  /// loop. The default null sink leaves all instrumentation disabled, so a
+  /// Campaign stays a pure function of its config.
+  explicit Campaign(CampaignConfig config = {}, obs::Obs obs = {});
 
   const CampaignConfig& config() const { return config_; }
+  const obs::Obs& obs() const { return obs_; }
   const rss::RootCatalog& catalog() const { return catalog_; }
   const rss::ZoneAuthority& authority() const { return *authority_; }
   const netsim::Topology& topology() const { return topology_; }
@@ -67,6 +73,7 @@ class Campaign {
 
  private:
   CampaignConfig config_;
+  obs::Obs obs_;
   rss::RootCatalog catalog_;
   std::unique_ptr<rss::ZoneAuthority> authority_;
   netsim::Topology topology_;

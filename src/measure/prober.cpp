@@ -6,8 +6,18 @@
 namespace rootsim::measure {
 
 Prober::Prober(const rss::ZoneAuthority& authority, const rss::RootCatalog& catalog,
-               const netsim::AnycastRouter& router)
-    : authority_(&authority), catalog_(&catalog), router_(&router) {}
+               const netsim::AnycastRouter& router, obs::Obs obs)
+    : authority_(&authority), catalog_(&catalog), router_(&router), obs_(obs) {
+  if (obs_.metrics) {
+    probes_ = obs_.counter_handle("prober.probes");
+    timeouts_ = obs_.counter_handle("prober.query_timeouts");
+    tcp_retries_ = obs_.counter_handle("prober.tcp_retries");
+    axfr_ok_ = obs_.counter_handle("prober.axfr", {{"result", "ok"}});
+    axfr_refused_ = obs_.counter_handle("prober.axfr", {{"result", "refused"}});
+    rtt_ms_[0] = obs_.histogram_handle("prober.rtt_ms", {{"family", "v4"}});
+    rtt_ms_[1] = obs_.histogram_handle("prober.rtt_ms", {{"family", "v6"}});
+  }
+}
 
 std::vector<dns::Question> Prober::query_list() {
   std::vector<dns::Question> questions;
@@ -98,7 +108,26 @@ ProbeRecord Prober::probe(const VantagePoint& vp, const util::IpAddress& address
   const auto& renumbering = catalog_->renumbering();
   record.old_b_address =
       address == renumbering.old_ipv4 || address == renumbering.old_ipv6;
-  if (record.root_index < 0) return record;
+  obs::inc(probes_);
+  if (obs_.tracer) {
+    record.trace_span = obs_.tracer->begin_span(
+        "probe", now,
+        {{"vp", util::format("%u", vp.view.vp_id)},
+         {"root", record.root_index >= 0
+                      ? std::string(1, static_cast<char>('a' + record.root_index))
+                      : std::string("?")},
+         {"family", std::string(util::to_string(record.family))},
+         {"addr", address.to_string()},
+         {"round", util::format("%llu", static_cast<unsigned long long>(round))}});
+  }
+  if (record.root_index < 0) {
+    if (obs_.tracer) {
+      obs_.tracer->event(record.trace_span, "probe.error", now,
+                         {{"reason", "not-a-root-service-address"}});
+      obs_.tracer->end_span(record.trace_span, now);
+    }
+    return record;
+  }
 
   // Route to the anycast site answering this address for this VP.
   netsim::RouteResult route = router_->route_at(
@@ -107,15 +136,50 @@ ProbeRecord Prober::probe(const VantagePoint& vp, const util::IpAddress& address
   record.rtt_ms = route.rtt_ms;
   record.second_to_last_hop = route.second_to_last_hop;
   record.traceroute_hops = route.hops;
+  obs::observe(rtt_ms_[record.family == util::IpFamily::V4 ? 0 : 1],
+               route.rtt_ms);
 
   const netsim::AnycastSite& site = router_->topology().sites[route.site_id];
+  if (obs_.tracer) {
+    obs_.tracer->event(
+        record.trace_span, "traceroute", now,
+        {{"site", site.identity},
+         {"rtt_ms", util::format("%.3f", route.rtt_ms)},
+         {"hops", util::format("%zu", route.hops.size())},
+         {"second_to_last",
+          util::format("%llu", static_cast<unsigned long long>(
+                                   route.second_to_last_hop))}});
+  }
   rss::InstanceBehavior behavior;
   behavior.frozen_at = faults.server_frozen_at;
   rss::RootServerInstance instance(*authority_, *catalog_,
                                    static_cast<uint32_t>(record.root_index),
-                                   site.identity, behavior);
+                                   site.identity, behavior, obs_);
 
   // The 46 dig queries, through real wire encode/decode.
+  auto note_query = [&](const QueryResult& result) {
+    if (obs_.metrics) {
+      obs_.count("prober.queries",
+                 {{"rcode", result.timed_out
+                                ? std::string("TIMEOUT")
+                                : rcode_to_string(result.rcode)}});
+      if (result.timed_out) timeouts_->inc();
+      if (result.retried_over_tcp) tcp_retries_->inc();
+    }
+    if (obs_.tracer) {
+      std::vector<obs::TraceAttr> attrs{
+          {"qname", result.question.qname.to_string()},
+          {"qtype", rrtype_to_string(result.question.qtype)},
+          {"class", result.question.qclass == dns::RRClass::CH ? "CH" : "IN"}};
+      if (result.timed_out)
+        attrs.push_back({"status", "TIMEOUT"});
+      else
+        attrs.push_back({"status", rcode_to_string(result.rcode)});
+      if (result.retried_over_tcp) attrs.push_back({"tcp", "1"});
+      attrs.push_back({"answers", util::format("%zu", result.answers.size())});
+      obs_.tracer->event(record.trace_span, "query", now, std::move(attrs));
+    }
+  };
   uint16_t query_id = static_cast<uint16_t>(round * 131 + vp.view.vp_id);
   for (const dns::Question& question : query_list()) {
     dns::Message query = dns::make_query(query_id++, question.qname,
@@ -127,6 +191,7 @@ ProbeRecord Prober::probe(const VantagePoint& vp, const util::IpAddress& address
     result.question = question;
     if (!parsed_query) {
       result.timed_out = true;
+      note_query(result);
       record.queries.push_back(std::move(result));
       continue;
     }
@@ -154,6 +219,7 @@ ProbeRecord Prober::probe(const VantagePoint& vp, const util::IpAddress& address
           record.instance_identity = txt->strings[0];
       }
     }
+    note_query(result);
     record.queries.push_back(std::move(result));
   }
 
@@ -169,17 +235,31 @@ ProbeRecord Prober::probe(const VantagePoint& vp, const util::IpAddress& address
     auto parsed = dns::decode_axfr_stream(stream);
     if (!parsed.ok()) {
       axfr.refused = true;  // treated as a failed transfer
-      record.axfr = std::move(axfr);
-      return record;
+    } else {
+      if (faults.inject_bitflip) {
+        axfr.bitflip_note = inject_bitflip(parsed.records, faults.bitflip_seed,
+                                           faults.bitflip_prefer_signed);
+        axfr.bitflip_injected = true;
+      }
+      axfr.records = std::move(parsed.records);
+      if (const auto* soa = std::get_if<dns::SoaData>(&axfr.records.front().rdata))
+        axfr.soa_serial = soa->serial;
     }
-    if (faults.inject_bitflip) {
-      axfr.bitflip_note = inject_bitflip(parsed.records, faults.bitflip_seed,
-                                         faults.bitflip_prefer_signed);
-      axfr.bitflip_injected = true;
+  }
+  obs::inc(axfr.refused ? axfr_refused_ : axfr_ok_);
+  if (obs_.tracer) {
+    std::vector<obs::TraceAttr> attrs{
+        {"status", axfr.refused ? "refused" : "ok"}};
+    if (!axfr.refused) {
+      attrs.push_back({"serial", util::format("%u", axfr.soa_serial)});
+      attrs.push_back({"records", util::format("%zu", axfr.records.size())});
     }
-    axfr.records = std::move(parsed.records);
-    if (const auto* soa = std::get_if<dns::SoaData>(&axfr.records.front().rdata))
-      axfr.soa_serial = soa->serial;
+    if (axfr.bitflip_injected) attrs.push_back({"bitflip", axfr.bitflip_note});
+    obs_.tracer->event(record.trace_span, "axfr", now, std::move(attrs));
+    obs_.tracer->end_span(
+        record.trace_span, now,
+        {{"queries", util::format("%zu", record.queries.size())},
+         {"site", site.identity}});
   }
   record.axfr = std::move(axfr);
   return record;

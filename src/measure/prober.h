@@ -22,6 +22,7 @@
 
 #include "dns/message.h"
 #include "measure/vantage.h"
+#include "obs/obs.h"
 #include "rss/server.h"
 
 namespace rootsim::measure {
@@ -49,6 +50,10 @@ struct AxfrResult {
 
 /// Everything one (vp, address, round) measurement produces.
 struct ProbeRecord {
+  /// Id of the probe's trace span when a tracer was attached (0 otherwise);
+  /// lets downstream stages (validation in the audit) nest their events
+  /// under the probe that produced the data.
+  uint64_t trace_span = 0;
   uint32_t vp_id = 0;
   int root_index = -1;
   util::IpFamily family = util::IpFamily::V4;
@@ -67,8 +72,11 @@ struct ProbeRecord {
 /// Executes measurement rounds against simulated instances.
 class Prober {
  public:
+  /// `obs` (optional) records per-probe spans with one child event per
+  /// query/AXFR, and the `prober.*` counters + RTT histograms. The default
+  /// null sink keeps the probe loop on its uninstrumented path.
   Prober(const rss::ZoneAuthority& authority, const rss::RootCatalog& catalog,
-         const netsim::AnycastRouter& router);
+         const netsim::AnycastRouter& router, obs::Obs obs = {});
 
   /// Full-fidelity probe of one service address from one VP at `round`.
   /// `behavior` overrides the contacted instance's serving state (stale zone
@@ -99,6 +107,14 @@ class Prober {
   const rss::ZoneAuthority* authority_;
   const rss::RootCatalog* catalog_;
   const netsim::AnycastRouter* router_;
+  obs::Obs obs_;
+  // Pre-resolved metric handles; null when no sink is attached.
+  obs::Counter* probes_ = nullptr;
+  obs::Counter* timeouts_ = nullptr;
+  obs::Counter* tcp_retries_ = nullptr;
+  obs::Counter* axfr_ok_ = nullptr;
+  obs::Counter* axfr_refused_ = nullptr;
+  obs::Histogram* rtt_ms_[2] = {nullptr, nullptr};  // v4, v6
 };
 
 /// Applies a single-bit corruption to one record of a transferred zone,

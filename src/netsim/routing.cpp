@@ -48,8 +48,16 @@ std::array<ChurnSpec, 13> default_churn_specs() {
   return specs;
 }
 
-AnycastRouter::AnycastRouter(const Topology& topology, RouterConfig config)
-    : topology_(&topology), config_(config), seed_mix_(config.seed * 0x9e3779b97f4a7c15ULL) {}
+AnycastRouter::AnycastRouter(const Topology& topology, RouterConfig config,
+                             obs::Obs obs)
+    : topology_(&topology), config_(config), seed_mix_(config.seed * 0x9e3779b97f4a7c15ULL) {
+  for (size_t f = 0; f < 2; ++f) {
+    obs::LabelSet labels{{"family", f == 0 ? "v4" : "v6"}};
+    selections_[f] = obs.counter_handle("netsim.route_selections", labels);
+    site_flips_[f] = obs.counter_handle("netsim.site_flips", labels);
+    churn_events_[f] = obs.counter_handle("netsim.churn_events", labels);
+  }
+}
 
 double AnycastRouter::distance_km(const VantageView& vp, uint32_t site_id) const {
   return util::haversine_km(vp.location, topology_->sites[site_id].location);
@@ -303,6 +311,7 @@ RouteResult AnycastRouter::finish(const VantageView& vp, uint32_t root_index,
 RouteResult AnycastRouter::route(const VantageView& vp, uint32_t root_index,
                                  util::IpFamily family) const {
   Candidates c = candidates_for(vp, root_index, family);
+  obs::inc(selections_[family == util::IpFamily::V4 ? 0 : 1]);
   return finish(vp, root_index, family, c, /*use_secondary=*/false);
 }
 
@@ -313,6 +322,18 @@ RouteResult AnycastRouter::route_at(const VantageView& vp, uint32_t root_index,
   uint64_t stream = mix(seed_mix_ ^ 0x5151515151515151ULL, vp.vp_id,
                         root_index * 131 + family_tag(family), 0xABCD);
   bool use_secondary = unit_from_hash(mix(stream, round, 1, 2)) < p;
+  size_t f = family == util::IpFamily::V4 ? 0 : 1;
+  obs::inc(selections_[f]);
+  if (c.primary != c.secondary) {
+    if (use_secondary) obs::inc(site_flips_[f]);
+    // A churn event is a round-over-round site change — the unit Fig. 3
+    // counts. The previous round's pick replays the same hash stream, so
+    // this costs one mix() and stays deterministic.
+    if (round > 0 && churn_events_[f]) {
+      bool prev_secondary = unit_from_hash(mix(stream, round - 1, 1, 2)) < p;
+      if (prev_secondary != use_secondary) obs::inc(churn_events_[f]);
+    }
+  }
   return finish(vp, root_index, family, c, use_secondary);
 }
 

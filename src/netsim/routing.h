@@ -16,11 +16,13 @@
 // terms, or from the detour rule's calibrated distribution.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "netsim/topology.h"
+#include "obs/obs.h"
 #include "util/geo.h"
 #include "util/ip.h"
 #include "util/rng.h"
@@ -86,7 +88,10 @@ struct RouterConfig {
 
 class AnycastRouter {
  public:
-  AnycastRouter(const Topology& topology, RouterConfig config);
+  /// `obs` (optional) records route selections, site flips and per-round
+  /// churn events; the default null sink adds one dead branch per call.
+  AnycastRouter(const Topology& topology, RouterConfig config,
+                obs::Obs obs = {});
 
   /// Steady-state selection (no churn): the site this VP's routes settle on.
   RouteResult route(const VantageView& vp, uint32_t root_index,
@@ -156,6 +161,11 @@ class AnycastRouter {
   const Topology* topology_;
   RouterConfig config_;
   uint64_t seed_mix_;
+  // Pre-resolved metric handles, indexed by family (0 = v4, 1 = v6); null
+  // when no sink is attached.
+  std::array<obs::Counter*, 2> selections_{};
+  std::array<obs::Counter*, 2> site_flips_{};
+  std::array<obs::Counter*, 2> churn_events_{};
 };
 
 /// Default churn calibration reproducing the paper's §4.2 observations.

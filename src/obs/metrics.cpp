@@ -1,0 +1,265 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace rootsim::obs {
+
+std::string labels_to_string(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += labels[i].first;
+    out += "=";
+    out += labels[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += util::format("\\u%04x", c);
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) {
+  // First bucket whose upper bound admits v; the trailing slot is +inf.
+  size_t idx =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+                          bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+const std::vector<double>& default_latency_bounds_ms() {
+  static const std::vector<double> bounds = {1,  2,   5,   10,  20,  50,
+                                             100, 150, 200, 300, 500};
+  return bounds;
+}
+
+namespace {
+
+LabelSet normalize(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name, LabelSet labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = series_[Key{std::string(name), normalize(std::move(labels))}];
+  if (!entry.counter) {
+    entry.kind = MetricSample::Kind::Counter;
+    entry.counter = std::make_unique<Counter>();
+  }
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, LabelSet labels,
+                              bool volatile_metric) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = series_[Key{std::string(name), normalize(std::move(labels))}];
+  if (!entry.gauge) {
+    entry.kind = MetricSample::Kind::Gauge;
+    entry.volatile_metric = volatile_metric;
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, LabelSet labels,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = series_[Key{std::string(name), normalize(std::move(labels))}];
+  if (!entry.histogram) {
+    entry.kind = MetricSample::Kind::Histogram;
+    if (bounds.empty()) bounds = default_latency_bounds_ms();
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *entry.histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot(bool include_volatile) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(series_.size());
+  for (const auto& [key, entry] : series_) {
+    if (entry.volatile_metric && !include_volatile) continue;
+    MetricSample sample;
+    sample.name = key.name;
+    sample.labels = key.labels;
+    sample.kind = entry.kind;
+    sample.volatile_metric = entry.volatile_metric;
+    switch (entry.kind) {
+      case MetricSample::Kind::Counter:
+        sample.count = entry.counter->value();
+        break;
+      case MetricSample::Kind::Gauge:
+        sample.value = entry.gauge->value();
+        break;
+      case MetricSample::Kind::Histogram:
+        sample.count = entry.histogram->count();
+        sample.value = entry.histogram->sum();
+        sample.bounds = entry.histogram->bounds();
+        sample.buckets = entry.histogram->bucket_counts();
+        break;
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+namespace {
+
+std::string format_bound(double bound) {
+  // Integral bounds print without a decimal point so "le10" stays readable.
+  if (bound == std::floor(bound) && std::abs(bound) < 1e15)
+    return util::format("%lld", static_cast<long long>(bound));
+  return util::format("%g", bound);
+}
+
+}  // namespace
+
+std::string sample_to_text(const MetricSample& sample) {
+  std::string line = sample.name + labels_to_string(sample.labels);
+  switch (sample.kind) {
+    case MetricSample::Kind::Counter:
+      line += util::format(" %llu", static_cast<unsigned long long>(sample.count));
+      break;
+    case MetricSample::Kind::Gauge:
+      line += util::format(" %.3f", sample.value);
+      break;
+    case MetricSample::Kind::Histogram: {
+      line += util::format(" count=%llu sum=%.3f",
+                           static_cast<unsigned long long>(sample.count),
+                           sample.value);
+      for (size_t i = 0; i < sample.buckets.size(); ++i) {
+        std::string bound = i < sample.bounds.size()
+                                ? "le" + format_bound(sample.bounds[i])
+                                : std::string("inf");
+        line += util::format(" %s=%llu", bound.c_str(),
+                             static_cast<unsigned long long>(sample.buckets[i]));
+      }
+      break;
+    }
+  }
+  return line;
+}
+
+std::string sample_to_json(const MetricSample& sample) {
+  std::string out = "{\"metric\":\"" + json_escape(sample.name) + "\"";
+  if (!sample.labels.empty()) {
+    out += ",\"labels\":{";
+    for (size_t i = 0; i < sample.labels.size(); ++i) {
+      if (i) out += ",";
+      out += "\"" + json_escape(sample.labels[i].first) + "\":\"" +
+             json_escape(sample.labels[i].second) + "\"";
+    }
+    out += "}";
+  }
+  switch (sample.kind) {
+    case MetricSample::Kind::Counter:
+      out += util::format(",\"type\":\"counter\",\"value\":%llu",
+                          static_cast<unsigned long long>(sample.count));
+      break;
+    case MetricSample::Kind::Gauge:
+      out += util::format(",\"type\":\"gauge\",\"value\":%.3f", sample.value);
+      break;
+    case MetricSample::Kind::Histogram: {
+      out += util::format(",\"type\":\"histogram\",\"count\":%llu,\"sum\":%.3f",
+                          static_cast<unsigned long long>(sample.count),
+                          sample.value);
+      out += ",\"bounds\":[";
+      for (size_t i = 0; i < sample.bounds.size(); ++i) {
+        if (i) out += ",";
+        out += format_bound(sample.bounds[i]);
+      }
+      out += "],\"buckets\":[";
+      for (size_t i = 0; i < sample.buckets.size(); ++i) {
+        if (i) out += ",";
+        out += util::format("%llu",
+                            static_cast<unsigned long long>(sample.buckets[i]));
+      }
+      out += "]";
+      break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::to_text(bool include_volatile) const {
+  std::string out;
+  for (const MetricSample& sample : snapshot(include_volatile)) {
+    out += sample_to_text(sample);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_jsonl(bool include_volatile) const {
+  std::string out;
+  for (const MetricSample& sample : snapshot(include_volatile)) {
+    out += sample_to_json(sample);
+    out += "\n";
+  }
+  return out;
+}
+
+uint64_t MetricsRegistry::counter_total(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [key, entry] : series_)
+    if (key.name == name && entry.counter) total += entry.counter->value();
+  return total;
+}
+
+uint64_t MetricsRegistry::counter_value(std::string_view name,
+                                        const LabelSet& labels) const {
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(Key{std::string(name), sorted});
+  if (it == series_.end() || !it->second.counter) return 0;
+  return it->second.counter->value();
+}
+
+}  // namespace rootsim::obs

@@ -1,0 +1,163 @@
+// Metrics substrate for the measurement pipeline: counters, gauges and
+// fixed-bucket histograms behind one registry.
+//
+// Design constraints (see ISSUE 2 / ZDNS's per-query status output):
+//   * hot-path increments are lock-free (relaxed atomics on pre-resolved
+//     handles); the registry mutex is only taken at registration time,
+//     so instrumented code caches `Counter*` handles once and increments
+//     without synchronization cost afterwards;
+//   * iteration order is deterministic (name-then-label lexicographic), so
+//     exports from equal-seed runs are byte-identical;
+//   * wall-clock style metrics are flagged `volatile_metric` and excluded
+//     from exports by default — everything exported is a pure function of
+//     (seed, config).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rootsim::obs {
+
+/// Sorted key=value pairs attached to a metric ("family=v4"). Kept small;
+/// the registry normalizes ordering so {a=1,b=2} and {b=2,a=1} are one series.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Renders "{k1=v1,k2=v2}" (empty string for no labels).
+std::string labels_to_string(const LabelSet& labels);
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written value with a set-to-max convenience (zone serials).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void set_max(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void add(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Fixed upper-bound buckets (a final +inf bucket is implicit). Bounds are
+/// immutable after registration — re-registering a histogram with different
+/// bounds keeps the first set, as Prometheus clients do.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Cumulative-free per-bucket counts; size() == bounds().size() + 1.
+  std::vector<uint64_t> bucket_counts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Default latency buckets (milliseconds) used when a histogram is created
+/// through the convenience path.
+const std::vector<double>& default_latency_bounds_ms();
+
+/// A point-in-time copy of one metric series, used by exports and RunReport.
+struct MetricSample {
+  enum class Kind { Counter, Gauge, Histogram };
+  std::string name;
+  LabelSet labels;
+  Kind kind = Kind::Counter;
+  bool volatile_metric = false;  ///< wall-clock etc.; excluded by default
+  uint64_t count = 0;            ///< counter value / histogram observation count
+  double value = 0;              ///< gauge value / histogram sum
+  std::vector<double> bounds;    ///< histogram only
+  std::vector<uint64_t> buckets; ///< histogram only, bounds.size() + 1 entries
+};
+
+class MetricsRegistry {
+ public:
+  /// Registration: returns a stable handle, creating the series on first
+  /// use. Handles stay valid for the registry's lifetime; increments on them
+  /// never take the registry lock.
+  Counter& counter(std::string_view name, LabelSet labels = {});
+  Gauge& gauge(std::string_view name, LabelSet labels = {},
+               bool volatile_metric = false);
+  Histogram& histogram(std::string_view name, LabelSet labels = {},
+                       std::vector<double> bounds = {});
+
+  /// Deterministically ordered copy of every series.
+  std::vector<MetricSample> snapshot(bool include_volatile = false) const;
+
+  /// Plain-text export, one series per line:
+  ///   prober.queries{rcode=NOERROR} 12345
+  ///   prober.rtt_ms{family=v4} count=120 sum=4321.000 le10=17 le20=40 ...
+  std::string to_text(bool include_volatile = false) const;
+
+  /// JSON-lines export, one object per series (stable key order).
+  std::string to_jsonl(bool include_volatile = false) const;
+
+  /// Total value of a counter across all label sets (0 when absent).
+  uint64_t counter_total(std::string_view name) const;
+  /// Value of one exact counter series (0 when absent).
+  uint64_t counter_value(std::string_view name, const LabelSet& labels) const;
+
+ private:
+  struct Key {
+    std::string name;
+    LabelSet labels;
+    bool operator<(const Key& other) const {
+      if (name != other.name) return name < other.name;
+      return labels < other.labels;
+    }
+  };
+  struct Entry {
+    MetricSample::Kind kind = MetricSample::Kind::Counter;
+    bool volatile_metric = false;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<Key, Entry> series_;
+};
+
+/// Renders a MetricSample as one JSONL object (shared by registry export and
+/// RunReport).
+std::string sample_to_json(const MetricSample& sample);
+/// Renders a MetricSample as one text line.
+std::string sample_to_text(const MetricSample& sample);
+
+/// Minimal JSON string escaping for exporter output.
+std::string json_escape(std::string_view text);
+
+}  // namespace rootsim::obs

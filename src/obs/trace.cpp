@@ -1,0 +1,226 @@
+#include "obs/trace.h"
+
+#include <cstdlib>
+
+#include "obs/metrics.h"  // json_escape
+#include "util/strings.h"
+
+namespace rootsim::obs {
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+void Tracer::push(TraceEvent event) {
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(event));
+}
+
+uint64_t Tracer::begin_span(std::string_view name, util::UnixTime sim_time,
+                            std::vector<TraceAttr> attrs, uint64_t parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent event;
+  event.id = next_id_++;
+  event.span_id = parent;
+  event.kind = TraceEvent::Kind::SpanBegin;
+  event.name = std::string(name);
+  event.sim_time = sim_time;
+  event.attrs = std::move(attrs);
+  uint64_t id = event.id;
+  push(std::move(event));
+  return id;
+}
+
+void Tracer::end_span(uint64_t span_id, util::UnixTime sim_time,
+                      std::vector<TraceAttr> attrs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent event;
+  event.id = next_id_++;
+  event.span_id = span_id;
+  event.kind = TraceEvent::Kind::SpanEnd;
+  event.sim_time = sim_time;
+  event.attrs = std::move(attrs);
+  push(std::move(event));
+}
+
+void Tracer::event(uint64_t span_id, std::string_view name,
+                   util::UnixTime sim_time, std::vector<TraceAttr> attrs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent ev;
+  ev.id = next_id_++;
+  ev.span_id = span_id;
+  ev.kind = TraceEvent::Kind::Event;
+  ev.name = std::string(name);
+  ev.sim_time = sim_time;
+  ev.attrs = std::move(attrs);
+  push(std::move(ev));
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_ - 1;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  // next_id_ and dropped_ survive clear(): ids stay unique per tracer.
+}
+
+namespace {
+
+const char* kind_to_string(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::SpanBegin: return "begin";
+    case TraceEvent::Kind::SpanEnd: return "end";
+    case TraceEvent::Kind::Event: return "event";
+  }
+  return "event";
+}
+
+}  // namespace
+
+std::string Tracer::to_jsonl() const {
+  std::string out;
+  for (const TraceEvent& event : events()) {
+    out += util::format("{\"id\":%llu,\"span\":%llu,\"kind\":\"%s\"",
+                        static_cast<unsigned long long>(event.id),
+                        static_cast<unsigned long long>(event.span_id),
+                        kind_to_string(event.kind));
+    if (!event.name.empty())
+      out += ",\"name\":\"" + json_escape(event.name) + "\"";
+    out += util::format(",\"t\":%lld", static_cast<long long>(event.sim_time));
+    if (!event.attrs.empty()) {
+      out += ",\"attrs\":{";
+      for (size_t i = 0; i < event.attrs.size(); ++i) {
+        if (i) out += ",";
+        out += "\"" + json_escape(event.attrs[i].key) + "\":\"" +
+               json_escape(event.attrs[i].value) + "\"";
+      }
+      out += "}";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+namespace {
+
+// Scanner for the exact JSONL shape to_jsonl emits.
+struct Scanner {
+  std::string_view text;
+  size_t pos = 0;
+
+  bool eat(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool eat_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) == lit) {
+      pos += lit.size();
+      return true;
+    }
+    return false;
+  }
+  bool read_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) {
+        char esc = text[pos++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return false;
+            out += static_cast<char>(
+                std::strtol(std::string(text.substr(pos, 4)).c_str(), nullptr, 16));
+            pos += 4;
+            break;
+          }
+          default: out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return eat('"');
+  }
+  bool read_int(long long& out) {
+    size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    if (pos == start) return false;
+    out = std::atoll(std::string(text.substr(start, pos - start)).c_str());
+    return true;
+  }
+};
+
+}  // namespace
+
+bool parse_trace_line(std::string_view line, TraceEvent& out) {
+  Scanner s{line};
+  out = TraceEvent{};
+  if (!s.eat('{')) return false;
+  bool first = true;
+  while (!s.eat('}')) {
+    if (!first && !s.eat(',')) return false;
+    first = false;
+    std::string key;
+    if (!s.read_string(key) || !s.eat(':')) return false;
+    if (key == "id" || key == "span" || key == "t") {
+      long long value = 0;
+      if (!s.read_int(value)) return false;
+      if (key == "id") out.id = static_cast<uint64_t>(value);
+      else if (key == "span") out.span_id = static_cast<uint64_t>(value);
+      else out.sim_time = value;
+    } else if (key == "kind") {
+      std::string kind;
+      if (!s.read_string(kind)) return false;
+      if (kind == "begin") out.kind = TraceEvent::Kind::SpanBegin;
+      else if (kind == "end") out.kind = TraceEvent::Kind::SpanEnd;
+      else if (kind == "event") out.kind = TraceEvent::Kind::Event;
+      else return false;
+    } else if (key == "name") {
+      if (!s.read_string(out.name)) return false;
+    } else if (key == "attrs") {
+      if (!s.eat('{')) return false;
+      bool first_attr = true;
+      while (!s.eat('}')) {
+        if (!first_attr && !s.eat(',')) return false;
+        first_attr = false;
+        TraceAttr attr;
+        if (!s.read_string(attr.key) || !s.eat(':') ||
+            !s.read_string(attr.value))
+          return false;
+        out.attrs.push_back(std::move(attr));
+      }
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rootsim::obs

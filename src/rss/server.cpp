@@ -9,12 +9,20 @@ namespace rootsim::rss {
 RootServerInstance::RootServerInstance(const ZoneAuthority& authority,
                                        const RootCatalog& catalog,
                                        uint32_t root_index, std::string identity,
-                                       InstanceBehavior behavior)
+                                       InstanceBehavior behavior, obs::Obs obs)
     : authority_(&authority),
       catalog_(&catalog),
       root_index_(root_index),
       identity_(std::move(identity)),
-      behavior_(behavior) {}
+      behavior_(behavior) {
+  if (obs.metrics) {
+    served_in_ = obs.counter_handle("rss.queries_served", {{"class", "in"}});
+    served_ch_ = obs.counter_handle("rss.queries_served", {{"class", "ch"}});
+    truncations_ = obs.counter_handle("rss.truncations");
+    axfr_served_ = obs.counter_handle("rss.axfr", {{"result", "served"}});
+    axfr_refused_ = obs.counter_handle("rss.axfr", {{"result", "refused"}});
+  }
+}
 
 int64_t site_propagation_lag_s(uint32_t site_id, uint64_t seed) {
   util::Rng rng(seed ^ (static_cast<uint64_t>(site_id) * 0x9e3779b97f4a7c15ULL));
@@ -194,10 +202,15 @@ dns::Message RootServerInstance::handle_query(const dns::Message& query,
     response.id = query.id;
     response.qr = true;
     response.rcode = dns::Rcode::FormErr;
+    obs::inc(served_in_);
     return response;
   }
   const dns::Question& question = query.questions.front();
-  if (question.qclass == dns::RRClass::CH) return answer_chaos(query, question);
+  if (question.qclass == dns::RRClass::CH) {
+    obs::inc(served_ch_);
+    return answer_chaos(query, question);
+  }
+  obs::inc(served_in_);
   return answer_standard(query, question, now);
 }
 
@@ -210,12 +223,18 @@ dns::Message RootServerInstance::handle_udp_query(const dns::Message& query,
   for (const auto& rr : query.additional)
     if (const auto* opt = std::get_if<dns::OptData>(&rr.rdata))
       max_size = std::max<size_t>(512, opt->udp_payload_size);
-  return apply_udp_truncation(response, max_size);
+  dns::Message udp_response = apply_udp_truncation(response, max_size);
+  if (udp_response.tc && !response.tc) obs::inc(truncations_);
+  return udp_response;
 }
 
 std::vector<dns::ResourceRecord> RootServerInstance::handle_axfr(
     util::UnixTime now) const {
-  if (!behavior_.allow_axfr) return {};
+  if (!behavior_.allow_axfr) {
+    obs::inc(axfr_refused_);
+    return {};
+  }
+  obs::inc(axfr_served_);
   return authority_->zone_at(effective_time(now)).axfr_records();
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "dns/message.h"
+#include "obs/obs.h"
 #include "rss/zone_authority.h"
 
 namespace rootsim::rss {
@@ -51,9 +52,11 @@ dns::Message apply_udp_truncation(const dns::Message& response, size_t max_size)
 /// Answers queries exactly as the instance at `site` would.
 class RootServerInstance {
  public:
+  /// `obs` (optional) counts queries served (by class), UDP truncations and
+  /// AXFR outcomes under `rss.*`; the default null sink costs one branch.
   RootServerInstance(const ZoneAuthority& authority, const RootCatalog& catalog,
                      uint32_t root_index, std::string identity,
-                     InstanceBehavior behavior = {});
+                     InstanceBehavior behavior = {}, obs::Obs obs = {});
 
   /// Handles one DNS query message at wall-clock time `now` (TCP semantics:
   /// no size limit).
@@ -85,6 +88,12 @@ class RootServerInstance {
   uint32_t root_index_;
   std::string identity_;
   InstanceBehavior behavior_;
+  // Pre-resolved metric handles; null when no sink is attached.
+  obs::Counter* served_in_ = nullptr;
+  obs::Counter* served_ch_ = nullptr;
+  obs::Counter* truncations_ = nullptr;
+  obs::Counter* axfr_served_ = nullptr;
+  obs::Counter* axfr_refused_ = nullptr;
 };
 
 }  // namespace rootsim::rss

@@ -36,8 +36,13 @@ std::vector<std::string> make_tlds(size_t count, util::Rng& rng) {
 
 }  // namespace
 
-ZoneAuthority::ZoneAuthority(const RootCatalog& catalog, ZoneAuthorityConfig config)
+ZoneAuthority::ZoneAuthority(const RootCatalog& catalog, ZoneAuthorityConfig config,
+                             obs::Obs obs)
     : catalog_(&catalog), config_(config) {
+  if (obs.metrics) {
+    zones_built_ = obs.counter_handle("rss.zones_built");
+    zone_serial_ = &obs.metrics->gauge("rss.zone_serial");
+  }
   util::Rng rng(config_.seed);
   util::Rng tld_rng = rng.fork("tlds");
   tlds_ = make_tlds(config_.tld_count, tld_rng);
@@ -143,6 +148,8 @@ const dns::Zone& ZoneAuthority::zone_at(util::UnixTime t) const {
   dnssec::sign_zone(zone, ksk_, zsk_, policy);
 
   auto [inserted, ok] = cache_.emplace(serial, std::make_unique<dns::Zone>(std::move(zone)));
+  obs::inc(zones_built_);
+  if (zone_serial_) zone_serial_->set_max(serial);
   return *inserted->second;
 }
 

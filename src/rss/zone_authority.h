@@ -22,6 +22,7 @@
 #include "dns/zone.h"
 #include "dnssec/signer.h"
 #include "dnssec/validator.h"
+#include "obs/obs.h"
 #include "rss/catalog.h"
 #include "util/timeutil.h"
 
@@ -41,8 +42,10 @@ struct ZoneAuthorityConfig {
 /// Builds signed root zones for any instant of the campaign.
 class ZoneAuthority {
  public:
+  /// `obs` (optional) counts zones built (`rss.zones_built`) and tracks the
+  /// highest serial published (`rss.zone_serial` gauge).
   explicit ZoneAuthority(const RootCatalog& catalog,
-                         ZoneAuthorityConfig config = {});
+                         ZoneAuthorityConfig config = {}, obs::Obs obs = {});
 
   /// The serial in force at time `t` (YYYYMMDDNN, two increments per day).
   uint32_t serial_at(util::UnixTime t) const;
@@ -68,6 +71,8 @@ class ZoneAuthority {
   std::vector<std::string> tlds_;
   dnssec::SigningKey ksk_;
   dnssec::SigningKey zsk_;
+  obs::Counter* zones_built_ = nullptr;
+  obs::Gauge* zone_serial_ = nullptr;
   mutable std::map<uint32_t, std::unique_ptr<dns::Zone>> cache_;
 };
 

@@ -10,6 +10,8 @@
 #include "analysis/stability.h"
 #include "analysis/zonemd_report.h"
 #include "localroot/local_root.h"
+#include "obs/report.h"
+#include "util/strings.h"
 
 namespace rootsim {
 namespace {
@@ -125,6 +127,107 @@ TEST(Pipeline, LocalRootServesWhatTheProberTransfers) {
   auto direct = dns::Zone::from_axfr(probe.axfr->records, dns::Name());
   ASSERT_TRUE(direct.has_value());
   EXPECT_EQ(*service.zone(), *direct);
+}
+
+measure::CampaignConfig small_obs_config() {
+  measure::CampaignConfig config;
+  config.zone.tld_count = 20;
+  config.zone.rsa_modulus_bits = 512;
+  config.vp_scale = 0.05;
+  return config;
+}
+
+TEST(Pipeline, RunReportCountersReconcileWithProbeRecords) {
+  obs::Recorder recorder;
+  measure::Campaign campaign(small_obs_config(), recorder.obs());
+
+  util::UnixTime now = util::make_time(2023, 12, 10, 9, 0);
+  uint64_t round = campaign.schedule().round_at(now);
+  auto addresses =
+      campaign.catalog().service_addresses(campaign.schedule().config().end);
+
+  size_t probes = 0, queries = 0, timeouts = 0, tcp_retries = 0;
+  size_t axfr_ok = 0, axfr_refused = 0;
+  for (size_t v = 0; v < 3 && v < campaign.vantage_points().size(); ++v) {
+    for (size_t a = 0; a < 6 && a < addresses.size(); ++a) {
+      measure::ProbeRecord record = campaign.prober().probe(
+          campaign.vantage_points()[v], addresses[a], now, round);
+      ++probes;
+      queries += record.queries.size();
+      for (const auto& query : record.queries) {
+        if (query.timed_out) ++timeouts;
+        if (query.retried_over_tcp) ++tcp_retries;
+      }
+      if (record.axfr) {
+        if (record.axfr->refused) ++axfr_refused;
+        else ++axfr_ok;
+      }
+      EXPECT_NE(record.trace_span, 0u)
+          << "probes must open a span when a tracer is attached";
+    }
+  }
+
+  auto report = obs::RunReport::capture(recorder);
+  // The registry totals must reconcile *exactly* with the ProbeRecords the
+  // same probes returned — the instrumentation measures, it never invents.
+  EXPECT_EQ(report.counter_total("prober.probes"), probes);
+  EXPECT_EQ(report.counter_total("prober.queries"), queries);
+  EXPECT_EQ(report.counter_total("prober.query_timeouts"), timeouts);
+  EXPECT_EQ(report.counter_total("prober.tcp_retries"), tcp_retries);
+  EXPECT_EQ(report.counter_value("prober.axfr", {{"result", "ok"}}), axfr_ok);
+  EXPECT_EQ(report.counter_value("prober.axfr", {{"result", "refused"}}),
+            axfr_refused);
+  // Server-side accounting: one message answered per query that reached the
+  // instance, plus one more for every truncation retried over TCP.
+  EXPECT_EQ(report.counter_total("rss.queries_served"),
+            queries - timeouts + tcp_retries);
+  EXPECT_EQ(report.counter_total("rss.axfr"), axfr_ok + axfr_refused);
+  // Every probe routed exactly once.
+  EXPECT_EQ(report.counter_total("netsim.route_selections"), probes);
+  // Per-query rcode series sum back to the query total.
+  uint64_t by_rcode = 0;
+  for (const auto& sample : report.metrics)
+    if (sample.name == "prober.queries") by_rcode += sample.count;
+  EXPECT_EQ(by_rcode, queries);
+}
+
+TEST(Pipeline, AuditValidationCountersReconcileWithObservations) {
+  obs::Recorder recorder;
+  measure::Campaign campaign(small_obs_config(), recorder.obs());
+  auto observations = campaign.run_zone_audit(/*clean_samples=*/30);
+
+  size_t validated = 0, valid_verdicts = 0;
+  for (const auto& obs : observations) {
+    bool skipped_validation =
+        obs.note == "axfr-refused" ||
+        util::starts_with(obs.note, "axfr-framing-broken");
+    if (skipped_validation) continue;
+    ++validated;
+    if (obs.verdict == dnssec::ValidationStatus::Valid) ++valid_verdicts;
+  }
+  auto report = obs::RunReport::capture(recorder);
+  EXPECT_EQ(report.counter_total("dnssec.validations"), validated);
+  EXPECT_EQ(report.counter_value("dnssec.validations", {{"status", "valid"}}),
+            valid_verdicts);
+  EXPECT_EQ(report.counter_total("campaign.clean_samples"), 30u);
+  EXPECT_EQ(report.counter_total("campaign.fault_events"),
+            campaign.fault_plan().size());
+}
+
+TEST(Pipeline, EqualSeedsEmitByteIdenticalTraceDumps) {
+  auto run = [] {
+    obs::Recorder recorder;
+    measure::Campaign campaign(small_obs_config(), recorder.obs());
+    campaign.run_zone_audit(/*clean_samples=*/10);
+    return std::pair<std::string, std::string>(
+        recorder.tracer().to_jsonl(), recorder.metrics().to_jsonl());
+  };
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(first.first, second.first) << "trace dumps must be byte-identical";
+  EXPECT_EQ(first.second, second.second)
+      << "metric exports must be byte-identical";
+  EXPECT_FALSE(first.first.empty());
 }
 
 TEST(Pipeline, PropagationDelaysWithinSearchWindow) {

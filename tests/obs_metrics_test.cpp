@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/report.h"
+
+namespace rootsim::obs {
+namespace {
+
+TEST(Counter, IncrementsAndReads) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("test.hits");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name + labels resolves to the same series.
+  EXPECT_EQ(&registry.counter("test.hits"), &c);
+  EXPECT_EQ(registry.counter_total("test.hits"), 42u);
+}
+
+TEST(Counter, LabelOrderIsNormalized) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("q", {{"a", "1"}, {"b", "2"}});
+  Counter& b = registry.counter("q", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b) << "label order must not create a second series";
+  a.inc(3);
+  EXPECT_EQ(registry.counter_value("q", {{"b", "2"}, {"a", "1"}}), 3u);
+}
+
+TEST(Counter, DistinctLabelsAreDistinctSeries) {
+  MetricsRegistry registry;
+  registry.counter("q", {{"rcode", "NOERROR"}}).inc(5);
+  registry.counter("q", {{"rcode", "REFUSED"}}).inc(2);
+  EXPECT_EQ(registry.counter_total("q"), 7u);
+  EXPECT_EQ(registry.counter_value("q", {{"rcode", "REFUSED"}}), 2u);
+  EXPECT_EQ(registry.counter_value("q", {{"rcode", "SERVFAIL"}}), 0u);
+}
+
+TEST(Gauge, SetAddAndSetMax) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("zone.serial");
+  g.set(2023121200);
+  g.set_max(2023111200);  // lower: ignored
+  EXPECT_EQ(g.value(), 2023121200);
+  g.set_max(2023121201);
+  EXPECT_EQ(g.value(), 2023121201);
+  Gauge& h = registry.gauge("wall");
+  h.add(1.5);
+  h.add(2.5);
+  EXPECT_DOUBLE_EQ(h.value(), 4.0);
+}
+
+TEST(Histogram, BucketsObservationsAtBoundaries) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("rtt", {}, {10, 20, 50});
+  // A bound is an *upper* bound: observe(10) lands in the le10 bucket.
+  h.observe(3);
+  h.observe(10);
+  h.observe(10.001);
+  h.observe(50);
+  h.observe(51);
+  auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + inf
+  EXPECT_EQ(buckets[0], 2u);      // 3, 10
+  EXPECT_EQ(buckets[1], 1u);      // 10.001
+  EXPECT_EQ(buckets[2], 1u);      // 50
+  EXPECT_EQ(buckets[3], 1u);      // 51 -> +inf
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_NEAR(h.sum(), 3 + 10 + 10.001 + 50 + 51, 1e-9);
+}
+
+TEST(Histogram, DefaultBoundsAreUsedWhenNoneGiven) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("latency");
+  EXPECT_EQ(h.bounds(), default_latency_bounds_ms());
+}
+
+TEST(Registry, SnapshotIsDeterministicallyOrdered) {
+  // Registration order must not leak into iteration order.
+  MetricsRegistry first, second;
+  first.counter("b.metric").inc(1);
+  first.counter("a.metric", {{"k", "2"}}).inc(2);
+  first.counter("a.metric", {{"k", "1"}}).inc(3);
+  second.counter("a.metric", {{"k", "1"}}).inc(3);
+  second.counter("b.metric").inc(1);
+  second.counter("a.metric", {{"k", "2"}}).inc(2);
+  EXPECT_EQ(first.to_text(), second.to_text());
+  EXPECT_EQ(first.to_jsonl(), second.to_jsonl());
+  auto samples = first.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a.metric");
+  EXPECT_EQ(samples[0].labels, LabelSet({{"k", "1"}}));
+  EXPECT_EQ(samples[2].name, "b.metric");
+}
+
+TEST(Registry, TextExportFormat) {
+  MetricsRegistry registry;
+  registry.counter("prober.queries", {{"rcode", "NOERROR"}}).inc(12);
+  registry.histogram("rtt_ms", {}, {10, 20}).observe(15);
+  std::string text = registry.to_text();
+  EXPECT_NE(text.find("prober.queries{rcode=NOERROR} 12\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rtt_ms count=1 sum=15.000 le10=0 le20=1 inf=0"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Registry, JsonlExportFormat) {
+  MetricsRegistry registry;
+  registry.counter("c", {{"k", "v"}}).inc(7);
+  EXPECT_EQ(registry.to_jsonl(),
+            "{\"metric\":\"c\",\"labels\":{\"k\":\"v\"},\"type\":\"counter\","
+            "\"value\":7}\n");
+}
+
+TEST(Registry, VolatileMetricsExcludedByDefault) {
+  MetricsRegistry registry;
+  registry.gauge("campaign.phase_wall_ms", {{"phase", "audit"}},
+                 /*volatile_metric=*/true)
+      .set(123.4);
+  registry.counter("stable").inc(1);
+  EXPECT_EQ(registry.snapshot().size(), 1u);
+  EXPECT_EQ(registry.to_text().find("phase_wall"), std::string::npos);
+  EXPECT_EQ(registry.snapshot(/*include_volatile=*/true).size(), 2u);
+}
+
+TEST(Registry, ConcurrentIncrementsDoNotLose) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("hot");
+  Histogram& h = registry.histogram("hist", {}, {100});
+  constexpr int kThreads = 4, kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe(1.0);
+      }
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), kThreads * kPerThread * 1.0);
+}
+
+TEST(NullSink, HelpersAreNoOps) {
+  Obs null_sink;
+  EXPECT_FALSE(null_sink.enabled());
+  null_sink.count("anything");                      // must not crash
+  null_sink.observe("h", {{"a", "b"}}, 1.0);        // must not crash
+  EXPECT_EQ(null_sink.counter_handle("x"), nullptr);
+  EXPECT_EQ(null_sink.histogram_handle("x"), nullptr);
+  inc(nullptr);
+  observe(nullptr, 3.0);
+  RunReport report = RunReport::capture(null_sink);
+  EXPECT_TRUE(report.metrics.empty());
+  EXPECT_EQ(report.one_line(), "obs: (no samples recorded)");
+}
+
+TEST(RunReport, OneLineAndCounterLookups) {
+  Recorder recorder;
+  Obs obs = recorder.obs();
+  obs.count("prober.probes", 2);
+  obs.count("prober.queries", {{"rcode", "NOERROR"}}, 90);
+  obs.count("prober.queries", {{"rcode", "TIMEOUT"}}, 4);
+  RunReport report = RunReport::capture(recorder);
+  EXPECT_EQ(report.counter_total("prober.queries"), 94u);
+  EXPECT_EQ(report.counter_value("prober.queries", {{"rcode", "TIMEOUT"}}), 4u);
+  std::string line = report.one_line();
+  EXPECT_NE(line.find("probes=2"), std::string::npos) << line;
+  EXPECT_NE(line.find("queries=94"), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace rootsim::obs

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+#include "util/strings.h"
+
+namespace rootsim::obs {
+namespace {
+
+TEST(Tracer, SpanNestingAndIds) {
+  Tracer tracer;
+  uint64_t probe = tracer.begin_span("probe", 100, {{"vp", "7"}});
+  uint64_t axfr = tracer.begin_span("axfr", 101, {}, probe);
+  tracer.event(axfr, "record", 101);
+  tracer.end_span(axfr, 102);
+  tracer.event(probe, "query", 103, {{"qtype", "NS"}});
+  tracer.end_span(probe, 104);
+
+  auto events = tracer.events();
+  ASSERT_EQ(events.size(), 6u);
+  // Ids are a strictly increasing sequence starting at 1.
+  for (size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].id, i + 1);
+  EXPECT_EQ(events[0].kind, TraceEvent::Kind::SpanBegin);
+  EXPECT_EQ(events[0].span_id, 0u);  // top level
+  EXPECT_EQ(events[1].span_id, probe);
+  EXPECT_EQ(events[2].span_id, axfr);
+  EXPECT_EQ(events[3].kind, TraceEvent::Kind::SpanEnd);
+  EXPECT_EQ(events[3].span_id, axfr);
+  EXPECT_EQ(events[4].span_id, probe);
+  EXPECT_EQ(events[5].span_id, probe);
+  EXPECT_EQ(tracer.recorded(), 6u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, RingBufferDropsOldestAtCapacity) {
+  Tracer tracer(4);
+  for (int i = 0; i < 10; ++i)
+    tracer.event(0, util::format("e%d", i), i);
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  auto events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().name, "e6");  // oldest surviving
+  EXPECT_EQ(events.back().name, "e9");
+}
+
+TEST(Tracer, JsonlRoundTrip) {
+  Tracer tracer;
+  uint64_t span = tracer.begin_span(
+      "probe", 1694593200,
+      {{"addr", "193.0.14.129"}, {"note", "quote\" and \\slash\nnewline"}});
+  tracer.event(span, "query", 1694593201, {{"qname", "."}, {"qtype", "ZONEMD"}});
+  tracer.end_span(span, 1694593202);
+
+  std::string jsonl = tracer.to_jsonl();
+  auto lines = util::split(jsonl, '\n');
+  ASSERT_EQ(lines.back(), "");  // trailing newline
+  lines.pop_back();
+  ASSERT_EQ(lines.size(), 3u);
+
+  auto original = tracer.events();
+  for (size_t i = 0; i < lines.size(); ++i) {
+    TraceEvent parsed;
+    ASSERT_TRUE(parse_trace_line(lines[i], parsed)) << lines[i];
+    EXPECT_EQ(parsed.id, original[i].id);
+    EXPECT_EQ(parsed.span_id, original[i].span_id);
+    EXPECT_EQ(parsed.kind, original[i].kind);
+    EXPECT_EQ(parsed.name, original[i].name);
+    EXPECT_EQ(parsed.sim_time, original[i].sim_time);
+    ASSERT_EQ(parsed.attrs.size(), original[i].attrs.size());
+    for (size_t a = 0; a < parsed.attrs.size(); ++a) {
+      EXPECT_EQ(parsed.attrs[a].key, original[i].attrs[a].key);
+      EXPECT_EQ(parsed.attrs[a].value, original[i].attrs[a].value);
+    }
+  }
+}
+
+TEST(Tracer, ParseRejectsMalformedLines) {
+  TraceEvent event;
+  EXPECT_FALSE(parse_trace_line("", event));
+  EXPECT_FALSE(parse_trace_line("{", event));
+  EXPECT_FALSE(parse_trace_line("{\"id\":}", event));
+  EXPECT_FALSE(parse_trace_line("{\"kind\":\"sideways\"}", event));
+  EXPECT_FALSE(parse_trace_line("{\"unknown\":\"field\"}", event));
+  EXPECT_TRUE(parse_trace_line("{\"id\":3,\"span\":0,\"kind\":\"event\","
+                               "\"name\":\"x\",\"t\":9}",
+                               event));
+  EXPECT_EQ(event.id, 3u);
+  EXPECT_EQ(event.sim_time, 9);
+}
+
+TEST(Tracer, IdenticalOperationSequencesDumpIdenticalJsonl) {
+  // The determinism contract: a tracer fed the same (simulated-time) events
+  // produces byte-identical output — no wall clock anywhere.
+  auto run = [] {
+    Tracer tracer;
+    for (int round = 0; round < 3; ++round) {
+      uint64_t span = tracer.begin_span("probe", 1000 + round,
+                                        {{"round", util::format("%d", round)}});
+      tracer.event(span, "query", 1000 + round, {{"rcode", "NOERROR"}});
+      tracer.end_span(span, 1001 + round);
+    }
+    return tracer.to_jsonl();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Tracer, ClearKeepsIdStreamUnique) {
+  Tracer tracer;
+  tracer.event(0, "a", 1);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  tracer.event(0, "b", 2);
+  auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].id, 2u) << "ids must stay unique across clear()";
+}
+
+}  // namespace
+}  // namespace rootsim::obs
