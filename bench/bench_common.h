@@ -58,6 +58,44 @@ inline void print_run_report() {
 
 }  // namespace detail
 
+/// Machine-readable bench result: writes BENCH_<name>.json in the working
+/// directory with wall time and the throughput counters the perf acceptance
+/// criteria track (probe and signature-check rates from the shared recorder).
+/// Committed copies of these files live in the repo root next to
+/// EXPERIMENTS.md so perf changes leave an auditable trail.
+inline void write_bench_json(const std::string& name, size_t threads,
+                             double wall_ms = -1) {
+  if (wall_ms < 0)
+    wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - detail::bench_start())
+                  .count();
+  const auto& metrics = paper_recorder().metrics();
+  uint64_t probes = metrics.counter_total("netsim.route_selections");
+  uint64_t signatures = metrics.counter_total("dnssec.signatures_checked");
+  double seconds = wall_ms / 1000.0;
+  std::string path = "BENCH_" + name + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) return;
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"wall_ms\": %.3f,\n"
+               "  \"probes\": %llu,\n"
+               "  \"probes_per_s\": %.1f,\n"
+               "  \"signatures\": %llu,\n"
+               "  \"signatures_per_s\": %.1f,\n"
+               "  \"threads\": %zu\n"
+               "}\n",
+               name.c_str(), wall_ms,
+               static_cast<unsigned long long>(probes),
+               seconds > 0 ? static_cast<double>(probes) / seconds : 0.0,
+               static_cast<unsigned long long>(signatures),
+               seconds > 0 ? static_cast<double>(signatures) / seconds : 0.0,
+               threads);
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 inline void print_header(const std::string& experiment,
                          const std::string& paper_reference) {
   // Construct the recorder *before* registering the atexit hook so it

@@ -94,7 +94,9 @@ int main(int argc, char** argv) {
     std::printf("  rtt.csv          %zu rows\n", rows);
   }
   {
-    auto observations = campaign.run_zone_audit(100);
+    // Second arg 0: fan out over ROOTSIM_WORKERS threads when set (the CSV
+    // is identical for every worker count).
+    auto observations = campaign.run_zone_audit(100, 0);
     std::ofstream f(out_dir / "zone_audit.csv");
     f << "when,vp_id,table2_vp,root,family,old_b,soa_serial,verdict,zonemd\n";
     for (const auto& obs : observations)

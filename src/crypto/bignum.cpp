@@ -1,6 +1,7 @@
 #include "crypto/bignum.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 namespace rootsim::crypto {
@@ -306,7 +307,7 @@ BigNum::DivMod BigNum::divmod(const BigNum& divisor) const {
 BigNum BigNum::operator/(const BigNum& d) const { return divmod(d).quotient; }
 BigNum BigNum::operator%(const BigNum& d) const { return divmod(d).remainder; }
 
-BigNum BigNum::mod_pow(const BigNum& exponent, const BigNum& modulus) const {
+BigNum BigNum::mod_pow_basic(const BigNum& exponent, const BigNum& modulus) const {
   assert(!modulus.is_zero());
   BigNum base = *this % modulus;
   BigNum result(1);
@@ -318,6 +319,143 @@ BigNum BigNum::mod_pow(const BigNum& exponent, const BigNum& modulus) const {
     if (exponent.bit(i - 1)) result = (result * base) % modulus;
   }
   return result;
+}
+
+BigNum BigNum::mod_pow(const BigNum& exponent, const BigNum& modulus) const {
+  assert(!modulus.is_zero());
+  if (modulus.is_odd() && !(modulus == BigNum(1))) {
+    MontgomeryContext ctx(modulus);
+    if (ctx.valid()) return ctx.exp(*this, exponent);
+  }
+  return mod_pow_basic(exponent, modulus);
+}
+
+MontgomeryContext::MontgomeryContext(const BigNum& modulus) : modulus_(modulus) {
+  if (!modulus.is_odd() || modulus <= BigNum(1)) return;
+  n_ = modulus.limbs_;
+  // -n^{-1} mod 2^64 via Newton iteration: x_{k+1} = x_k * (2 - n * x_k)
+  // doubles the number of correct low bits each step (n odd).
+  uint64_t n0 = n_[0];
+  uint64_t inv = n0;  // correct to 5 bits for odd n0 (classic seed: 3 bits,
+                      // n0 itself gives >= 3; five iterations reach 64)
+  for (int i = 0; i < 6; ++i) inv *= 2 - n0 * inv;
+  n0_inv_ = ~inv + 1;  // negate mod 2^64
+  const size_t k = n_.size();
+  // R^2 mod n with one division at setup.
+  BigNum r2 = (BigNum(1) << (2 * 64 * k)) % modulus;
+  r2_ = r2.limbs_;
+  r2_.resize(k, 0);
+}
+
+void MontgomeryContext::mul(Limbs& out, const Limbs& a, const Limbs& b,
+                            Limbs& scratch) const {
+  // CIOS (coarsely integrated operand scanning), base 2^64.
+  const size_t k = n_.size();
+  Limbs& t = scratch;
+  t.assign(k + 2, 0);
+  for (size_t i = 0; i < k; ++i) {
+    // t += a[i] * b
+    uint64_t carry = 0;
+    const uint64_t ai = a[i];
+    for (size_t j = 0; j < k; ++j) {
+      U128 cur = static_cast<U128>(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    U128 top = static_cast<U128>(t[k]) + carry;
+    t[k] = static_cast<uint64_t>(top);
+    t[k + 1] = static_cast<uint64_t>(top >> 64);
+    // t = (t + m * n) / 2^64 with m chosen so the low limb cancels.
+    const uint64_t m = t[0] * n0_inv_;
+    U128 cur = static_cast<U128>(m) * n_[0] + t[0];
+    carry = static_cast<uint64_t>(cur >> 64);
+    for (size_t j = 1; j < k; ++j) {
+      cur = static_cast<U128>(m) * n_[j] + t[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    top = static_cast<U128>(t[k]) + carry;
+    t[k - 1] = static_cast<uint64_t>(top);
+    t[k] = t[k + 1] + static_cast<uint64_t>(top >> 64);
+    t[k + 1] = 0;
+  }
+  // Conditional final subtraction: t (k+1 limbs) is < 2n.
+  bool ge = t[k] != 0;
+  if (!ge) {
+    ge = true;
+    for (size_t i = k; i > 0; --i) {
+      if (t[i - 1] != n_[i - 1]) {
+        ge = t[i - 1] > n_[i - 1];
+        break;
+      }
+    }
+  }
+  out.assign(k, 0);
+  if (ge) {
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < k; ++i) {
+      U128 sub = static_cast<U128>(n_[i]) + borrow;
+      U128 lhs = t[i];
+      if (lhs >= sub) {
+        out[i] = static_cast<uint64_t>(lhs - sub);
+        borrow = 0;
+      } else {
+        out[i] = static_cast<uint64_t>((static_cast<U128>(1) << 64) + lhs - sub);
+        borrow = 1;
+      }
+    }
+  } else {
+    std::copy(t.begin(), t.begin() + static_cast<long>(k), out.begin());
+  }
+}
+
+BigNum MontgomeryContext::exp(const BigNum& base, const BigNum& exponent) const {
+  assert(valid());
+  const size_t k = n_.size();
+  BigNum reduced = base % modulus_;
+  Limbs base_n = reduced.limbs_;
+  base_n.resize(k, 0);
+  Limbs scratch;
+  // Precompute the window table in Montgomery form: table[0] = R mod n
+  // (Montgomery one), table[i] = base^i.
+  Limbs one(k, 0);
+  one[0] = 1;
+  std::array<Limbs, 16> table;
+  mul(table[0], one, r2_, scratch);      // to_mont(1)
+  mul(table[1], base_n, r2_, scratch);   // to_mont(base)
+  for (size_t i = 2; i < 16; ++i) mul(table[i], table[i - 1], table[1], scratch);
+
+  const size_t bits = exponent.bit_length();
+  if (bits == 0) return BigNum(1) % modulus_;
+  const size_t windows = (bits + 3) / 4;
+  Limbs acc;
+  bool started = false;
+  Limbs tmp;
+  for (size_t w = windows; w > 0; --w) {
+    unsigned digit = 0;
+    for (size_t b = 0; b < 4; ++b) {
+      size_t bit_index = (w - 1) * 4 + (3 - b);
+      digit = (digit << 1) | (exponent.bit(bit_index) ? 1u : 0u);
+    }
+    if (!started) {
+      acc = table[digit];  // top window is nonzero by construction
+      started = true;
+      continue;
+    }
+    for (int s = 0; s < 4; ++s) {
+      mul(tmp, acc, acc, scratch);
+      acc.swap(tmp);
+    }
+    if (digit) {
+      mul(tmp, acc, table[digit], scratch);
+      acc.swap(tmp);
+    }
+  }
+  mul(tmp, acc, one, scratch);  // from_mont
+  BigNum out;
+  out.limbs_ = std::move(tmp);
+  out.normalize();
+  return out;
 }
 
 BigNum BigNum::gcd(BigNum a, BigNum b) {

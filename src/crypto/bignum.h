@@ -4,9 +4,11 @@
 // and ZSK), so signing and validating our simulated root zone needs modular
 // arithmetic on big integers. This is a deliberately small, well-tested
 // implementation: 64-bit limbs (little-endian), schoolbook multiplication,
-// Knuth Algorithm D division, binary extended GCD, and left-to-right square
-// and multiply for modexp. Performance is adequate: signing the root zone
-// twice per serial is microseconds-to-milliseconds, far from the bottleneck.
+// Knuth Algorithm D division, binary extended GCD, and two modexp paths —
+// the square-and-multiply reference (`mod_pow_basic`) and a Montgomery-form
+// CIOS kernel with 4-bit fixed windows (`MontgomeryContext`) that `mod_pow`
+// selects for odd moduli. Signing and verification dominate the audit's
+// 78M-AXFR-scale hot path, so the Montgomery kernel matters.
 #pragma once
 
 #include <cstdint>
@@ -58,8 +60,15 @@ class BigNum {
   BigNum operator/(const BigNum& d) const;
   BigNum operator%(const BigNum& d) const;
 
-  /// (this ^ exponent) mod modulus; modulus must be nonzero.
+  /// (this ^ exponent) mod modulus; modulus must be nonzero. Dispatches to
+  /// the Montgomery kernel for odd moduli (every RSA modulus and Miller–Rabin
+  /// candidate), else falls back to mod_pow_basic.
   BigNum mod_pow(const BigNum& exponent, const BigNum& modulus) const;
+
+  /// Reference square-and-multiply modexp (one full multiply + Knuth division
+  /// per exponent bit). Kept as the property-test oracle for the Montgomery
+  /// kernel and as the fallback for even moduli.
+  BigNum mod_pow_basic(const BigNum& exponent, const BigNum& modulus) const;
 
   /// Modular inverse; returns zero BigNum if gcd(this, modulus) != 1.
   BigNum mod_inverse(const BigNum& modulus) const;
@@ -67,6 +76,7 @@ class BigNum {
   static BigNum gcd(BigNum a, BigNum b);
 
  private:
+  friend class MontgomeryContext;
   void normalize();
   std::vector<uint64_t> limbs_;  // little-endian
 };
@@ -74,6 +84,36 @@ class BigNum {
 struct BigNum::DivMod {
   BigNum quotient;
   BigNum remainder;
+};
+
+/// Montgomery-form modular exponentiation for a fixed odd modulus.
+///
+/// Precomputes -n^{-1} mod 2^64 and R^2 mod n (R = 2^(64k)) once, then every
+/// multiply is one CIOS pass — no division anywhere on the exponentiation
+/// path. exp() uses a 4-bit fixed window (16-entry table, 4 squarings + one
+/// table multiply per window). Reusing one context across many operations
+/// with the same modulus (RSA sign/verify) amortizes the setup divmod.
+class MontgomeryContext {
+ public:
+  /// `modulus` must be odd and > 1; valid() is false otherwise and exp()
+  /// falls back to the schoolbook path.
+  explicit MontgomeryContext(const BigNum& modulus);
+
+  bool valid() const { return !n_.empty(); }
+  const BigNum& modulus() const { return modulus_; }
+
+  /// (base ^ exponent) mod modulus.
+  BigNum exp(const BigNum& base, const BigNum& exponent) const;
+
+ private:
+  using Limbs = std::vector<uint64_t>;
+  /// out = (a * b * R^-1) mod n; a, b, out are k-limb Montgomery residues.
+  void mul(Limbs& out, const Limbs& a, const Limbs& b, Limbs& scratch) const;
+
+  BigNum modulus_;
+  Limbs n_;          // modulus limbs, k entries
+  Limbs r2_;         // R^2 mod n
+  uint64_t n0_inv_ = 0;  // -n^{-1} mod 2^64
 };
 
 }  // namespace rootsim::crypto

@@ -134,6 +134,9 @@ RsaPrivateKey generate_rsa_key(util::Rng& rng, size_t modulus_bits) {
     RsaPrivateKey key;
     key.public_key.n = std::move(n);
     key.public_key.e = e;
+    key.dp = d % (p - BigNum(1));
+    key.dq = d % (q - BigNum(1));
+    key.qinv = q.mod_inverse(p);
     key.d = std::move(d);
     key.p = std::move(p);
     key.q = std::move(q);
@@ -170,13 +173,37 @@ RsaPublicKey RsaPublicKey::from_dnskey_wire(std::span<const uint8_t> wire) {
   return key;
 }
 
+namespace {
+
+// RSADP via CRT (RFC 8017 §5.1.2): two half-size exponentiations plus the
+// Garner recombination. Falls back to the full-size exponent when the key
+// carries no factorization.
+BigNum rsa_private_op(const RsaPrivateKey& key, const BigNum& m) {
+  if (key.p.is_zero() || key.q.is_zero() ||
+      !(key.p * key.q == key.public_key.n))
+    return m.mod_pow(key.d, key.public_key.n);
+  BigNum dp = key.dp.is_zero() ? key.d % (key.p - BigNum(1)) : key.dp;
+  BigNum dq = key.dq.is_zero() ? key.d % (key.q - BigNum(1)) : key.dq;
+  BigNum qinv = key.qinv.is_zero() ? key.q.mod_inverse(key.p) : key.qinv;
+  if (qinv.is_zero()) return m.mod_pow(key.d, key.public_key.n);
+  BigNum m1 = m.mod_pow(dp, key.p);
+  BigNum m2 = m.mod_pow(dq, key.q);
+  // h = qinv * (m1 - m2) mod p, keeping the subtraction non-negative.
+  BigNum m2_mod_p = m2 % key.p;
+  BigNum diff = m1 >= m2_mod_p ? m1 - m2_mod_p : m1 + key.p - m2_mod_p;
+  BigNum h = (qinv * diff) % key.p;
+  return m2 + h * key.q;
+}
+
+}  // namespace
+
 std::vector<uint8_t> rsa_sign(const RsaPrivateKey& key, RsaHash hash,
                               std::span<const uint8_t> message) {
   size_t k = key.public_key.modulus_bytes();
   std::vector<uint8_t> em = emsa_encode(hash, message, k);
   if (em.empty()) return {};
   BigNum m = BigNum::from_bytes(em);
-  BigNum s = m.mod_pow(key.d, key.public_key.n);
+  BigNum s = rsa_private_op(key, m);
   return s.to_bytes_padded(k);
 }
 

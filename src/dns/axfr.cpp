@@ -8,36 +8,45 @@ std::vector<uint8_t> encode_axfr_stream(const std::vector<ResourceRecord>& recor
                                         const Question& question,
                                         const AxfrStreamOptions& options) {
   std::vector<uint8_t> stream;
+  WireWriter writer;
   uint16_t message_id = options.first_message_id;
   size_t index = 0;
   bool first_message = true;
   while (index < records.size()) {
-    Message msg;
-    msg.id = message_id++;
-    msg.qr = true;
-    msg.aa = true;
+    writer.clear();
+    writer.put_u16(message_id++);
+    writer.put_u16(0x8400);  // QR + AA, opcode Query, rcode NoError
+    writer.put_u16(first_message ? 1 : 0);
+    size_t ancount_offset = writer.size();
+    writer.put_u16(0);  // ANCOUNT, patched below
+    writer.put_u16(0);  // NSCOUNT
+    writer.put_u16(0);  // ARCOUNT
     // Only the first message carries the question (RFC 5936 §2.2.1).
-    if (first_message) msg.questions.push_back(question);
+    if (first_message) {
+      writer.put_name(question.qname);
+      writer.put_u16(static_cast<uint16_t>(question.qtype));
+      writer.put_u16(static_cast<uint16_t>(question.qclass));
+    }
     first_message = false;
-    // Greedily pack answers until the size budget is reached. Encoding is
-    // re-done per candidate count; fine for simulation-scale zones.
+    // Greedily pack answers until the size budget is reached, rolling back
+    // the record that overflowed — one incremental encode per record instead
+    // of a full message re-encode per candidate count.
     size_t count = 0;
-    std::vector<uint8_t> wire;
     while (index + count < records.size()) {
-      msg.answers.push_back(records[index + count]);
-      std::vector<uint8_t> candidate = msg.encode();
-      if (candidate.size() > options.max_message_bytes && count > 0) {
-        msg.answers.pop_back();
+      size_t checkpoint = writer.size();
+      encode_record(writer, records[index + count]);
+      if (writer.size() > options.max_message_bytes && count > 0) {
+        writer.truncate(checkpoint);
         break;
       }
-      wire = std::move(candidate);
       ++count;
-      if (wire.size() > options.max_message_bytes) break;  // single huge RR
+      if (writer.size() > options.max_message_bytes) break;  // single huge RR
     }
+    writer.patch_u16(ancount_offset, static_cast<uint16_t>(count));
     index += count;
-    stream.push_back(static_cast<uint8_t>(wire.size() >> 8));
-    stream.push_back(static_cast<uint8_t>(wire.size()));
-    stream.insert(stream.end(), wire.begin(), wire.end());
+    stream.push_back(static_cast<uint8_t>(writer.size() >> 8));
+    stream.push_back(static_cast<uint8_t>(writer.size()));
+    stream.insert(stream.end(), writer.data().begin(), writer.data().end());
   }
   return stream;
 }

@@ -33,6 +33,12 @@ void Message::add_edns(uint16_t udp_payload_size, bool dnssec_ok) {
 
 std::vector<uint8_t> Message::encode() const {
   WireWriter writer;
+  encode_into(writer);
+  return writer.take();
+}
+
+void Message::encode_into(WireWriter& writer) const {
+  writer.clear();
   writer.put_u16(id);
   uint16_t flags = 0;
   if (qr) flags |= 0x8000;
@@ -57,7 +63,6 @@ std::vector<uint8_t> Message::encode() const {
   for (const auto& rr : answers) encode_record(writer, rr);
   for (const auto& rr : authority) encode_record(writer, rr);
   for (const auto& rr : additional) encode_record(writer, rr);
-  return writer.take();
 }
 
 std::optional<Message> Message::decode(std::span<const uint8_t> data) {

@@ -64,6 +64,10 @@ struct Message {
   /// Serializes to wire format with name compression.
   std::vector<uint8_t> encode() const;
 
+  /// Same, into a caller-owned writer (cleared first). Reusing one writer
+  /// across a query loop keeps the encode path allocation-free.
+  void encode_into(WireWriter& writer) const;
+
   /// Parses from wire format; nullopt on malformed input.
   static std::optional<Message> decode(std::span<const uint8_t> data);
 };

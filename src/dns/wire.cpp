@@ -20,31 +20,93 @@ void WireWriter::put_bytes(std::span<const uint8_t> bytes) {
   buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
 }
 
+namespace {
+
+inline char ascii_lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c + 32) : c;
+}
+
+// FNV-1a over the case-folded suffix labels[first..], with the label length
+// as a separator so ("ab","c") and ("a","bc") hash apart.
+uint64_t suffix_hash(const std::vector<std::string>& labels, size_t first) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = first; i < labels.size(); ++i) {
+    h = (h ^ labels[i].size()) * 0x100000001b3ULL;
+    for (char c : labels[i])
+      h = (h ^ static_cast<uint8_t>(ascii_lower(c))) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool WireWriter::name_at_equals(size_t offset,
+                                const std::vector<std::string>& labels,
+                                size_t first) const {
+  size_t pos = offset;
+  size_t jumps = 0;
+  for (size_t i = first;; ++i) {
+    // Chase pointers (always backwards in data we wrote ourselves).
+    while (pos < buffer_.size() && (buffer_[pos] & 0xC0) == 0xC0) {
+      if (pos + 1 >= buffer_.size() || ++jumps > 64) return false;
+      pos = static_cast<size_t>(buffer_[pos] & 0x3F) << 8 | buffer_[pos + 1];
+    }
+    if (pos >= buffer_.size()) return false;
+    uint8_t len = buffer_[pos];
+    if (i == labels.size()) return len == 0;
+    if (len != labels[i].size() || pos + 1 + len > buffer_.size()) return false;
+    for (size_t k = 0; k < len; ++k)
+      if (ascii_lower(static_cast<char>(buffer_[pos + 1 + k])) !=
+          ascii_lower(labels[i][k]))
+        return false;
+    pos += 1 + static_cast<size_t>(len);
+  }
+}
+
 void WireWriter::put_name(const Name& name, bool compress) {
   // Try to compress each suffix in turn: "f.root-servers.net." checks
   // "f.root-servers.net.", then "root-servers.net.", then "net.".
   const auto& labels = name.labels();
   for (size_t i = 0; i < labels.size(); ++i) {
     if (compress) {
-      // Key suffixes case-folded: compression must be case-insensitive.
-      std::string key;
-      for (size_t k = i; k < labels.size(); ++k) {
-        key += util::to_lower(labels[k]);
-        key += '.';
+      uint64_t h = suffix_hash(labels, i);
+      size_t slot = h & (kTableSize - 1);
+      bool compressed = false;
+      while (offset_plus_1_[slot] != 0) {
+        if (hashes_[slot] == h) {
+          size_t offset = static_cast<size_t>(offset_plus_1_[slot]) - 1;
+          if (name_at_equals(offset, labels, i)) {
+            put_u16(static_cast<uint16_t>(0xC000 | offset));
+            compressed = true;
+            break;
+          }
+        }
+        slot = (slot + 1) & (kTableSize - 1);
       }
-      auto it = compression_offsets_.find(key);
-      if (it != compression_offsets_.end()) {
-        put_u16(static_cast<uint16_t>(0xC000 | it->second));
-        return;
+      if (compressed) return;
+      if (buffer_.size() < 0x4000 && entries_ < kMaxEntries &&
+          offset_plus_1_[slot] == 0) {
+        hashes_[slot] = h;
+        offset_plus_1_[slot] = static_cast<uint16_t>(buffer_.size() + 1);
+        ++entries_;
       }
-      if (buffer_.size() < 0x4000)
-        compression_offsets_.emplace(std::move(key),
-                                     static_cast<uint16_t>(buffer_.size()));
     }
     put_u8(static_cast<uint8_t>(labels[i].size()));
     put_bytes({reinterpret_cast<const uint8_t*>(labels[i].data()), labels[i].size()});
   }
   put_u8(0);
+}
+
+void WireWriter::clear() {
+  buffer_.clear();
+  if (entries_ != 0) {
+    offset_plus_1_.fill(0);
+    entries_ = 0;
+  }
+}
+
+void WireWriter::truncate(size_t size) {
+  if (size < buffer_.size()) buffer_.resize(size);
 }
 
 void WireWriter::put_name_canonical(const Name& name) {

@@ -7,11 +7,11 @@
 // *result*, not an error.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "dns/name.h"
@@ -21,6 +21,13 @@ namespace rootsim::dns {
 /// Serializes DNS wire data. Compression is opt-in per name so the same
 /// writer serves messages (compression allowed) and DNSSEC canonical form
 /// (compression and case folding forbidden).
+///
+/// The compression dictionary is an open-addressed (hash, offset) table over
+/// the bytes already written — no per-suffix string keys, so a cleared
+/// writer re-encodes messages without allocating. Candidate offsets are
+/// verified by walking the buffer (case-insensitively, chasing pointers), so
+/// a hash collision can at worst skip a compression opportunity, never emit
+/// a wrong pointer.
 class WireWriter {
  public:
   void put_u8(uint8_t value);
@@ -38,13 +45,38 @@ class WireWriter {
   /// Patches a previously written u16 (used for RDLENGTH back-filling).
   void patch_u16(size_t offset, uint16_t value);
 
+  /// Resets to an empty message, keeping the buffer's capacity — the reuse
+  /// hook that removes per-query allocations from the probe loop.
+  void clear();
+
+  /// Rolls the buffer back to `size` (used by the AXFR packer to drop the
+  /// record that overflowed the message budget). Compression entries made
+  /// past the truncation point become stale, but every candidate offset is
+  /// re-verified against the buffer before use, so they can never produce a
+  /// wrong pointer.
+  void truncate(size_t size);
+
   size_t size() const { return buffer_.size(); }
   const std::vector<uint8_t>& data() const { return buffer_; }
   std::vector<uint8_t> take() { return std::move(buffer_); }
 
  private:
+  /// True when the name at wire `offset` equals labels[first..] (chasing
+  /// compression pointers, comparing case-insensitively).
+  bool name_at_equals(size_t offset, const std::vector<std::string>& labels,
+                      size_t first) const;
+
+  // Slot 0 in `offset_plus_1` means empty; table size must be a power of 2.
+  // 1024 slots comfortably covers the distinct suffixes of a 16 KiB AXFR
+  // message; when nearly full we stop inserting (output stays valid and
+  // deterministic, compression just degrades).
+  static constexpr size_t kTableSize = 1024;
+  static constexpr size_t kMaxEntries = kTableSize - kTableSize / 4;
+
   std::vector<uint8_t> buffer_;
-  std::unordered_map<std::string, uint16_t> compression_offsets_;
+  std::array<uint64_t, kTableSize> hashes_{};
+  std::array<uint16_t, kTableSize> offset_plus_1_{};
+  size_t entries_ = 0;
 };
 
 /// Bounds-checked reader with compression-pointer chasing.

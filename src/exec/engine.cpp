@@ -1,0 +1,67 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace rootsim::exec {
+
+size_t resolve_workers(size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("ROOTSIM_WORKERS")) {
+    long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return 1;
+}
+
+void parallel_for(size_t unit_count, size_t workers,
+                  const std::function<void(size_t, size_t)>& fn) {
+  if (unit_count == 0) return;
+  if (workers == 0) workers = 1;
+  if (workers > unit_count) workers = unit_count;
+  size_t chunk = (unit_count + workers - 1) / workers;
+  if (workers == 1) {
+    for (size_t unit = 0; unit < unit_count; ++unit) fn(unit, 0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    size_t begin = w * chunk;
+    size_t end = std::min(begin + chunk, unit_count);
+    if (begin >= end) break;
+    pool.emplace_back([&fn, w, begin, end] {
+      for (size_t unit = begin; unit < end; ++unit) fn(unit, w);
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+ObsShards::ObsShards(obs::Obs main, size_t shard_count) : main_(main) {
+  if (!main_.enabled()) return;
+  size_t capacity = main_.tracer ? main_.tracer->capacity() : 1;
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i)
+    shards_.push_back(std::make_unique<obs::Recorder>(capacity));
+}
+
+obs::Obs ObsShards::shard(size_t index) {
+  if (shards_.empty()) return {};
+  obs::Obs obs = shards_[index]->obs();
+  // Mirror the main sink's shape: no tracer attached means the shard should
+  // not pay for tracing either.
+  if (!main_.tracer) obs.tracer = nullptr;
+  if (!main_.metrics) obs.metrics = nullptr;
+  return obs;
+}
+
+void ObsShards::merge() {
+  for (auto& shard : shards_) {
+    if (main_.metrics) main_.metrics->merge_from(shard->metrics());
+    if (main_.tracer) main_.tracer->absorb(std::move(shard->tracer()));
+  }
+  shards_.clear();
+}
+
+}  // namespace rootsim::exec

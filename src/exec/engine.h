@@ -1,0 +1,64 @@
+// Deterministic parallel execution engine.
+//
+// The paper's corpus is 675 VPs x 10,272 rounds x 26 addresses — far beyond
+// what a single thread covers in reasonable wall time. This engine fans work
+// units out over a fixed-size worker pool while keeping every output a pure
+// function of (seed, config), independent of thread count and scheduling:
+//
+//   * static contiguous sharding: worker w owns units [w*chunk, (w+1)*chunk),
+//     so "merge shards in order" equals "merge units in order";
+//   * callers draw per-unit RNGs by forking the campaign seed by unit name,
+//     never by sharing a sequential stream across units;
+//   * results are slot-addressed (unit i writes output[i]);
+//   * observability is sharded per worker (ObsShards) and absorbed into the
+//     main recorder in shard order after the region, which reproduces the
+//     exact counter totals, histogram buckets, trace ids and ring-drop
+//     behaviour of a single-threaded run — exports stay byte-identical.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace rootsim::exec {
+
+/// Effective worker count: `requested` if nonzero, else the ROOTSIM_WORKERS
+/// environment variable, else 1. Never returns 0.
+size_t resolve_workers(size_t requested = 0);
+
+/// Runs `fn(unit, shard)` for every unit in [0, unit_count). Units are
+/// statically partitioned into `workers` contiguous blocks; block w runs on
+/// its own thread and passes shard index w. With workers == 1 the loop runs
+/// inline on the calling thread (same code path, no pool), so serial and
+/// parallel runs differ only in interleaving — never in results.
+void parallel_for(size_t unit_count, size_t workers,
+                  const std::function<void(size_t unit, size_t shard)>& fn);
+
+/// Per-worker observability shards with deterministic merge.
+///
+/// Each worker records into its own Recorder; merge() absorbs them into the
+/// main sinks in shard order. Shard tracers get the main tracer's capacity:
+/// combined with contiguous sharding this makes the merged ring's content,
+/// id sequence and drop count byte-identical to a serial run (see
+/// Tracer::absorb). On a null main sink every shard is the null sink too and
+/// merge() is a no-op.
+class ObsShards {
+ public:
+  ObsShards(obs::Obs main, size_t shard_count);
+
+  /// The Obs handle worker `shard` records into.
+  obs::Obs shard(size_t index);
+
+  /// Absorbs all shards into the main sinks, in shard order. Call exactly
+  /// once, after the parallel region.
+  void merge();
+
+ private:
+  obs::Obs main_;
+  std::vector<std::unique_ptr<obs::Recorder>> shards_;
+};
+
+}  // namespace rootsim::exec

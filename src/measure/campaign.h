@@ -69,7 +69,14 @@ class Campaign {
   /// Runs the ZONEMD audit: executes every planned fault event as a full
   /// AXFR + validation, plus `clean_samples` healthy transfers spread over
   /// the campaign (sampling the 75M-transfer corpus the paper validated).
-  std::vector<ZoneAuditObservation> run_zone_audit(size_t clean_samples = 200) const;
+  ///
+  /// `workers` fans the (fault event + clean sample) units out over the exec
+  /// engine (0 = ROOTSIM_WORKERS env var, else serial). Every unit draws its
+  /// RNG by forking the campaign seed by unit index and records into a
+  /// per-worker obs shard merged in unit order, so the observation vector
+  /// AND the metric/trace exports are byte-identical for any worker count.
+  std::vector<ZoneAuditObservation> run_zone_audit(size_t clean_samples = 200,
+                                                   size_t workers = 0) const;
 
  private:
   CampaignConfig config_;

@@ -181,12 +181,15 @@ ProbeRecord Prober::probe(const VantagePoint& vp, const util::IpAddress& address
     }
   };
   uint16_t query_id = static_cast<uint16_t>(round * 131 + vp.view.vp_id);
+  // One wire buffer reused across the 46 encode/decode round-trips: decode
+  // copies out what it keeps, so the writer can be cleared per message.
+  dns::WireWriter wire;
   for (const dns::Question& question : query_list()) {
     dns::Message query = dns::make_query(query_id++, question.qname,
                                          question.qtype, question.qclass,
                                          /*dnssec_ok=*/true);
-    auto wire = query.encode();
-    auto parsed_query = dns::Message::decode(wire);
+    query.encode_into(wire);
+    auto parsed_query = dns::Message::decode(wire.data());
     QueryResult result;
     result.question = question;
     if (!parsed_query) {
@@ -201,8 +204,8 @@ ProbeRecord Prober::probe(const VantagePoint& vp, const util::IpAddress& address
       response = instance.handle_query(*parsed_query, now);
       result.retried_over_tcp = true;
     }
-    auto response_wire = response.encode();
-    auto parsed_response = dns::Message::decode(response_wire);
+    response.encode_into(wire);
+    auto parsed_response = dns::Message::decode(wire.data());
     if (!parsed_response) {
       result.timed_out = true;
     } else {
@@ -224,14 +227,14 @@ ProbeRecord Prober::probe(const VantagePoint& vp, const util::IpAddress& address
   }
 
   // The AXFR (query 47): framed over simulated TCP (RFC 5936) and parsed
-  // back, so every transferred byte traverses the wire codec.
+  // back, so every transferred byte traverses the wire codec. The server
+  // side hands us its per-serial cached wire image; the decode below is this
+  // probe's own copy, so bitflip injection never touches shared state.
   AxfrResult axfr;
-  auto transfer = instance.handle_axfr(now);
-  if (transfer.empty()) {
+  std::span<const uint8_t> stream = instance.handle_axfr_stream(now);
+  if (stream.empty()) {
     axfr.refused = true;
   } else {
-    dns::Question axfr_question{dns::Name(), dns::RRType::AXFR, dns::RRClass::IN};
-    auto stream = dns::encode_axfr_stream(transfer, axfr_question);
     auto parsed = dns::decode_axfr_stream(stream);
     if (!parsed.ok()) {
       axfr.refused = true;  // treated as a failed transfer

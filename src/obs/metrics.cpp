@@ -68,6 +68,20 @@ std::vector<uint64_t> Histogram::bucket_counts() const {
 
 double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
 
+void Histogram::merge_from(const Histogram& other) {
+  if (bounds_ != other.bounds_) return;
+  for (size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  double add = other.sum();
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + add,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 const std::vector<double>& default_latency_bounds_ms() {
   static const std::vector<double> bounds = {1,  2,   5,   10,  20,  50,
                                              100, 150, 200, 300, 500};
@@ -115,6 +129,61 @@ Histogram& MetricsRegistry::histogram(std::string_view name, LabelSet labels,
     entry.histogram = std::make_unique<Histogram>(std::move(bounds));
   }
   return *entry.histogram;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  // Collect stable handles under the source lock, then apply under our own
+  // (taken inside the registration helpers) — the two locks are never held
+  // together, so merging between live registries cannot deadlock. Handles
+  // stay valid after the source lock drops (registry entries never move),
+  // and shard registries are quiescent by the time they are merged.
+  struct Pending {
+    Key key;
+    MetricSample::Kind kind = MetricSample::Kind::Counter;
+    bool volatile_metric = false;
+    uint64_t count = 0;
+    double value = 0;
+    const Histogram* histogram = nullptr;
+  };
+  std::vector<Pending> pending;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    pending.reserve(other.series_.size());
+    for (const auto& [key, entry] : other.series_) {
+      Pending p;
+      p.key = key;
+      p.kind = entry.kind;
+      p.volatile_metric = entry.volatile_metric;
+      switch (entry.kind) {
+        case MetricSample::Kind::Counter:
+          p.count = entry.counter->value();
+          break;
+        case MetricSample::Kind::Gauge:
+          p.value = entry.gauge->value();
+          break;
+        case MetricSample::Kind::Histogram:
+          p.histogram = entry.histogram.get();
+          break;
+      }
+      pending.push_back(std::move(p));
+    }
+  }
+  for (const Pending& p : pending) {
+    switch (p.kind) {
+      case MetricSample::Kind::Counter:
+        // Register even at zero: a serial run creates the series the moment
+        // a handle is resolved, and exports list zero-valued series.
+        counter(p.key.name, p.key.labels).inc(p.count);
+        break;
+      case MetricSample::Kind::Gauge:
+        gauge(p.key.name, p.key.labels, p.volatile_metric).set_max(p.value);
+        break;
+      case MetricSample::Kind::Histogram:
+        histogram(p.key.name, p.key.labels, p.histogram->bounds())
+            .merge_from(*p.histogram);
+        break;
+    }
+  }
 }
 
 std::vector<MetricSample> MetricsRegistry::snapshot(bool include_volatile) const {

@@ -73,6 +73,11 @@ class Histogram {
 
   void observe(double v);
 
+  /// Adds another histogram's buckets/count/sum into this one (parallel
+  /// shard merge). Requires identical bounds; mismatched bounds are ignored
+  /// rather than corrupting buckets.
+  void merge_from(const Histogram& other);
+
   const std::vector<double>& bounds() const { return bounds_; }
   /// Cumulative-free per-bucket counts; size() == bounds().size() + 1.
   std::vector<uint64_t> bucket_counts() const;
@@ -116,6 +121,13 @@ class MetricsRegistry {
 
   /// Deterministically ordered copy of every series.
   std::vector<MetricSample> snapshot(bool include_volatile = false) const;
+
+  /// Folds another registry into this one: counters and histograms add,
+  /// gauges take the max (every gauge in the pipeline is monotone — serials,
+  /// set sizes). Used by the exec engine to merge per-worker shards; merging
+  /// shards in any order yields the same totals, and the totals equal a
+  /// serial run's.
+  void merge_from(const MetricsRegistry& other);
 
   /// Plain-text export, one series per line:
   ///   prober.queries{rcode=NOERROR} 12345

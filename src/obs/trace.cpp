@@ -83,6 +83,24 @@ void Tracer::clear() {
   // next_id_ and dropped_ survive clear(): ids stay unique per tracer.
 }
 
+void Tracer::absorb(Tracer&& shard) {
+  if (&shard == this) return;
+  std::scoped_lock lock(mu_, shard.mu_);
+  // Shard ids restart at 1; offsetting by the events already numbered here
+  // reproduces exactly the ids a serial run would have assigned.
+  const uint64_t base = next_id_ - 1;
+  for (TraceEvent& event : shard.ring_) {
+    event.id += base;
+    if (event.span_id != 0) event.span_id += base;
+    push(std::move(event));
+  }
+  next_id_ = base + shard.next_id_;
+  dropped_ += shard.dropped_;
+  shard.ring_.clear();
+  shard.next_id_ = 1;
+  shard.dropped_ = 0;
+}
+
 namespace {
 
 const char* kind_to_string(TraceEvent::Kind kind) {

@@ -181,7 +181,11 @@ dns::Message answer_from_zone(const dns::Zone& zone, const dns::Message& query,
 }
 
 dns::Message apply_udp_truncation(const dns::Message& response, size_t max_size) {
-  if (response.encode().size() <= max_size) return response;
+  // Size check via a reusable scratch writer: the common (fits-in-UDP) case
+  // allocates nothing. thread_local keeps parallel audit workers apart.
+  thread_local dns::WireWriter scratch;
+  response.encode_into(scratch);
+  if (scratch.size() <= max_size) return response;
   dns::Message truncated;
   truncated.id = response.id;
   truncated.qr = true;
@@ -236,6 +240,16 @@ std::vector<dns::ResourceRecord> RootServerInstance::handle_axfr(
   }
   obs::inc(axfr_served_);
   return authority_->zone_at(effective_time(now)).axfr_records();
+}
+
+std::span<const uint8_t> RootServerInstance::handle_axfr_stream(
+    util::UnixTime now) const {
+  if (!behavior_.allow_axfr) {
+    obs::inc(axfr_refused_);
+    return {};
+  }
+  obs::inc(axfr_served_);
+  return authority_->axfr_stream_at(effective_time(now));
 }
 
 }  // namespace rootsim::rss

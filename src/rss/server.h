@@ -71,6 +71,12 @@ class RootServerInstance {
   /// AXFR is disabled.
   std::vector<dns::ResourceRecord> handle_axfr(util::UnixTime now) const;
 
+  /// Serves a zone transfer as the framed TCP byte stream, straight from the
+  /// authority's per-serial cached wire image — the hot path the prober
+  /// uses (no per-transfer record copy or re-encode). Empty span if AXFR is
+  /// disabled.
+  std::span<const uint8_t> handle_axfr_stream(util::UnixTime now) const;
+
   const std::string& identity() const { return identity_; }
   uint32_t root_index() const { return root_index_; }
   InstanceBehavior& behavior() { return behavior_; }

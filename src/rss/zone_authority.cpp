@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dns/axfr.h"
 #include "util/strings.h"
 
 namespace rootsim::rss {
@@ -135,6 +136,7 @@ dns::Zone ZoneAuthority::build_unsigned_zone(util::UnixTime t) const {
 
 const dns::Zone& ZoneAuthority::zone_at(util::UnixTime t) const {
   uint32_t serial = serial_at(t);
+  std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = cache_.find(serial);
   if (it != cache_.end()) return *it->second;
 
@@ -151,6 +153,18 @@ const dns::Zone& ZoneAuthority::zone_at(util::UnixTime t) const {
   obs::inc(zones_built_);
   if (zone_serial_) zone_serial_->set_max(serial);
   return *inserted->second;
+}
+
+const std::vector<uint8_t>& ZoneAuthority::axfr_stream_at(util::UnixTime t) const {
+  const dns::Zone& zone = zone_at(t);
+  uint32_t serial = serial_at(t);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = axfr_cache_.find(serial);
+  if (it != axfr_cache_.end()) return *it->second;
+  dns::Question question{dns::Name(), dns::RRType::AXFR, dns::RRClass::IN};
+  auto stream = std::make_unique<std::vector<uint8_t>>(
+      dns::encode_axfr_stream(zone.axfr_records(), question));
+  return *axfr_cache_.emplace(serial, std::move(stream)).first->second;
 }
 
 dnssec::TrustAnchors ZoneAuthority::trust_anchors() const {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,8 +52,15 @@ class ZoneAuthority {
   uint32_t serial_at(util::UnixTime t) const;
 
   /// The signed zone as published at time `t`. Zones are generated lazily
-  /// and cached per serial.
+  /// and cached per serial; the cache is thread-safe (the parallel audit
+  /// hits it from every worker).
   const dns::Zone& zone_at(util::UnixTime t) const;
+
+  /// The framed AXFR TCP stream (RFC 5936) of the zone at `t`, built once
+  /// per serial and cached. A transfer is then a read of this buffer instead
+  /// of a fresh ~450-record encode; fault injection decodes and mutates its
+  /// own copy, never the cached image.
+  const std::vector<uint8_t>& axfr_stream_at(util::UnixTime t) const;
 
   /// Trust anchors (the KSK+ZSK DNSKEYs) used for every serial.
   dnssec::TrustAnchors trust_anchors() const;
@@ -73,7 +81,12 @@ class ZoneAuthority {
   dnssec::SigningKey zsk_;
   obs::Counter* zones_built_ = nullptr;
   obs::Gauge* zone_serial_ = nullptr;
+  // Zone build + insert happens under the lock: std::map nodes are stable,
+  // so returned references stay valid, and `rss.zones_built` counts exactly
+  // one build per serial regardless of worker count.
+  mutable std::mutex cache_mu_;
   mutable std::map<uint32_t, std::unique_ptr<dns::Zone>> cache_;
+  mutable std::map<uint32_t, std::unique_ptr<std::vector<uint8_t>>> axfr_cache_;
 };
 
 }  // namespace rootsim::rss

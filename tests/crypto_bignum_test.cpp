@@ -145,6 +145,40 @@ TEST(BigNum, ModPowFermat) {
   }
 }
 
+TEST(BigNum, MontgomeryMatchesBasicModPow) {
+  // Property test: the Montgomery CIOS kernel must agree with the
+  // square-and-multiply oracle on random (base, exponent, odd modulus)
+  // triples across the limb sizes RSA uses.
+  util::Rng rng(7);
+  for (int i = 0; i < 150; ++i) {
+    size_t mod_limbs = 1 + rng.uniform(17);  // up to 1088 bits
+    BigNum modulus = random_bignum(rng, mod_limbs);
+    if (!modulus.is_odd()) modulus = modulus + BigNum(1);
+    if (modulus <= BigNum(1)) continue;
+    BigNum base = random_bignum(rng, mod_limbs + 2);  // may exceed modulus
+    BigNum exponent = random_bignum(rng, 1 + rng.uniform(4));
+    EXPECT_EQ(base.mod_pow(exponent, modulus),
+              base.mod_pow_basic(exponent, modulus))
+        << "modulus=" << modulus.to_hex() << " base=" << base.to_hex()
+        << " exp=" << exponent.to_hex();
+  }
+}
+
+TEST(BigNum, MontgomeryEdgeCases) {
+  MontgomeryContext ctx(BigNum(497));
+  ASSERT_TRUE(ctx.valid());
+  EXPECT_EQ(ctx.exp(BigNum(4), BigNum(13)), BigNum(445));
+  EXPECT_EQ(ctx.exp(BigNum(0), BigNum(5)), BigNum(0));
+  EXPECT_EQ(ctx.exp(BigNum(7), BigNum(0)), BigNum(1));
+  EXPECT_EQ(ctx.exp(BigNum(497 * 3 + 2), BigNum(1)), BigNum(2));
+  // Even / trivial moduli are rejected and handled by the basic path.
+  EXPECT_FALSE(MontgomeryContext(BigNum(496)).valid());
+  EXPECT_FALSE(MontgomeryContext(BigNum(1)).valid());
+  EXPECT_FALSE(MontgomeryContext(BigNum(0)).valid());
+  // mod_pow on an even modulus still works via the fallback.
+  EXPECT_EQ(BigNum(2).mod_pow(BigNum(10), BigNum(1000)), BigNum(24));
+}
+
 TEST(BigNum, ModInverse) {
   util::Rng rng(6);
   BigNum m = BigNum::from_hex("ffffffffffffffc5");  // prime modulus

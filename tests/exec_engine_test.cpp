@@ -1,0 +1,202 @@
+// Determinism suite for the exec engine: parallel fan-out must be
+// output-equivalent to serial execution — same observation vectors, same
+// metric totals, byte-identical trace dumps — for every worker count.
+#include "exec/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "measure/campaign.h"
+#include "obs/obs.h"
+#include "util/strings.h"
+
+namespace rootsim {
+namespace {
+
+TEST(ParallelFor, CoversEveryUnitExactlyOnceWithContiguousShards) {
+  constexpr size_t kUnits = 103;  // deliberately not a multiple of workers
+  constexpr size_t kWorkers = 4;
+  std::vector<std::atomic<int>> hits(kUnits);
+  std::vector<std::atomic<int>> shard_of(kUnits);
+  exec::parallel_for(kUnits, kWorkers, [&](size_t unit, size_t shard) {
+    hits[unit].fetch_add(1);
+    shard_of[unit].store(static_cast<int>(shard));
+  });
+  for (size_t unit = 0; unit < kUnits; ++unit)
+    ASSERT_EQ(hits[unit].load(), 1) << unit;
+  // Contiguous block sharding: shard indices are non-decreasing in unit
+  // order. That invariant is what makes "merge shards in order" equal
+  // "merge units in order".
+  for (size_t unit = 1; unit < kUnits; ++unit)
+    ASSERT_GE(shard_of[unit].load(), shard_of[unit - 1].load()) << unit;
+}
+
+TEST(ParallelFor, MoreWorkersThanUnitsAndZeroUnits) {
+  std::vector<std::atomic<int>> hits(3);
+  exec::parallel_for(3, 16, [&](size_t unit, size_t) { hits[unit]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  bool ran = false;
+  exec::parallel_for(0, 4, [&](size_t, size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ResolveWorkers, RequestedThenEnvThenOne) {
+  EXPECT_EQ(exec::resolve_workers(3), 3u);
+  setenv("ROOTSIM_WORKERS", "5", 1);
+  EXPECT_EQ(exec::resolve_workers(0), 5u);
+  setenv("ROOTSIM_WORKERS", "junk", 1);
+  EXPECT_EQ(exec::resolve_workers(0), 1u);
+  unsetenv("ROOTSIM_WORKERS");
+  EXPECT_EQ(exec::resolve_workers(0), 1u);
+}
+
+TEST(TracerAbsorb, ReproducesSerialIdsAndSpanLinks) {
+  // Serial reference: one tracer records both probes.
+  obs::Tracer serial(64);
+  uint64_t s1 = serial.begin_span("probe", 100, {{"unit", "0"}});
+  serial.event(s1, "query", 101);
+  serial.end_span(s1, 102);
+  uint64_t s2 = serial.begin_span("probe", 200, {{"unit", "1"}});
+  serial.event(s2, "query", 201);
+  serial.end_span(s2, 202);
+
+  // Sharded: each probe records into its own tracer, merged in unit order.
+  obs::Tracer main(64);
+  obs::Tracer shard0(64);
+  obs::Tracer shard1(64);
+  uint64_t a = shard0.begin_span("probe", 100, {{"unit", "0"}});
+  shard0.event(a, "query", 101);
+  shard0.end_span(a, 102);
+  uint64_t b = shard1.begin_span("probe", 200, {{"unit", "1"}});
+  shard1.event(b, "query", 201);
+  shard1.end_span(b, 202);
+  main.absorb(std::move(shard0));
+  main.absorb(std::move(shard1));
+
+  EXPECT_EQ(main.to_jsonl(), serial.to_jsonl());
+  EXPECT_EQ(main.recorded(), serial.recorded());
+  EXPECT_EQ(shard0.size(), 0u);
+  EXPECT_EQ(shard0.recorded(), 0u);
+}
+
+TEST(TracerAbsorb, RingDropAccountingMatchesSerial) {
+  constexpr size_t kCapacity = 8;
+  auto record_unit = [](obs::Tracer& t, size_t unit) {
+    uint64_t span =
+        t.begin_span("u", static_cast<util::UnixTime>(unit), {});
+    for (int e = 0; e < 5; ++e)
+      t.event(span, "e", static_cast<util::UnixTime>(unit));
+    t.end_span(span, static_cast<util::UnixTime>(unit));
+  };
+  obs::Tracer serial(kCapacity);
+  for (size_t unit = 0; unit < 6; ++unit) record_unit(serial, unit);
+
+  obs::Tracer main(kCapacity);
+  obs::Tracer shard0(kCapacity);
+  obs::Tracer shard1(kCapacity);
+  for (size_t unit = 0; unit < 3; ++unit) record_unit(shard0, unit);
+  for (size_t unit = 3; unit < 6; ++unit) record_unit(shard1, unit);
+  main.absorb(std::move(shard0));
+  main.absorb(std::move(shard1));
+
+  EXPECT_EQ(main.to_jsonl(), serial.to_jsonl());
+  EXPECT_EQ(main.dropped(), serial.dropped());
+  EXPECT_EQ(main.recorded(), serial.recorded());
+}
+
+TEST(MetricsMerge, CountersGaugesHistogramsFold) {
+  obs::MetricsRegistry main;
+  obs::MetricsRegistry shard;
+  main.counter("c", {{"k", "v"}}).inc(2);
+  shard.counter("c", {{"k", "v"}}).inc(3);
+  shard.counter("only_in_shard");  // zero-valued: series must still appear
+  main.gauge("g").set(5);
+  shard.gauge("g").set(3);  // gauges are monotone: merge takes the max
+  main.histogram("h", {}, {1, 2}).observe(0.5);
+  shard.histogram("h", {}, {1, 2}).observe(1.5);
+  shard.histogram("h", {}, {1, 2}).observe(99);
+
+  main.merge_from(shard);
+  EXPECT_EQ(main.counter_value("c", {{"k", "v"}}), 5u);
+  EXPECT_EQ(main.counter_value("only_in_shard", {}), 0u);
+  EXPECT_NE(main.to_jsonl().find("only_in_shard"), std::string::npos);
+
+  auto samples = main.snapshot();
+  bool checked_gauge = false, checked_hist = false;
+  for (const auto& sample : samples) {
+    if (sample.name == "g") {
+      EXPECT_DOUBLE_EQ(sample.value, 5.0);
+      checked_gauge = true;
+    }
+    if (sample.name == "h") {
+      EXPECT_EQ(sample.count, 3u);
+      ASSERT_EQ(sample.buckets.size(), 3u);
+      EXPECT_EQ(sample.buckets[0], 1u);  // 0.5 <= 1
+      EXPECT_EQ(sample.buckets[1], 1u);  // 1.5 <= 2
+      EXPECT_EQ(sample.buckets[2], 1u);  // 99 -> +inf
+      EXPECT_DOUBLE_EQ(sample.value, 0.5 + 1.5 + 99);
+      checked_hist = true;
+    }
+  }
+  EXPECT_TRUE(checked_gauge);
+  EXPECT_TRUE(checked_hist);
+}
+
+bool observations_equal(const measure::ZoneAuditObservation& a,
+                        const measure::ZoneAuditObservation& b) {
+  return a.vp_id == b.vp_id && a.table2_vp_id == b.table2_vp_id &&
+         a.root_index == b.root_index && a.family == b.family &&
+         a.old_b_address == b.old_b_address && a.when == b.when &&
+         a.soa_serial == b.soa_serial && a.verdict == b.verdict &&
+         a.zonemd == b.zonemd &&
+         a.affects_all_servers == b.affects_all_servers && a.note == b.note;
+}
+
+struct AuditRun {
+  std::vector<measure::ZoneAuditObservation> observations;
+  std::string metrics_jsonl;
+  std::string trace_jsonl;
+};
+
+AuditRun run_audit(size_t workers) {
+  measure::CampaignConfig config;
+  config.zone.tld_count = 30;
+  config.zone.rsa_modulus_bits = 512;
+  config.vp_scale = 0.05;
+  obs::Recorder recorder;
+  measure::Campaign campaign(config, recorder.obs());
+  AuditRun run;
+  run.observations = campaign.run_zone_audit(12, workers);
+  run.metrics_jsonl = recorder.metrics().to_jsonl();
+  run.trace_jsonl = recorder.tracer().to_jsonl();
+  return run;
+}
+
+// The tentpole acceptance property: worker count must not be observable in
+// any output — observations, metric export, trace export.
+TEST(ZoneAudit, WorkerCountInvisibleInEveryOutput) {
+  AuditRun serial = run_audit(1);
+  ASSERT_FALSE(serial.observations.empty());
+  ASSERT_FALSE(serial.metrics_jsonl.empty());
+  ASSERT_FALSE(serial.trace_jsonl.empty());
+  for (size_t workers : {2, 8}) {
+    AuditRun parallel = run_audit(workers);
+    ASSERT_EQ(parallel.observations.size(), serial.observations.size())
+        << workers << " workers";
+    for (size_t i = 0; i < serial.observations.size(); ++i)
+      ASSERT_TRUE(
+          observations_equal(parallel.observations[i], serial.observations[i]))
+          << workers << " workers, observation " << i;
+    EXPECT_EQ(parallel.metrics_jsonl, serial.metrics_jsonl)
+        << workers << " workers";
+    EXPECT_EQ(parallel.trace_jsonl, serial.trace_jsonl)
+        << workers << " workers";
+  }
+}
+
+}  // namespace
+}  // namespace rootsim
