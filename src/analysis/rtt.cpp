@@ -27,6 +27,7 @@ uint32_t column_root(size_t column) {
 RttReport compute_rtt(const measure::Campaign& campaign) {
   RttReport report;
   const netsim::AnycastRouter& router = campaign.router();
+  const netsim::Transport& transport = campaign.transport();
   for (const auto& vp : campaign.vantage_points()) {
     size_t region = static_cast<size_t>(vp.view.region);
     for (size_t column = 0; column < kRttColumns; ++column) {
@@ -34,9 +35,12 @@ RttReport compute_rtt(const measure::Campaign& campaign) {
       for (util::IpFamily family : {util::IpFamily::V4, util::IpFamily::V6}) {
         netsim::RouteResult route = router.route(vp.view, root, family);
         RttCell& cell = report.cells[region][column];
+        // What a probe actually measures is the path RTT under the
+        // transport's link conditions (a per-site penalty shows up here
+        // exactly as it would in the collected .mtr files).
         // The old b.root address keeps answering from the same catchment:
         // same sites, marginally different jitter realization.
-        double rtt = route.rtt_ms;
+        double rtt = transport.effective_rtt_ms(route);
         if (column == 2) rtt *= 1.02;
         if (family == util::IpFamily::V4)
           cell.samples_v4.push_back(rtt);

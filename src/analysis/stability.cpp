@@ -8,6 +8,7 @@ StabilityReport compute_stability(const measure::Campaign& campaign,
                                   const StabilityOptions& options) {
   StabilityReport report;
   const netsim::AnycastRouter& router = campaign.router();
+  const netsim::Transport& transport = campaign.transport();
   const size_t rounds = campaign.schedule().round_count();
   const size_t stride = std::max<size_t>(1, options.round_stride);
 
@@ -17,12 +18,23 @@ StabilityReport compute_stability(const measure::Campaign& campaign,
     for (const auto& vp : campaign.vantage_points()) {
       for (util::IpFamily family : {util::IpFamily::V4, util::IpFamily::V6}) {
         auto selection = router.prepare_selection(vp.view, root, family);
+        // An unreachable site (transport loss >= 1) never answers a probe:
+        // what the VP *observes* is the selection's other site — the same
+        // remap a real BGP withdrawal-less dead instance produces in the
+        // paper's data.
+        auto observed = [&](uint32_t site) {
+          if (!transport.site_unreachable(site)) return site;
+          uint32_t other = site == selection.primary_site
+                               ? selection.secondary_site
+                               : selection.primary_site;
+          return transport.site_unreachable(other) ? site : other;
+        };
         uint64_t changes = 0;
         uint32_t previous =
-            netsim::AnycastRouter::site_at_round(selection, 0);
+            observed(netsim::AnycastRouter::site_at_round(selection, 0));
         for (size_t round = stride; round < rounds; round += stride) {
           uint32_t current =
-              netsim::AnycastRouter::site_at_round(selection, round);
+              observed(netsim::AnycastRouter::site_at_round(selection, round));
           if (current != previous) ++changes;
           previous = current;
         }

@@ -33,9 +33,14 @@ RefreshResult LocalRootService::refresh(util::UnixTime now,
 
     measure::ProbeRecord probe =
         campaign_->prober().probe(vp_, address, now, round, knobs);
+    attempt.transport = probe.transport;
     if (!probe.axfr || probe.axfr->refused) {
       attempt.transfer_failed = true;
-      attempt.detail = "transfer failed/refused";
+      attempt.timed_out = probe.axfr && probe.axfr->timed_out;
+      attempt.tcp_refused = probe.axfr && probe.axfr->tcp_refused;
+      attempt.detail = attempt.timed_out    ? "transfer timed out"
+                       : attempt.tcp_refused ? "path refuses TCP"
+                                             : "transfer failed/refused";
       result.attempts.push_back(attempt);
       continue;
     }

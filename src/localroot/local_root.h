@@ -31,10 +31,16 @@ struct RefreshAttempt {
   util::IpFamily family = util::IpFamily::V4;
   bool old_b_address = false;
   bool transfer_failed = false;
+  /// The transfer never arrived because the transport gave up (SYN loss) or
+  /// the path refuses TCP — as opposed to a server-side AXFR refusal.
+  bool timed_out = false;
+  bool tcp_refused = false;
   dnssec::ValidationStatus dnssec_verdict = dnssec::ValidationStatus::Valid;
   dnssec::ZonemdStatus zonemd_verdict = dnssec::ZonemdStatus::NoZonemd;
   bool accepted = false;
   std::string detail;
+  /// Wire-level accounting of the probe that carried this attempt.
+  netsim::TransportStats transport;
 };
 
 struct RefreshResult {

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "exec/engine.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 namespace rootsim::measure {
@@ -62,6 +63,7 @@ Campaign::Campaign(CampaignConfig config, obs::Obs obs)
   config_.router.seed = config_.seed;
   config_.vantage.seed = config_.seed;
   config_.zone.seed = config_.seed;
+  config_.transport.seed = config_.seed;
   config_.router.campaign_rounds = schedule_.round_count();
   if (config_.router.churn == std::array<netsim::ChurnSpec, 13>{})
     config_.router.churn = netsim::default_churn_specs();
@@ -74,7 +76,8 @@ Campaign::Campaign(CampaignConfig config, obs::Obs obs)
                                                     obs_);
   vps_ = scale_vps(generate_vantage_points(topology_, config_.vantage),
                    config_.vp_scale);
-  prober_ = std::make_unique<Prober>(*authority_, catalog_, *router_, obs_);
+  prober_ = std::make_unique<Prober>(*authority_, catalog_, *router_,
+                                     config_.transport, obs_);
   faults_ = default_fault_plan();
   if (obs_.metrics) {
     obs_.metrics->gauge("campaign.vantage_points").set(
@@ -91,15 +94,41 @@ std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
 
   // Stable vp_id -> index lookup. The fault plan names full-campaign VP ids;
   // a scaled-down VP set (vp_scale < 1) may not contain them, in which case
-  // the old modulo aliasing is kept as an explicit, noted fallback rather
-  // than a silent remap.
+  // each missing planned id gets its own stand-in VP. The assignment is
+  // hash-seeded with linear probing over a taken map, so — unlike the modulo
+  // aliasing it replaces — two distinct planned ids never collapse onto the
+  // same stand-in (as long as the scaled set has enough VPs), and it only
+  // depends on (fault plan, VP set), never on scheduling.
   std::unordered_map<uint32_t, size_t> vp_index;
   vp_index.reserve(vps_.size());
   for (size_t i = 0; i < vps_.size(); ++i) vp_index.emplace(vps_[i].view.vp_id, i);
+  std::unordered_map<uint32_t, size_t> fallback_base;
+  {
+    std::vector<uint32_t> missing;
+    for (const FaultEvent& event : faults_)
+      if (!vp_index.count(event.vp_id)) missing.push_back(event.vp_id);
+    std::sort(missing.begin(), missing.end());
+    missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+    std::vector<bool> taken(vps_.size(), false);
+    size_t assigned = 0;
+    for (uint32_t vp_id : missing) {
+      if (assigned == vps_.size()) {
+        // More missing ids than VPs: reuse is unavoidable; start over.
+        taken.assign(vps_.size(), false);
+        assigned = 0;
+      }
+      uint64_t mix = vp_id;
+      size_t slot = util::splitmix64(mix) % vps_.size();
+      while (taken[slot]) slot = (slot + 1) % vps_.size();
+      taken[slot] = true;
+      ++assigned;
+      fallback_base.emplace(vp_id, slot);
+    }
+  }
   auto vp_by_id = [&](uint32_t vp_id, bool& fallback) -> const VantagePoint& {
     auto it = vp_index.find(vp_id);
     fallback = it == vp_index.end();
-    return fallback ? vps_[vp_id % vps_.size()] : vps_[it->second];
+    return fallback ? vps_[fallback_base.at(vp_id)] : vps_[it->second];
   };
 
   auto validate_probe = [&](const ProbeRecord& probe, const FaultEvent* fault,
@@ -122,7 +151,10 @@ std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
                          std::move(attrs));
     };
     if (!probe.axfr || probe.axfr->refused) {
-      obs.note = "axfr-refused";
+      // A transfer that never arrived: refused by the server, or — on lossy
+      // / TCP-refusing transport conditions — never established at all.
+      obs.note = probe.axfr && probe.axfr->timed_out ? "axfr-timeout"
+                                                     : "axfr-refused";
       trace_verdict(obs);
       return obs;
     }
@@ -159,6 +191,7 @@ std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
   probers.reserve(workers);
   for (size_t w = 0; w < workers; ++w)
     probers.push_back(std::make_unique<Prober>(*authority_, catalog_, *router_,
+                                               config_.transport,
                                                shards.shard(w)));
   std::vector<ZoneAuditObservation> observations(total_units);
   // Hoisted out of the sampling loop: the address set is time-invariant for
@@ -194,6 +227,7 @@ std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
       }
       bool vp_fallback = false;
       VantagePoint vp = vp_by_id(event.vp_id, vp_fallback);
+      uint32_t stand_in_vp_id = vp.view.vp_id;
       vp.view.vp_id = event.vp_id;  // keep the plan's VP identity
       if (event.kind == FaultEvent::Kind::ClockSkew)
         vp.clock_offset_s = event.clock_offset_s;
@@ -213,14 +247,16 @@ std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
       ZoneAuditObservation obs = validate_probe(probe, &event, sink);
       obs.affects_all_servers = all_servers;
       if (vp_fallback && obs.note != "axfr-refused" &&
+          obs.note != "axfr-timeout" &&
           !util::starts_with(obs.note, "axfr-framing-broken")) {
         // Annotate the aliasing so Table 2 rows from scaled-down test
         // configs are recognizably approximate. Skip the note on the
         // refused/broken classes: downstream reconciliation matches those
         // verbatim.
         if (!obs.note.empty()) obs.note += "; ";
-        obs.note += util::format("vp-fallback: planned vp %u not in scaled set",
-                                 event.vp_id);
+        obs.note += util::format(
+            "vp-fallback: planned vp %u not in scaled set (stand-in vp %u)",
+            event.vp_id, stand_in_vp_id);
       }
       observations[unit] = std::move(obs);
     } else {

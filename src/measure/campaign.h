@@ -26,6 +26,9 @@ struct CampaignConfig {
   VantageSetConfig vantage;
   ScheduleConfig schedule;
   rss::ZoneAuthorityConfig zone;
+  /// Link conditions and retry policy of the simulated transport every
+  /// client↔server exchange rides (defaults: clean, loss-free paths).
+  netsim::TransportConfig transport;
   /// Scale factor < 1 shrinks the VP set for fast tests (keeps proportions).
   double vp_scale = 1.0;
 };
@@ -64,6 +67,8 @@ class Campaign {
   const std::vector<VantagePoint>& vantage_points() const { return vps_; }
   const Schedule& schedule() const { return schedule_; }
   const Prober& prober() const { return *prober_; }
+  /// The simulated transport the campaign's prober sends everything through.
+  const netsim::Transport& transport() const { return prober_->transport(); }
   const std::vector<FaultEvent>& fault_plan() const { return faults_; }
 
   /// Runs the ZONEMD audit: executes every planned fault event as a full

@@ -1,13 +1,18 @@
 #include "measure/prober.h"
 
 #include "dns/axfr.h"
+#include "rss/endpoint.h"
 #include "util/strings.h"
 
 namespace rootsim::measure {
 
 Prober::Prober(const rss::ZoneAuthority& authority, const rss::RootCatalog& catalog,
-               const netsim::AnycastRouter& router, obs::Obs obs)
-    : authority_(&authority), catalog_(&catalog), router_(&router), obs_(obs) {
+               const netsim::AnycastRouter& router,
+               netsim::TransportConfig transport_config, obs::Obs obs)
+    : authority_(&authority),
+      catalog_(&catalog),
+      transport_(router, std::move(transport_config), obs),
+      obs_(obs) {
   if (obs_.metrics) {
     probes_ = obs_.counter_handle("prober.probes");
     timeouts_ = obs_.counter_handle("prober.query_timeouts");
@@ -129,22 +134,26 @@ ProbeRecord Prober::probe(const VantagePoint& vp, const util::IpAddress& address
     return record;
   }
 
-  // Route to the anycast site answering this address for this VP.
-  netsim::RouteResult route = router_->route_at(
-      vp.view, static_cast<uint32_t>(record.root_index), address.family(), round);
+  // Open the path for this probe's whole conversation: exactly one route
+  // selection binds the anycast site, the link conditions and the path RNG.
+  netsim::Transport::Path path = transport_.open_path(
+      vp.view, static_cast<uint32_t>(record.root_index), address.family(),
+      round);
+  const netsim::RouteResult& route = path.route();
   record.site_id = route.site_id;
-  record.rtt_ms = route.rtt_ms;
+  record.rtt_ms = transport_.effective_rtt_ms(route);
   record.second_to_last_hop = route.second_to_last_hop;
   record.traceroute_hops = route.hops;
   obs::observe(rtt_ms_[record.family == util::IpFamily::V4 ? 0 : 1],
-               route.rtt_ms);
+               record.rtt_ms);
 
-  const netsim::AnycastSite& site = router_->topology().sites[route.site_id];
+  const netsim::AnycastSite& site =
+      transport_.router().topology().sites[route.site_id];
   if (obs_.tracer) {
     obs_.tracer->event(
         record.trace_span, "traceroute", now,
         {{"site", site.identity},
-         {"rtt_ms", util::format("%.3f", route.rtt_ms)},
+         {"rtt_ms", util::format("%.3f", record.rtt_ms)},
          {"hops", util::format("%zu", route.hops.size())},
          {"second_to_last",
           util::format("%llu", static_cast<unsigned long long>(
@@ -155,8 +164,9 @@ ProbeRecord Prober::probe(const VantagePoint& vp, const util::IpAddress& address
   rss::RootServerInstance instance(*authority_, *catalog_,
                                    static_cast<uint32_t>(record.root_index),
                                    site.identity, behavior, obs_);
+  rss::InstanceEndpoint endpoint(instance);
 
-  // The 46 dig queries, through real wire encode/decode.
+  // The 46 dig queries, each a full transport exchange over the open path.
   auto note_query = [&](const QueryResult& result) {
     if (obs_.metrics) {
       obs_.count("prober.queries",
@@ -176,46 +186,39 @@ ProbeRecord Prober::probe(const VantagePoint& vp, const util::IpAddress& address
       else
         attrs.push_back({"status", rcode_to_string(result.rcode)});
       if (result.retried_over_tcp) attrs.push_back({"tcp", "1"});
+      if (result.tcp_refused) attrs.push_back({"tcp_refused", "1"});
+      // Retransmissions only (a clean path logs nothing extra, keeping the
+      // default trace stream identical to the pre-transport one).
+      if (result.udp_attempts > 1)
+        attrs.push_back(
+            {"udp_attempts", util::format("%u", result.udp_attempts)});
       attrs.push_back({"answers", util::format("%zu", result.answers.size())});
       obs_.tracer->event(record.trace_span, "query", now, std::move(attrs));
     }
   };
   uint16_t query_id = static_cast<uint16_t>(round * 131 + vp.view.vp_id);
-  // One wire buffer reused across the 46 encode/decode round-trips: decode
-  // copies out what it keeps, so the writer can be cleared per message.
-  dns::WireWriter wire;
   for (const dns::Question& question : query_list()) {
     dns::Message query = dns::make_query(query_id++, question.qname,
                                          question.qtype, question.qclass,
                                          /*dnssec_ok=*/true);
-    query.encode_into(wire);
-    auto parsed_query = dns::Message::decode(wire.data());
+    netsim::ExchangeOutcome outcome =
+        transport_.exchange(path, endpoint, query, now);
     QueryResult result;
     result.question = question;
-    if (!parsed_query) {
-      result.timed_out = true;
-      note_query(result);
-      record.queries.push_back(std::move(result));
-      continue;
-    }
-    // UDP first; on truncation retry over TCP — the dig default.
-    dns::Message response = instance.handle_udp_query(*parsed_query, now);
-    if (response.tc) {
-      response = instance.handle_query(*parsed_query, now);
-      result.retried_over_tcp = true;
-    }
-    response.encode_into(wire);
-    auto parsed_response = dns::Message::decode(wire.data());
-    if (!parsed_response) {
-      result.timed_out = true;
-    } else {
-      result.rcode = parsed_response->rcode;
-      result.rtt_ms = route.rtt_ms;
-      result.answers = parsed_response->answers;
-      if (question.qclass == dns::RRClass::CH &&
-          !parsed_response->answers.empty()) {
-        const auto* txt =
-            std::get_if<dns::TxtData>(&parsed_response->answers[0].rdata);
+    result.timed_out = outcome.timed_out;
+    result.retried_over_tcp = outcome.retried_over_tcp;
+    result.tcp_refused = outcome.tcp_refused;
+    result.transport = outcome.transport;
+    result.udp_attempts = outcome.stats.udp_attempts;
+    result.tcp_attempts = outcome.stats.tcp_attempts;
+    result.wire_bytes = outcome.stats.bytes_sent + outcome.stats.bytes_received;
+    result.rtt_ms = outcome.stats.time_ms;
+    record.transport.absorb(outcome.stats);
+    if (outcome.delivered) {
+      result.rcode = outcome.response.rcode;
+      result.answers = std::move(outcome.response.answers);
+      if (question.qclass == dns::RRClass::CH && !result.answers.empty()) {
+        const auto* txt = std::get_if<dns::TxtData>(&result.answers[0].rdata);
         std::string qname = util::to_lower(question.qname.to_string());
         if (txt && !txt->strings.empty() &&
             (qname == "hostname.bind." || qname == "id.server."))
@@ -231,11 +234,14 @@ ProbeRecord Prober::probe(const VantagePoint& vp, const util::IpAddress& address
   // side hands us its per-serial cached wire image; the decode below is this
   // probe's own copy, so bitflip injection never touches shared state.
   AxfrResult axfr;
-  std::span<const uint8_t> stream = instance.handle_axfr_stream(now);
-  if (stream.empty()) {
+  netsim::AxfrOutcome transfer = transport_.axfr(path, endpoint, now);
+  record.transport.absorb(transfer.stats);
+  if (!transfer.delivered) {
     axfr.refused = true;
+    axfr.timed_out = transfer.timed_out;
+    axfr.tcp_refused = transfer.tcp_refused;
   } else {
-    auto parsed = dns::decode_axfr_stream(stream);
+    auto parsed = dns::decode_axfr_stream(transfer.stream);
     if (!parsed.ok()) {
       axfr.refused = true;  // treated as a failed transfer
     } else {
@@ -252,7 +258,8 @@ ProbeRecord Prober::probe(const VantagePoint& vp, const util::IpAddress& address
   obs::inc(axfr.refused ? axfr_refused_ : axfr_ok_);
   if (obs_.tracer) {
     std::vector<obs::TraceAttr> attrs{
-        {"status", axfr.refused ? "refused" : "ok"}};
+        {"status", axfr.timed_out ? "timeout"
+                                  : (axfr.refused ? "refused" : "ok")}};
     if (!axfr.refused) {
       attrs.push_back({"serial", util::format("%u", axfr.soa_serial)});
       attrs.push_back({"records", util::format("%zu", axfr.records.size())});

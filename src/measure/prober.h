@@ -9,11 +9,13 @@
 //   * A/AAAA/TXT for each of the 13 root server names (39 queries),
 // i.e. 47 DNS queries + 1 AXFR + 1 traceroute per address (paper §B).
 //
-// The prober runs this against the *simulated* server instance selected by
-// the routing layer, over real wire-format messages, and returns structured
-// results. Fault injection (bitflips, stale servers, skewed clocks) happens
-// on exactly the paths it would in reality: the transfer payload and the
-// validator's clock.
+// Every exchange rides netsim::Transport: the prober opens one path per
+// probe (one route selection, like the kernel's route cache) and sends real
+// wire-format messages over it, so packet loss, truncation retries, TCP
+// fallback and timeout budgets all happen where they would in reality.
+// Fault injection (bitflips, stale servers, skewed clocks) happens on
+// exactly the paths it would too: the transfer payload and the validator's
+// clock.
 #pragma once
 
 #include <optional>
@@ -22,6 +24,7 @@
 
 #include "dns/message.h"
 #include "measure/vantage.h"
+#include "netsim/transport.h"
 #include "obs/obs.h"
 #include "rss/server.h"
 
@@ -34,6 +37,17 @@ struct QueryResult {
   bool timed_out = false;
   /// The UDP response came back truncated and was retried over TCP.
   bool retried_over_tcp = false;
+  /// Truncated answer on a path that refuses TCP: this is all we got.
+  bool tcp_refused = false;
+  /// The protocol the final response arrived over.
+  netsim::TransportProto transport = netsim::TransportProto::Udp;
+  /// Datagrams / SYNs this query cost (1 / 0 on a clean path).
+  uint32_t udp_attempts = 0;
+  uint32_t tcp_attempts = 0;
+  /// Total bytes on the wire, both directions, including retries.
+  uint64_t wire_bytes = 0;
+  /// Simulated time the exchange took: one path RTT on a clean UDP answer,
+  /// plus timeout budgets for drops and handshake+RTT for a TCP retry.
   double rtt_ms = 0;
   std::vector<dns::ResourceRecord> answers;
 };
@@ -42,6 +56,10 @@ struct QueryResult {
 /// into the analysis exactly as it would in a stored .dig file.
 struct AxfrResult {
   bool refused = false;
+  /// The TCP connection never established (SYN loss on a lossy path).
+  bool timed_out = false;
+  /// The path refuses TCP outright: no transfer is possible at all.
+  bool tcp_refused = false;
   uint32_t soa_serial = 0;
   std::vector<dns::ResourceRecord> records;
   bool bitflip_injected = false;
@@ -62,11 +80,14 @@ struct ProbeRecord {
   util::UnixTime vp_time = 0;     // the VP's possibly skewed clock
   uint32_t site_id = 0;           // anycast site that answered
   std::string instance_identity;  // hostname.bind answer
+  /// Path RTT under the transport's link conditions (jitter-free).
   double rtt_ms = 0;
   netsim::RouterId second_to_last_hop = 0;
   std::vector<netsim::RouterId> traceroute_hops;
   std::vector<QueryResult> queries;
   std::optional<AxfrResult> axfr;
+  /// Wire-level accounting aggregated over the probe's 46 queries + AXFR.
+  netsim::TransportStats transport;
 };
 
 /// Executes measurement rounds against simulated instances.
@@ -76,7 +97,14 @@ class Prober {
   /// query/AXFR, and the `prober.*` counters + RTT histograms. The default
   /// null sink keeps the probe loop on its uninstrumented path.
   Prober(const rss::ZoneAuthority& authority, const rss::RootCatalog& catalog,
-         const netsim::AnycastRouter& router, obs::Obs obs = {});
+         const netsim::AnycastRouter& router, obs::Obs obs = {})
+      : Prober(authority, catalog, router, netsim::TransportConfig{}, obs) {}
+
+  /// Same, with explicit link conditions / retry policy for the simulated
+  /// transport all of this prober's exchanges ride.
+  Prober(const rss::ZoneAuthority& authority, const rss::RootCatalog& catalog,
+         const netsim::AnycastRouter& router,
+         netsim::TransportConfig transport_config, obs::Obs obs = {});
 
   /// Full-fidelity probe of one service address from one VP at `round`.
   /// `behavior` overrides the contacted instance's serving state (stale zone
@@ -100,13 +128,16 @@ class Prober {
     return probe(vp, address, now, round, FaultKnobs{});
   }
 
+  /// The transport every exchange of this prober goes through.
+  const netsim::Transport& transport() const { return transport_; }
+
   /// The 47-query list of Appendix F for one address.
   static std::vector<dns::Question> query_list();
 
  private:
   const rss::ZoneAuthority* authority_;
   const rss::RootCatalog* catalog_;
-  const netsim::AnycastRouter* router_;
+  netsim::Transport transport_;
   obs::Obs obs_;
   // Pre-resolved metric handles; null when no sink is attached.
   obs::Counter* probes_ = nullptr;

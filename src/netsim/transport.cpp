@@ -1,0 +1,219 @@
+#include "netsim/transport.h"
+
+#include "util/strings.h"
+
+namespace rootsim::netsim {
+
+std::string_view to_string(TransportProto proto) {
+  return proto == TransportProto::Udp ? "udp" : "tcp";
+}
+
+Transport::Transport(const AnycastRouter& router, TransportConfig config,
+                     obs::Obs obs)
+    : router_(&router), config_(std::move(config)), obs_(obs) {
+  if (obs_.metrics) {
+    exchanges_[0] = obs_.counter_handle("transport.exchanges", {{"proto", "udp"}});
+    exchanges_[1] = obs_.counter_handle("transport.exchanges", {{"proto", "tcp"}});
+    drops_ = obs_.counter_handle("transport.drops");
+    timeouts_ = obs_.counter_handle("transport.timeouts");
+    tcp_fallbacks_ = obs_.counter_handle("transport.tcp_fallbacks");
+    bytes_sent_ = obs_.counter_handle("transport.bytes", {{"dir", "sent"}});
+    bytes_received_ = obs_.counter_handle("transport.bytes", {{"dir", "received"}});
+  }
+}
+
+Transport::Path Transport::open_path(const VantageView& client,
+                                     uint32_t root_index, util::IpFamily family,
+                                     uint64_t round) const {
+  Path path;
+  path.route_ = router_->route_at(client, root_index, family, round);
+  path.conditions_ = config_.conditions_for_site(path.route_.site_id);
+  // The path's private loss/jitter stream: a pure function of the path
+  // coordinates and the transport seed, so a probe's outcomes never depend
+  // on which worker ran it or what ran before it.
+  path.rng_ = util::Rng(config_.seed).fork(util::format(
+      "transport/%u/%u/%d/%llu", client.vp_id, root_index,
+      family == util::IpFamily::V4 ? 4 : 6,
+      static_cast<unsigned long long>(round)));
+  return path;
+}
+
+double Transport::round_trip_ms(Path& path) const {
+  double rtt = path.route_.rtt_ms + path.conditions_.extra_rtt_ms;
+  if (path.conditions_.jitter_ms > 0)
+    rtt += path.rng_.uniform_real(0.0, path.conditions_.jitter_ms);
+  return rtt;
+}
+
+bool Transport::dropped(Path& path) const {
+  // Loss-free paths never touch the RNG: the default transport is exactly
+  // transparent, draw for draw, to the pre-transport code.
+  return path.conditions_.loss > 0 && path.rng_.chance(path.conditions_.loss);
+}
+
+void Transport::note_exchange(TransportProto proto) const {
+  obs::inc(exchanges_[proto == TransportProto::Udp ? 0 : 1]);
+}
+
+bool Transport::tcp_connect(Path& path, TransportStats& stats) const {
+  double timeout = config_.tcp_connect_timeout_ms;
+  for (int attempt = 0; attempt < config_.tcp_max_attempts; ++attempt) {
+    ++stats.tcp_attempts;
+    // One loss draw stands for the handshake exchange: a lost SYN (or
+    // SYN-ACK) burns the whole connect timeout.
+    if (dropped(path)) {
+      ++stats.drops;
+      obs::inc(drops_);
+      stats.time_ms += timeout;
+      timeout *= config_.retry_backoff;
+      continue;
+    }
+    stats.time_ms += config_.tcp_handshake_rtts * round_trip_ms(path);
+    return true;
+  }
+  return false;
+}
+
+ExchangeOutcome Transport::exchange(Path& path, const Endpoint& endpoint,
+                                    const dns::Message& query,
+                                    util::UnixTime now) const {
+  ExchangeOutcome outcome = exchange_impl(path, endpoint, query, now);
+  if (obs_.metrics) {
+    obs::inc(bytes_sent_, outcome.stats.bytes_sent);
+    obs::inc(bytes_received_, outcome.stats.bytes_received);
+  }
+  return outcome;
+}
+
+ExchangeOutcome Transport::exchange_impl(Path& path, const Endpoint& endpoint,
+                                         const dns::Message& query,
+                                         util::UnixTime now) const {
+  ExchangeOutcome outcome;
+  // Client-side encode; what cannot be serialized cannot be sent.
+  query.encode_into(path.wire_);
+  auto parsed_query = dns::Message::decode(path.wire_.data());
+  if (!parsed_query) {
+    outcome.timed_out = true;
+    ++outcome.stats.timeouts;
+    obs::inc(timeouts_);
+    return outcome;
+  }
+  const uint64_t query_bytes = path.wire_.size();
+
+  // UDP phase: dig-like try/retry schedule with per-attempt timeout budget.
+  double timeout = config_.udp_timeout_ms;
+  std::optional<dns::Message> response;
+  for (int attempt = 0; attempt < config_.udp_max_attempts; ++attempt) {
+    ++outcome.stats.udp_attempts;
+    outcome.stats.bytes_sent += query_bytes;
+    if (dropped(path)) {  // query datagram lost
+      ++outcome.stats.drops;
+      obs::inc(drops_);
+      outcome.stats.time_ms += timeout;
+      timeout *= config_.retry_backoff;
+      continue;
+    }
+    dns::Message udp_answer =
+        endpoint.udp_response(*parsed_query, now, path.conditions_.path_mtu);
+    udp_answer.encode_into(path.wire_);
+    if (dropped(path)) {  // response datagram lost (the server still worked)
+      ++outcome.stats.drops;
+      obs::inc(drops_);
+      outcome.stats.time_ms += timeout;
+      timeout *= config_.retry_backoff;
+      continue;
+    }
+    outcome.stats.bytes_received += path.wire_.size();
+    outcome.stats.time_ms += round_trip_ms(path);
+    response = dns::Message::decode(path.wire_.data());
+    break;
+  }
+  if (!response) {
+    // Either every datagram was lost or the response wire image failed to
+    // parse — to the client both are a dead server.
+    outcome.timed_out = true;
+    ++outcome.stats.timeouts;
+    obs::inc(timeouts_);
+    return outcome;
+  }
+  note_exchange(TransportProto::Udp);
+  if (!response->tc) {
+    outcome.delivered = true;
+    outcome.response = std::move(*response);
+    return outcome;
+  }
+
+  // TC=1: retry over TCP — the dig default — unless the path refuses it, in
+  // which case the truncated answer is all the client will ever get.
+  if (path.conditions_.tcp_refused) {
+    outcome.delivered = true;
+    outcome.tcp_refused = true;
+    outcome.response = std::move(*response);
+    return outcome;
+  }
+  if (!tcp_connect(path, outcome.stats)) {
+    outcome.timed_out = true;
+    ++outcome.stats.timeouts;
+    obs::inc(timeouts_);
+    return outcome;
+  }
+  outcome.stats.bytes_sent += query_bytes + 2;  // RFC 1035 §4.2.2 length prefix
+  dns::Message tcp_answer = endpoint.tcp_response(*parsed_query, now);
+  tcp_answer.encode_into(path.wire_);
+  outcome.stats.bytes_received += path.wire_.size() + 2;
+  outcome.stats.time_ms += round_trip_ms(path);
+  response = dns::Message::decode(path.wire_.data());
+  if (!response) {
+    outcome.timed_out = true;
+    ++outcome.stats.timeouts;
+    obs::inc(timeouts_);
+    return outcome;
+  }
+  note_exchange(TransportProto::Tcp);
+  obs::inc(tcp_fallbacks_);
+  outcome.delivered = true;
+  outcome.retried_over_tcp = true;
+  ++outcome.stats.tcp_fallbacks;
+  outcome.transport = TransportProto::Tcp;
+  outcome.response = std::move(*response);
+  return outcome;
+}
+
+AxfrOutcome Transport::axfr(Path& path, const Endpoint& endpoint,
+                            util::UnixTime now) const {
+  AxfrOutcome outcome;
+  if (path.conditions_.tcp_refused) {
+    outcome.tcp_refused = true;
+    return outcome;
+  }
+  if (!tcp_connect(path, outcome.stats)) {
+    outcome.timed_out = true;
+    ++outcome.stats.timeouts;
+    obs::inc(timeouts_);
+    return outcome;
+  }
+  // The AXFR request is one small framed query message.
+  outcome.stats.bytes_sent += 64;
+  std::span<const uint8_t> stream = endpoint.axfr_stream(now);
+  if (stream.empty()) {
+    // Server-side refusal; the connection itself worked.
+    obs::inc(bytes_sent_, outcome.stats.bytes_sent);
+    return outcome;
+  }
+  outcome.delivered = true;
+  outcome.stream = stream;
+  outcome.stats.bytes_received += stream.size();
+  // Window-paced transfer: one RTT per in-flight window of the stream.
+  const size_t window = std::max<size_t>(1, config_.tcp_window_bytes);
+  const double windows =
+      static_cast<double>((stream.size() + window - 1) / window);
+  outcome.stats.time_ms += windows * round_trip_ms(path);
+  note_exchange(TransportProto::Tcp);
+  if (obs_.metrics) {
+    obs::inc(bytes_sent_, outcome.stats.bytes_sent);
+    obs::inc(bytes_received_, outcome.stats.bytes_received);
+  }
+  return outcome;
+}
+
+}  // namespace rootsim::netsim

@@ -1,5 +1,6 @@
 #include "resolver/priming.h"
 
+#include "rss/endpoint.h"
 #include "rss/server.h"
 
 namespace rootsim::resolver {
@@ -46,36 +47,43 @@ bool PrimingResolver::ensure_primed(util::UnixTime now) {
   }
   if (!target) return false;
 
-  // Full wire exchange against the selected anycast instance.
+  // Full wire exchange against the selected anycast instance: one transport
+  // path serves the whole priming conversation (NS + follow-up lookups),
+  // exactly one route selection like any other client conversation.
   int root_index = campaign_->catalog().index_of_address(*target);
   if (root_index < 0) return false;
-  netsim::RouteResult route = campaign_->router().route_at(
+  const netsim::Transport& transport = campaign_->transport();
+  netsim::Transport::Path path = transport.open_path(
       vp_.view, static_cast<uint32_t>(root_index), target->family(),
       campaign_->schedule().round_at(now));
-  const netsim::AnycastSite& site = campaign_->topology().sites[route.site_id];
+  const netsim::AnycastSite& site =
+      campaign_->topology().sites[path.site_id()];
   rss::RootServerInstance instance(campaign_->authority(), campaign_->catalog(),
                                    static_cast<uint32_t>(root_index),
                                    site.identity);
+  rss::InstanceEndpoint endpoint(instance);
   dns::Message query = dns::make_query(static_cast<uint16_t>(now & 0xFFFF),
                                        dns::Name(), dns::RRType::NS);
-  auto decoded = dns::Message::decode(query.encode());
-  if (!decoded) return false;
-  dns::Message ns_response = instance.handle_query(*decoded, now);
+  netsim::ExchangeOutcome ns_outcome =
+      transport.exchange(path, endpoint, query, now);
   ++priming_queries_sent_;
-  if (ns_response.rcode != dns::Rcode::NoError) return false;
+  if (!ns_outcome.delivered || ns_outcome.response.rcode != dns::Rcode::NoError)
+    return false;
 
   // Rebuild the working set from the NS answer + follow-up A/AAAA lookups
   // (RFC 8109 §3.3: address records may come in additional or via queries).
   std::vector<RootHint> fresh;
-  for (const auto& rr : ns_response.answers) {
+  for (const auto& rr : ns_outcome.response.answers) {
     const auto* ns = std::get_if<dns::NsData>(&rr.rdata);
     if (!ns) continue;
     RootHint hint;
     hint.name = ns->nsdname;
     for (dns::RRType qtype : {dns::RRType::A, dns::RRType::AAAA}) {
       dns::Message addr_query = dns::make_query(1, ns->nsdname, qtype);
-      dns::Message addr_response = instance.handle_query(addr_query, now);
-      for (const auto& answer : addr_response.answers) {
+      netsim::ExchangeOutcome addr_outcome =
+          transport.exchange(path, endpoint, addr_query, now);
+      if (!addr_outcome.delivered) continue;
+      for (const auto& answer : addr_outcome.response.answers) {
         if (const auto* a = std::get_if<dns::AData>(&answer.rdata))
           hint.ipv4 = a->address;
         if (const auto* aaaa = std::get_if<dns::AaaaData>(&answer.rdata))

@@ -1,0 +1,36 @@
+// Adapter binding a RootServerInstance to netsim::Transport::Endpoint.
+//
+// The transport layer owns loss, retries and time; the instance owns DNS
+// semantics. This shim is the only place client-side code meets the
+// instance's handle_* methods — the prober, the local-root service and the
+// priming resolver all talk wire bytes to a Transport and never see a
+// server object.
+#pragma once
+
+#include "netsim/transport.h"
+#include "rss/server.h"
+
+namespace rootsim::rss {
+
+class InstanceEndpoint final : public netsim::Transport::Endpoint {
+ public:
+  explicit InstanceEndpoint(const RootServerInstance& instance)
+      : instance_(&instance) {}
+
+  dns::Message udp_response(const dns::Message& query, util::UnixTime now,
+                            size_t path_mtu_clamp) const override {
+    return instance_->handle_udp_query(query, now, path_mtu_clamp);
+  }
+  dns::Message tcp_response(const dns::Message& query,
+                            util::UnixTime now) const override {
+    return instance_->handle_query(query, now);
+  }
+  std::span<const uint8_t> axfr_stream(util::UnixTime now) const override {
+    return instance_->handle_axfr_stream(now);
+  }
+
+ private:
+  const RootServerInstance* instance_;
+};
+
+}  // namespace rootsim::rss

@@ -1,5 +1,6 @@
 #include "rss/server.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/strings.h"
@@ -218,16 +219,37 @@ dns::Message RootServerInstance::handle_query(const dns::Message& query,
   return answer_standard(query, question, now);
 }
 
+size_t advertised_udp_payload(const dns::Message& query) {
+  // RFC 6891 §6.2.3: the OPT TTL-class field carries the requestor's buffer
+  // size. A compliant query has exactly one OPT; on a malformed query with
+  // several, the first one read off the wire governs (deterministic, and
+  // what lenient real-world responders do). Sub-512 advertisements are
+  // raised to the RFC 1035 baseline every implementation must accept.
+  for (const auto& rr : query.additional)
+    if (const auto* opt = std::get_if<dns::OptData>(&rr.rdata))
+      return std::max<size_t>(512, opt->udp_payload_size);
+  return 512;
+}
+
+dns::Message apply_udp_truncation(const dns::Message& response,
+                                  const dns::Message& query,
+                                  size_t path_mtu_clamp) {
+  size_t max_size = advertised_udp_payload(query);
+  // A path MTU below the negotiated buffer clamps it — but no lower than
+  // the 512-octet floor every path is required to carry.
+  if (path_mtu_clamp != 0)
+    max_size = std::max<size_t>(512, std::min(max_size, path_mtu_clamp));
+  return apply_udp_truncation(response, max_size);
+}
+
 dns::Message RootServerInstance::handle_udp_query(const dns::Message& query,
-                                                  util::UnixTime now) const {
+                                                  util::UnixTime now,
+                                                  size_t path_mtu_clamp) const {
   dns::Message response = handle_query(query, now);
   // RFC 6891 §6.2.5: the responder honours the requestor's advertised
   // buffer; without EDNS the classic 512-octet limit applies.
-  size_t max_size = 512;
-  for (const auto& rr : query.additional)
-    if (const auto* opt = std::get_if<dns::OptData>(&rr.rdata))
-      max_size = std::max<size_t>(512, opt->udp_payload_size);
-  dns::Message udp_response = apply_udp_truncation(response, max_size);
+  dns::Message udp_response =
+      apply_udp_truncation(response, query, path_mtu_clamp);
   if (udp_response.tc && !response.tc) obs::inc(truncations_);
   return udp_response;
 }

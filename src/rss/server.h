@@ -49,6 +49,20 @@ dns::Message answer_from_zone(const dns::Zone& zone, const dns::Message& query,
 /// response (empty sections, TC=1) that tells the client to retry over TCP.
 dns::Message apply_udp_truncation(const dns::Message& response, size_t max_size);
 
+/// The requestor's advertised UDP payload size, read from the query's OPT
+/// record (RFC 6891 §6.2.3): the first OPT in the additional section wins,
+/// values below the classic 512-octet limit are raised to it, and a query
+/// without EDNS gets exactly 512.
+size_t advertised_udp_payload(const dns::Message& query);
+
+/// Query-aware truncation: sizes the response to what *this* query's OPT
+/// record advertised rather than a caller-chosen constant, further clamped
+/// by `path_mtu_clamp` when nonzero (a path MTU below what EDNS0 negotiated
+/// — but never below 512, which every path must carry).
+dns::Message apply_udp_truncation(const dns::Message& response,
+                                  const dns::Message& query,
+                                  size_t path_mtu_clamp = 0);
+
 /// Answers queries exactly as the instance at `site` would.
 class RootServerInstance {
  public:
@@ -63,9 +77,10 @@ class RootServerInstance {
   dns::Message handle_query(const dns::Message& query, util::UnixTime now) const;
 
   /// Same, over UDP: the response is truncated (TC=1) when it exceeds the
-  /// client's advertised EDNS buffer (512 octets without EDNS).
-  dns::Message handle_udp_query(const dns::Message& query,
-                                util::UnixTime now) const;
+  /// client's advertised EDNS buffer (512 octets without EDNS), optionally
+  /// clamped by a simulated path MTU (0 = no clamp).
+  dns::Message handle_udp_query(const dns::Message& query, util::UnixTime now,
+                                size_t path_mtu_clamp = 0) const;
 
   /// Serves a zone transfer: the AXFR record stream (RFC 5936). Empty if
   /// AXFR is disabled.

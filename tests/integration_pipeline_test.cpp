@@ -199,7 +199,7 @@ TEST(Pipeline, AuditValidationCountersReconcileWithObservations) {
   size_t validated = 0, valid_verdicts = 0;
   for (const auto& obs : observations) {
     bool skipped_validation =
-        obs.note == "axfr-refused" ||
+        obs.note == "axfr-refused" || obs.note == "axfr-timeout" ||
         util::starts_with(obs.note, "axfr-framing-broken");
     if (skipped_validation) continue;
     ++validated;

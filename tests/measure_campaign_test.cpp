@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <map>
+#include <set>
+
 namespace rootsim::measure {
 namespace {
 
@@ -93,6 +97,76 @@ TEST(Campaign, DeterministicAudit) {
   for (size_t i = 0; i < obs_a.size(); ++i) {
     EXPECT_EQ(obs_a[i].verdict, obs_b[i].verdict);
     EXPECT_EQ(obs_a[i].soa_serial, obs_b[i].soa_serial);
+  }
+}
+
+TEST(Campaign, VpFallbackStandInsAreUniquePerPlannedVp) {
+  // vp_scale = 0.05 keeps ~35 of 675 VPs, so most planned fault VP ids are
+  // missing and get stand-ins. Distinct planned ids must never collapse onto
+  // the same stand-in (the modulo-aliasing bug this assignment replaced).
+  Campaign campaign(fast_config());
+  auto observations = campaign.run_zone_audit(0);
+
+  std::map<uint32_t, uint32_t> planned_to_stand_in;
+  std::set<uint32_t> scaled_ids;
+  for (const auto& vp : campaign.vantage_points())
+    scaled_ids.insert(vp.view.vp_id);
+
+  const std::string marker = "vp-fallback: planned vp ";
+  for (const auto& obs : observations) {
+    size_t at = obs.note.find(marker);
+    if (at == std::string::npos) continue;
+    unsigned planned = 0, stand_in = 0;
+    ASSERT_EQ(std::sscanf(obs.note.c_str() + at,
+                          "vp-fallback: planned vp %u not in scaled set "
+                          "(stand-in vp %u)",
+                          &planned, &stand_in),
+              2)
+        << obs.note;
+    // The observation keeps the plan's VP identity, not the stand-in's.
+    EXPECT_EQ(obs.vp_id, planned);
+    EXPECT_FALSE(scaled_ids.count(planned)) << planned;
+    EXPECT_TRUE(scaled_ids.count(stand_in)) << stand_in;
+    auto [it, inserted] = planned_to_stand_in.emplace(planned, stand_in);
+    // Stable: every event of the same planned VP uses the same stand-in.
+    EXPECT_EQ(it->second, stand_in) << planned;
+  }
+  ASSERT_GT(planned_to_stand_in.size(), 1u) << "fixture no longer scales down";
+
+  // Injectivity: no two planned VPs share a stand-in.
+  std::set<uint32_t> distinct_stand_ins;
+  for (const auto& [planned, stand_in] : planned_to_stand_in)
+    distinct_stand_ins.insert(stand_in);
+  EXPECT_EQ(distinct_stand_ins.size(), planned_to_stand_in.size());
+}
+
+TEST(Campaign, LossyAuditIsIdenticalAcrossWorkerCounts) {
+  // The transport RNG is keyed by path coordinates, never by worker or
+  // execution order: a lossy campaign must produce byte-identical
+  // observation vectors at any worker count.
+  CampaignConfig config = fast_config();
+  config.transport.defaults.loss = 0.3;
+  Campaign campaign(config);
+  auto serial = campaign.run_zone_audit(16, 1);
+  ASSERT_FALSE(serial.empty());
+  size_t timeouts = 0;
+  for (const auto& obs : serial)
+    if (obs.note.find("axfr-timeout") != std::string::npos) ++timeouts;
+  EXPECT_GT(timeouts, 0u) << "30% loss should kill some transfers";
+  for (size_t workers : {2u, 8u}) {
+    auto parallel = campaign.run_zone_audit(16, workers);
+    ASSERT_EQ(parallel.size(), serial.size()) << workers;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].vp_id, serial[i].vp_id) << workers << ":" << i;
+      EXPECT_EQ(parallel[i].root_index, serial[i].root_index)
+          << workers << ":" << i;
+      EXPECT_EQ(parallel[i].when, serial[i].when) << workers << ":" << i;
+      EXPECT_EQ(parallel[i].soa_serial, serial[i].soa_serial)
+          << workers << ":" << i;
+      EXPECT_EQ(parallel[i].verdict, serial[i].verdict) << workers << ":" << i;
+      EXPECT_EQ(parallel[i].zonemd, serial[i].zonemd) << workers << ":" << i;
+      EXPECT_EQ(parallel[i].note, serial[i].note) << workers << ":" << i;
+    }
   }
 }
 

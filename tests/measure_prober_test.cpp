@@ -142,6 +142,82 @@ TEST(Prober, VpClockRecorded) {
   EXPECT_EQ(record.vp_time, now - 86400);
 }
 
+TEST(Prober, InjectedLossRetriesAndTimesOutDeterministically) {
+  CampaignConfig config = fast_config();
+  config.transport.defaults.loss = 0.25;
+  Campaign campaign(config);
+  const auto& vp = campaign.vantage_points()[0];
+  util::UnixTime now = make_time(2023, 10, 1, 12, 0);
+  uint64_t round = campaign.schedule().round_at(now);
+  const auto& address = campaign.catalog().server(4).ipv4;
+
+  ProbeRecord first = campaign.prober().probe(vp, address, now, round);
+  ProbeRecord second = campaign.prober().probe(vp, address, now, round);
+
+  // The path RNG is a pure function of (seed, vp, root, family, round):
+  // replaying the probe replays every loss draw, retry and timeout budget.
+  ASSERT_EQ(first.queries.size(), second.queries.size());
+  uint32_t retransmissions = 0, timeouts = 0;
+  for (size_t i = 0; i < first.queries.size(); ++i) {
+    const QueryResult& a = first.queries[i];
+    const QueryResult& b = second.queries[i];
+    EXPECT_EQ(a.udp_attempts, b.udp_attempts) << i;
+    EXPECT_EQ(a.timed_out, b.timed_out) << i;
+    EXPECT_DOUBLE_EQ(a.rtt_ms, b.rtt_ms) << i;
+    if (a.udp_attempts > 1) ++retransmissions;
+    if (a.timed_out) {
+      ++timeouts;
+      // A full timeout charges the whole dig-like budget: 1500+3000+6000.
+      EXPECT_EQ(a.udp_attempts, 3u) << i;
+      EXPECT_DOUBLE_EQ(a.rtt_ms, 10500.0) << i;
+    }
+  }
+  EXPECT_GT(retransmissions, 0u);  // 25% loss over 46 queries must retry some
+  EXPECT_EQ(first.transport.udp_attempts, second.transport.udp_attempts);
+  EXPECT_EQ(first.transport.drops, second.transport.drops);
+  EXPECT_DOUBLE_EQ(first.transport.time_ms, second.transport.time_ms);
+  EXPECT_GT(first.transport.drops, 0u);
+  EXPECT_EQ(first.transport.timeouts, timeouts + (first.axfr->timed_out ? 1 : 0));
+}
+
+TEST(Prober, ClampedMtuForcesTcpFallbackWithFullAnswers) {
+  // 2048-bit keys push the ". NS" DO answer (13 NS + one 256-byte RRSIG
+  // signature) past a 512-byte path even though the client advertises 1232.
+  CampaignConfig clean_config = fast_config();
+  clean_config.zone.rsa_modulus_bits = 2048;
+  CampaignConfig clamped_config = clean_config;
+  clamped_config.transport.defaults.path_mtu = 512;
+  Campaign clamped(clamped_config);
+  Campaign clean(clean_config);
+  const auto& vp = clamped.vantage_points()[0];
+  util::UnixTime now = make_time(2023, 10, 1, 12, 0);
+  uint64_t round = clamped.schedule().round_at(now);
+  const auto& address = clamped.catalog().server(0).ipv4;
+
+  ProbeRecord record = clamped.prober().probe(vp, address, now, round);
+  ProbeRecord reference = clean.prober().probe(vp, address, now, round);
+
+  uint32_t fallbacks = 0;
+  ASSERT_EQ(record.queries.size(), reference.queries.size());
+  for (size_t i = 0; i < record.queries.size(); ++i) {
+    const QueryResult& q = record.queries[i];
+    EXPECT_FALSE(q.timed_out) << i;  // the clamp slows queries, loses none
+    if (q.retried_over_tcp) {
+      ++fallbacks;
+      EXPECT_EQ(q.transport, netsim::TransportProto::Tcp) << i;
+      EXPECT_EQ(q.tcp_attempts, 1u) << i;
+      // UDP round + handshake + TCP round over the same path.
+      EXPECT_DOUBLE_EQ(q.rtt_ms, 3.0 * record.rtt_ms) << i;
+    } else {
+      EXPECT_EQ(q.transport, netsim::TransportProto::Udp) << i;
+    }
+    // The answers match the clean campaign: TCP recovers what UDP truncated.
+    EXPECT_EQ(q.answers, reference.queries[i].answers) << i;
+  }
+  EXPECT_GT(fallbacks, 0u);  // DNSSEC answers exceed a 512-byte path MTU
+  EXPECT_EQ(record.transport.tcp_fallbacks, fallbacks);
+}
+
 TEST(InjectBitflip, FindsFlippableRecordDeterministically) {
   Campaign campaign(fast_config());
   auto records =

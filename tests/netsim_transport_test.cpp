@@ -1,0 +1,353 @@
+// The simulated transport substrate: loss determinism, timeout budgets,
+// TC=1 -> TCP fallback, path-MTU clamping, and wire-byte accounting.
+#include "netsim/transport.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.h"
+#include "obs/report.h"
+#include "rss/catalog.h"
+#include "rss/server.h"
+
+namespace rootsim::netsim {
+namespace {
+
+struct Fixture {
+  rss::RootCatalog catalog;
+  Topology topology;
+  RouterConfig router_config;
+  std::unique_ptr<AnycastRouter> router;
+
+  Fixture() {
+    topology = build_topology(TopologyConfig{}, catalog.all_deployment_specs(),
+                              rss::paper_detour_rules());
+    router_config.churn = default_churn_specs();
+    router_config.campaign_rounds = 10000;
+    router = std::make_unique<AnycastRouter>(topology, router_config);
+  }
+
+  VantageView vp() const {
+    VantageView view;
+    view.vp_id = 7;
+    view.region = util::Region::Europe;
+    view.location = {50.1, 8.7};
+    view.asn = 64507;
+    view.churn_multiplier = 1.0;
+    return view;
+  }
+};
+
+// Answers every query with a TXT RRset of configurable size, applying the
+// real UDP truncation path (OPT-aware + MTU clamp) on the UDP side. The
+// AXFR stream is a configurable blob.
+struct FakeEndpoint final : Transport::Endpoint {
+  size_t txt_strings = 1;      // each 200 octets; 7+ exceeds a 1232 buffer
+  std::vector<uint8_t> axfr;   // empty = transfer refused
+  mutable int udp_calls = 0;
+  mutable int tcp_calls = 0;
+
+  dns::Message answer(const dns::Message& query) const {
+    dns::Message response;
+    response.id = query.id;
+    response.qr = true;
+    response.aa = true;
+    response.questions = query.questions;
+    dns::ResourceRecord rr;
+    rr.name = query.questions.front().qname;
+    rr.type = dns::RRType::TXT;
+    rr.rclass = dns::RRClass::IN;
+    rr.ttl = 60;
+    dns::TxtData txt;
+    for (size_t i = 0; i < txt_strings; ++i)
+      txt.strings.push_back(std::string(200, 'x'));
+    rr.rdata = std::move(txt);
+    response.answers.push_back(std::move(rr));
+    return response;
+  }
+
+  dns::Message udp_response(const dns::Message& query, util::UnixTime,
+                            size_t path_mtu_clamp) const override {
+    ++udp_calls;
+    return rss::apply_udp_truncation(answer(query), query, path_mtu_clamp);
+  }
+  dns::Message tcp_response(const dns::Message& query,
+                            util::UnixTime) const override {
+    ++tcp_calls;
+    return answer(query);
+  }
+  std::span<const uint8_t> axfr_stream(util::UnixTime) const override {
+    return axfr;
+  }
+};
+
+dns::Message small_query(uint16_t id = 1) {
+  return dns::make_query(id, *dns::Name::parse("example."), dns::RRType::TXT);
+}
+
+TEST(Transport, CleanPathDeliversOverUdpInOneRoundTrip) {
+  Fixture f;
+  Transport transport(*f.router);
+  FakeEndpoint endpoint;
+  Transport::Path path = transport.open_path(f.vp(), 0, util::IpFamily::V4, 5);
+  ExchangeOutcome outcome = transport.exchange(path, endpoint, small_query(), 0);
+  ASSERT_TRUE(outcome.delivered);
+  EXPECT_FALSE(outcome.timed_out);
+  EXPECT_FALSE(outcome.retried_over_tcp);
+  EXPECT_EQ(outcome.transport, TransportProto::Udp);
+  EXPECT_EQ(outcome.stats.udp_attempts, 1u);
+  EXPECT_EQ(outcome.stats.tcp_attempts, 0u);
+  EXPECT_EQ(outcome.stats.drops, 0u);
+  // Exactly one path round trip, no jitter, no penalties.
+  EXPECT_DOUBLE_EQ(outcome.stats.time_ms, path.route().rtt_ms);
+  EXPECT_GT(outcome.stats.bytes_sent, 0u);
+  EXPECT_GT(outcome.stats.bytes_received, outcome.stats.bytes_sent);
+  ASSERT_EQ(outcome.response.answers.size(), 1u);
+  EXPECT_EQ(endpoint.udp_calls, 1);
+  EXPECT_EQ(endpoint.tcp_calls, 0);
+}
+
+TEST(Transport, PathOpensExactlyOneRouteSelection) {
+  Fixture f;
+  obs::Recorder recorder;
+  AnycastRouter router(f.topology, f.router_config, recorder.obs());
+  Transport transport(router, {}, recorder.obs());
+  FakeEndpoint endpoint;
+  Transport::Path path = transport.open_path(f.vp(), 3, util::IpFamily::V6, 9);
+  for (int i = 0; i < 5; ++i)
+    transport.exchange(path, endpoint, small_query(), 0);
+  auto report = obs::RunReport::capture(recorder);
+  EXPECT_EQ(report.counter_total("netsim.route_selections"), 1u);
+  EXPECT_EQ(report.counter_value("transport.exchanges", {{"proto", "udp"}}),
+            5u);
+}
+
+TEST(Transport, TotalLossExhaustsRetriesAndChargesBackoffBudget) {
+  Fixture f;
+  TransportConfig config;
+  config.defaults.loss = 1.0;
+  Transport transport(*f.router, config);
+  FakeEndpoint endpoint;
+  Transport::Path path = transport.open_path(f.vp(), 0, util::IpFamily::V4, 0);
+  ExchangeOutcome outcome = transport.exchange(path, endpoint, small_query(), 0);
+  EXPECT_FALSE(outcome.delivered);
+  EXPECT_TRUE(outcome.timed_out);
+  EXPECT_EQ(outcome.stats.udp_attempts, 3u);  // dig-like: 1 try + 2 retries
+  EXPECT_EQ(outcome.stats.drops, 3u);
+  EXPECT_EQ(outcome.stats.timeouts, 1u);
+  // 1500 + 3000 + 6000: per-attempt budget doubling per retry.
+  EXPECT_DOUBLE_EQ(outcome.stats.time_ms, 1500.0 + 3000.0 + 6000.0);
+  // Query datagrams went out each attempt; nothing came back.
+  EXPECT_GT(outcome.stats.bytes_sent, 0u);
+  EXPECT_EQ(outcome.stats.bytes_received, 0u);
+  EXPECT_EQ(endpoint.udp_calls, 0);  // every datagram died before the server
+}
+
+TEST(Transport, LossDrawsAreAPureFunctionOfPathCoordinates) {
+  Fixture f;
+  TransportConfig config;
+  config.defaults.loss = 0.35;
+  Transport first(*f.router, config);
+  Transport second(*f.router, config);
+  FakeEndpoint endpoint;
+  // Same (vp, root, family, round) coordinates -> identical outcome
+  // sequences, regardless of transport instance or prior traffic.
+  Transport::Path warm = first.open_path(f.vp(), 2, util::IpFamily::V4, 1);
+  for (int i = 0; i < 7; ++i) first.exchange(warm, endpoint, small_query(), 0);
+
+  Transport::Path a = first.open_path(f.vp(), 4, util::IpFamily::V6, 11);
+  Transport::Path b = second.open_path(f.vp(), 4, util::IpFamily::V6, 11);
+  for (int i = 0; i < 24; ++i) {
+    ExchangeOutcome oa = first.exchange(a, endpoint, small_query(), 0);
+    ExchangeOutcome ob = second.exchange(b, endpoint, small_query(), 0);
+    EXPECT_EQ(oa.delivered, ob.delivered) << i;
+    EXPECT_EQ(oa.stats.udp_attempts, ob.stats.udp_attempts) << i;
+    EXPECT_EQ(oa.stats.drops, ob.stats.drops) << i;
+    EXPECT_DOUBLE_EQ(oa.stats.time_ms, ob.stats.time_ms) << i;
+  }
+  // Different round -> a different, independent stream.
+  Transport::Path c = second.open_path(f.vp(), 4, util::IpFamily::V6, 12);
+  bool any_difference = false;
+  Transport::Path a2 = first.open_path(f.vp(), 4, util::IpFamily::V6, 11);
+  for (int i = 0; i < 24 && !any_difference; ++i) {
+    ExchangeOutcome oa = first.exchange(a2, endpoint, small_query(), 0);
+    ExchangeOutcome oc = second.exchange(c, endpoint, small_query(), 0);
+    any_difference = oa.stats.udp_attempts != oc.stats.udp_attempts;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Transport, TruncationFallsBackToTcpAndChargesHandshake) {
+  Fixture f;
+  Transport transport(*f.router);
+  FakeEndpoint endpoint;
+  endpoint.txt_strings = 8;  // ~1650 bytes: above the default 1232 buffer
+  dns::Message query = small_query();
+  query.add_edns(1232, false);
+  Transport::Path path = transport.open_path(f.vp(), 1, util::IpFamily::V4, 3);
+  ExchangeOutcome outcome = transport.exchange(path, endpoint, query, 0);
+  ASSERT_TRUE(outcome.delivered);
+  EXPECT_TRUE(outcome.retried_over_tcp);
+  EXPECT_FALSE(outcome.tcp_refused);
+  EXPECT_EQ(outcome.transport, TransportProto::Tcp);
+  EXPECT_EQ(outcome.stats.udp_attempts, 1u);
+  EXPECT_EQ(outcome.stats.tcp_attempts, 1u);
+  EXPECT_EQ(outcome.stats.tcp_fallbacks, 1u);
+  // UDP round trip + SYN handshake + TCP round trip.
+  EXPECT_DOUBLE_EQ(outcome.stats.time_ms, 3.0 * path.route().rtt_ms);
+  // The full answer arrived despite the truncated UDP response.
+  ASSERT_EQ(outcome.response.answers.size(), 1u);
+  EXPECT_EQ(endpoint.udp_calls, 1);
+  EXPECT_EQ(endpoint.tcp_calls, 1);
+}
+
+TEST(Transport, PathMtuClampTruncatesBelowTheAdvertisedBuffer) {
+  Fixture f;
+  FakeEndpoint endpoint;
+  endpoint.txt_strings = 4;  // ~850 bytes: fits 1232, exceeds a 700 MTU
+  dns::Message query = small_query();
+  query.add_edns(1232, false);
+
+  Transport clean(*f.router);
+  Transport::Path clean_path = clean.open_path(f.vp(), 6, util::IpFamily::V4, 2);
+  ExchangeOutcome direct = clean.exchange(clean_path, endpoint, query, 0);
+  ASSERT_TRUE(direct.delivered);
+  EXPECT_FALSE(direct.retried_over_tcp);  // advertised buffer is enough
+
+  TransportConfig config;
+  config.defaults.path_mtu = 700;
+  Transport clamped(*f.router, config);
+  Transport::Path path = clamped.open_path(f.vp(), 6, util::IpFamily::V4, 2);
+  ExchangeOutcome outcome = clamped.exchange(path, endpoint, query, 0);
+  ASSERT_TRUE(outcome.delivered);
+  EXPECT_TRUE(outcome.retried_over_tcp);  // the clamp forced TC=1
+  ASSERT_EQ(outcome.response.answers.size(), 1u);
+}
+
+TEST(Transport, TcpRefusedPathKeepsTheTruncatedAnswer) {
+  Fixture f;
+  TransportConfig config;
+  config.defaults.tcp_refused = true;
+  Transport transport(*f.router, config);
+  FakeEndpoint endpoint;
+  endpoint.txt_strings = 8;
+  dns::Message query = small_query();
+  query.add_edns(1232, false);
+  Transport::Path path = transport.open_path(f.vp(), 0, util::IpFamily::V4, 1);
+  ExchangeOutcome outcome = transport.exchange(path, endpoint, query, 0);
+  ASSERT_TRUE(outcome.delivered);
+  EXPECT_TRUE(outcome.tcp_refused);
+  EXPECT_FALSE(outcome.retried_over_tcp);
+  EXPECT_TRUE(outcome.response.tc);
+  EXPECT_TRUE(outcome.response.answers.empty());
+  EXPECT_EQ(outcome.stats.tcp_attempts, 0u);
+}
+
+TEST(Transport, AxfrPacesTheStreamOneRttPerWindow) {
+  Fixture f;
+  TransportConfig config;
+  config.tcp_window_bytes = 1024;
+  Transport transport(*f.router, config);
+  FakeEndpoint endpoint;
+  endpoint.axfr.assign(10 * 1024 + 1, 0xAB);  // 11 windows
+  Transport::Path path = transport.open_path(f.vp(), 5, util::IpFamily::V6, 0);
+  AxfrOutcome outcome = transport.axfr(path, endpoint, 0);
+  ASSERT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.stream.size(), endpoint.axfr.size());
+  EXPECT_EQ(outcome.stats.bytes_received, endpoint.axfr.size());
+  EXPECT_EQ(outcome.stats.tcp_attempts, 1u);
+  // Handshake + 11 windowed round trips.
+  EXPECT_DOUBLE_EQ(outcome.stats.time_ms, 12.0 * path.route().rtt_ms);
+}
+
+TEST(Transport, AxfrFailsClosedOnRefusalTimeoutAndNoTcp) {
+  Fixture f;
+  FakeEndpoint endpoint;  // empty stream = server-side refusal
+
+  Transport clean(*f.router);
+  Transport::Path path = clean.open_path(f.vp(), 8, util::IpFamily::V4, 0);
+  AxfrOutcome refused = clean.axfr(path, endpoint, 0);
+  EXPECT_FALSE(refused.delivered);
+  EXPECT_FALSE(refused.timed_out);
+  EXPECT_FALSE(refused.tcp_refused);
+
+  TransportConfig no_tcp;
+  no_tcp.defaults.tcp_refused = true;
+  Transport refusing(*f.router, no_tcp);
+  path = refusing.open_path(f.vp(), 8, util::IpFamily::V4, 0);
+  AxfrOutcome blocked = refusing.axfr(path, endpoint, 0);
+  EXPECT_FALSE(blocked.delivered);
+  EXPECT_TRUE(blocked.tcp_refused);
+
+  TransportConfig lossy;
+  lossy.defaults.loss = 1.0;
+  Transport dead(*f.router, lossy);
+  path = dead.open_path(f.vp(), 8, util::IpFamily::V4, 0);
+  AxfrOutcome timed_out = dead.axfr(path, endpoint, 0);
+  EXPECT_FALSE(timed_out.delivered);
+  EXPECT_TRUE(timed_out.timed_out);
+  EXPECT_EQ(timed_out.stats.tcp_attempts, 2u);  // every SYN lost
+  // Connect budget: 3000 + 6000 with the default backoff.
+  EXPECT_DOUBLE_EQ(timed_out.stats.time_ms, 3000.0 + 6000.0);
+}
+
+TEST(Transport, SiteConditionsOverrideDefaultsAndFeedTheAnalysesHelpers) {
+  Fixture f;
+  Transport probe_route(*f.router);
+  Transport::Path path = probe_route.open_path(f.vp(), 9, util::IpFamily::V4, 4);
+  uint32_t site = path.site_id();
+
+  TransportConfig config;
+  config.site_conditions[site].loss = 1.0;
+  config.site_conditions[site].extra_rtt_ms = 40.0;
+  Transport transport(*f.router, config);
+  EXPECT_TRUE(transport.site_unreachable(site));
+  EXPECT_FALSE(transport.site_unreachable(site + 1));
+  EXPECT_DOUBLE_EQ(transport.effective_rtt_ms(path.route()),
+                   path.route().rtt_ms + 40.0);
+  // Other sites keep the (clean) defaults.
+  EXPECT_DOUBLE_EQ(transport.conditions_for_site(site + 1).loss, 0.0);
+}
+
+TEST(Transport, JitterAddsBoundedDelayOnlyWhenConfigured) {
+  Fixture f;
+  TransportConfig config;
+  config.defaults.jitter_ms = 25.0;
+  Transport transport(*f.router, config);
+  FakeEndpoint endpoint;
+  Transport::Path path = transport.open_path(f.vp(), 0, util::IpFamily::V4, 8);
+  double base = path.route().rtt_ms;
+  ExchangeOutcome outcome = transport.exchange(path, endpoint, small_query(), 0);
+  ASSERT_TRUE(outcome.delivered);
+  EXPECT_GE(outcome.stats.time_ms, base);
+  EXPECT_LT(outcome.stats.time_ms, base + 25.0);
+}
+
+TEST(Transport, ObsCountersTrackDropsFallbacksAndBytes) {
+  Fixture f;
+  obs::Recorder recorder;
+  TransportConfig config;
+  config.defaults.loss = 0.4;
+  Transport transport(*f.router, config, recorder.obs());
+  FakeEndpoint endpoint;
+  endpoint.txt_strings = 8;  // every delivered answer truncates -> TCP
+  dns::Message query = small_query();
+  query.add_edns(1232, false);
+  uint64_t delivered = 0, dropped = 0;
+  for (uint64_t round = 0; round < 30; ++round) {
+    Transport::Path path =
+        transport.open_path(f.vp(), 0, util::IpFamily::V4, round);
+    ExchangeOutcome outcome = transport.exchange(path, endpoint, query, 0);
+    delivered += outcome.delivered ? 1 : 0;
+    dropped += outcome.stats.drops;
+  }
+  auto report = obs::RunReport::capture(recorder);
+  EXPECT_EQ(report.counter_total("transport.drops"), dropped);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_GT(delivered, 0u);
+  EXPECT_GT(report.counter_total("transport.bytes"), 0u);
+  EXPECT_EQ(report.counter_value("transport.exchanges", {{"proto", "tcp"}}),
+            report.counter_total("transport.tcp_fallbacks"));
+}
+
+}  // namespace
+}  // namespace rootsim::netsim

@@ -82,6 +82,63 @@ TEST(Truncation, ApplyUdpTruncationIsIdempotentOnSmall) {
   EXPECT_EQ(result.encode(), tiny.encode());
 }
 
+TEST(Truncation, AdvertisedPayloadComesFromTheQueryOpt) {
+  // Built by hand: make_query auto-attaches the modern 1232 OPT for IN.
+  auto bare_query = [](uint16_t id) {
+    dns::Message query;
+    query.id = id;
+    query.questions.push_back({dns::Name(), dns::RRType::SOA, dns::RRClass::IN});
+    return query;
+  };
+  EXPECT_EQ(advertised_udp_payload(bare_query(7)), 512u);  // RFC 6891 §6.2.3
+
+  dns::Message with_edns = bare_query(8);
+  with_edns.add_edns(4096, false);
+  EXPECT_EQ(advertised_udp_payload(with_edns), 4096u);
+
+  // Sub-512 advertisements are nonsense the RFC floors at 512.
+  dns::Message tiny_buffer = bare_query(9);
+  tiny_buffer.add_edns(128, false);
+  EXPECT_EQ(advertised_udp_payload(tiny_buffer), 512u);
+
+  // Only the first OPT counts (a second one is a FORMERR on the real wire).
+  dns::Message two_opts = bare_query(10);
+  two_opts.add_edns(1232, false);
+  two_opts.add_edns(4096, false);
+  EXPECT_EQ(advertised_udp_payload(two_opts), 1232u);
+
+  // make_query's own EDNS attachment is what the prober rides on.
+  EXPECT_EQ(advertised_udp_payload(
+                dns::make_query(12, dns::Name(), dns::RRType::SOA)),
+            1232u);
+}
+
+TEST(Truncation, QueryAwareTruncationRespectsAdvertisedBufferAndClamp) {
+  Fixture& f = shared_fixture();
+  dns::Message query =
+      dns::make_query(11, dns::Name(), dns::RRType::DNSKEY, dns::RRClass::IN,
+                      /*dnssec_ok=*/true);  // advertises the 1232 default
+  dns::Message full = f.instance->handle_query(query, make_time(2023, 10, 1));
+  ASSERT_FALSE(full.answers.empty());
+  ASSERT_GT(full.encode().size(), 512u);
+
+  // The advertised buffer is honoured when no clamp applies...
+  dns::Message untouched = apply_udp_truncation(full, query);
+  EXPECT_FALSE(untouched.tc);
+  // ...a path MTU below it truncates...
+  dns::Message clamped = apply_udp_truncation(full, query, 512);
+  EXPECT_TRUE(clamped.tc);
+  EXPECT_TRUE(clamped.answers.empty());
+  EXPECT_LE(clamped.encode().size(), 512u);
+  // ...a clamp above the advertised buffer changes nothing...
+  dns::Message wide_clamp = apply_udp_truncation(full, query, 65535);
+  EXPECT_FALSE(wide_clamp.tc);
+  // ...and a sub-512 clamp is floored at the classic limit.
+  dns::Message floor_clamp = apply_udp_truncation(full, query, 100);
+  EXPECT_TRUE(floor_clamp.tc);
+  EXPECT_LE(floor_clamp.encode().size(), 512u);
+}
+
 TEST(Truncation, ProberRetriesOverTcp) {
   measure::CampaignConfig config;
   config.zone.tld_count = 80;
