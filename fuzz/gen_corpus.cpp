@@ -1,0 +1,193 @@
+// Writes the seed corpora under fuzz/corpus/<target>/ — structurally valid
+// messages, transfers, zones and pointer chains produced by the same
+// generators the replay harness mutates, so the whole corpus reproduces from
+// a clean checkout:
+//
+//   ./fuzz_gen_corpus [corpus_dir]      (default: fuzz/corpus)
+//
+// Seeds are deterministic (fixed Rng seeds); re-running overwrites files
+// byte-identically, so `git status` staying clean doubles as a regression
+// check on the generators.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dns/axfr.h"
+#include "fuzz/generators.h"
+#include "util/rng.h"
+
+namespace fs = std::filesystem;
+using namespace rootsim;
+
+namespace {
+
+void write_seed(const fs::path& dir, const std::string& name,
+                const std::vector<uint8_t>& bytes) {
+  fs::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  std::printf("  %s/%s (%zu bytes)\n", dir.string().c_str(), name.c_str(),
+              bytes.size());
+}
+
+std::vector<uint8_t> to_bytes(const std::string& text) {
+  return std::vector<uint8_t>(text.begin(), text.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = argc > 1 ? argv[1] : "fuzz/corpus";
+  util::Rng rng(7);
+
+  // message_decode: prober-shaped queries and responses, plus an RFC 8109
+  // priming-style referral (root NS + glue in additional).
+  for (int i = 0; i < 4; ++i)
+    write_seed(root / "message_decode", "query-" + std::to_string(i) + ".bin",
+               fuzz::random_query(rng).encode());
+  for (int i = 0; i < 6; ++i)
+    write_seed(root / "message_decode", "response-" + std::to_string(i) + ".bin",
+               fuzz::random_response(rng).encode());
+  {
+    dns::Message priming = dns::make_query(0x2024, dns::Name(),
+                                           dns::RRType::NS, dns::RRClass::IN,
+                                           /*dnssec_ok=*/true);
+    priming.qr = true;
+    priming.aa = true;
+    for (char c = 'a'; c <= 'm'; ++c) {
+      std::string host = std::string(1, c) + ".root-servers.net.";
+      priming.answers.push_back({dns::Name(), dns::RRType::NS,
+                                 dns::RRClass::IN, 518400,
+                                 dns::NsData{*dns::Name::parse(host)}});
+      priming.additional.push_back(
+          {*dns::Name::parse(host), dns::RRType::A, dns::RRClass::IN, 518400,
+           dns::AData{util::IpAddress::v4(198, 41, 0, static_cast<uint8_t>(c))}});
+    }
+    write_seed(root / "message_decode", "priming-response.bin",
+               priming.encode());
+  }
+
+  // name_decode: [u16 offset][buffer], deep-but-legal pointer chains plus one
+  // over-budget chain (a valid *rejection* seed).
+  for (size_t hops : {1u, 8u, 40u, 63u, 70u}) {
+    auto chain = fuzz::pointer_chain_name(rng, hops);
+    std::vector<uint8_t> input;
+    input.push_back(static_cast<uint8_t>(chain.final_name_offset >> 8));
+    input.push_back(static_cast<uint8_t>(chain.final_name_offset));
+    input.insert(input.end(), chain.bytes.begin(), chain.bytes.end());
+    write_seed(root / "name_decode", "chain-" + std::to_string(hops) + ".bin",
+               input);
+  }
+
+  // rdata_decode: one seed per modeled RDATA type, [u16 type][rdata bytes].
+  {
+    size_t written = 0;
+    util::Rng rdata_rng(11);
+    // Draw until every distinct wire type has one seed file.
+    std::vector<uint16_t> seen;
+    for (int attempt = 0; attempt < 4000 && written < 13; ++attempt) {
+      auto msg = fuzz::random_response(rdata_rng);
+      for (const auto& rr : msg.answers) {
+        uint16_t code = static_cast<uint16_t>(rr.type);
+        if (std::find(seen.begin(), seen.end(), code) != seen.end()) continue;
+        seen.push_back(code);
+        auto rdata = dns::encode_rdata(rr.rdata, /*canonical=*/false);
+        std::vector<uint8_t> input{static_cast<uint8_t>(code >> 8),
+                                   static_cast<uint8_t>(code)};
+        input.insert(input.end(), rdata.begin(), rdata.end());
+        write_seed(root / "rdata_decode",
+                   "type-" + std::to_string(code) + ".bin", input);
+        ++written;
+      }
+    }
+  }
+
+  // zone_parse: rendered zones plus a handcrafted file covering escapes,
+  // quoting, $directives, relative names and both TTL/class orders.
+  for (int i = 0; i < 3; ++i)
+    write_seed(root / "zone_parse", "zone-" + std::to_string(i) + ".txt",
+               to_bytes(fuzz::random_zone(rng, 2 + i).to_master_file()));
+  write_seed(root / "zone_parse", "handcrafted.txt", to_bytes(
+      "$ORIGIN example.\n"
+      "$TTL 3600\n"
+      "@ IN SOA ns1 hostmaster 2024010100 1800 900 604800 86400\n"
+      "  IN NS ns1\n"
+      "ns1 172800 IN A 192.0.2.1\n"
+      "ns1 IN 172800 AAAA 2001:db8::1\n"
+      "txt IN TXT \"hello world\" \"with \\\"quotes\\\"\" unquoted\n"
+      "esc\\046aped IN A 192.0.2.2 ; comment\n"
+      "mx IN MX 10 ns1\n"));
+
+  // axfr_stream: single- and multi-message transfers of unsigned zones.
+  for (size_t budget : {0u, 300u, 700u}) {
+    auto zone = fuzz::random_zone(rng, 4);
+    dns::Question question{zone.origin(), dns::RRType::AXFR, dns::RRClass::IN};
+    dns::AxfrStreamOptions options;
+    if (budget) options.max_message_bytes = budget;
+    write_seed(root / "axfr_stream",
+               budget ? "multi-" + std::to_string(budget) + ".bin"
+                      : "single.bin",
+               dns::encode_axfr_stream(zone.axfr_records(), question, options));
+  }
+
+  // zone_diff: opaque edit scripts of varied length.
+  for (size_t length : {0u, 3u, 16u, 48u}) {
+    util::Rng script_rng(length);
+    std::vector<uint8_t> script(length);
+    for (auto& b : script) b = static_cast<uint8_t>(script_rng.next());
+    write_seed(root / "zone_diff", "script-" + std::to_string(length) + ".bin",
+               script);
+  }
+
+  // validation: the signed fixture transfer intact, with one mid-stream
+  // bitflip (a Table-2 "bogus signature" shape), and with its ZONEMD digest
+  // region flipped.
+  {
+    const auto& fixture = fuzz::shared_signed_zone();
+    write_seed(root / "validation", "signed-intact.bin", fixture.axfr_stream);
+    auto flipped = fixture.axfr_stream;
+    flipped[flipped.size() / 2] ^= 0x01;
+    write_seed(root / "validation", "signed-bitflip.bin", flipped);
+    auto tail_flipped = fixture.axfr_stream;
+    tail_flipped[tail_flipped.size() - 20] ^= 0x80;
+    write_seed(root / "validation", "signed-tailflip.bin", tail_flipped);
+  }
+
+  // denial: a genuine NXDOMAIN proof (NSEC + RRSIGs from the signed zone), a
+  // proof with the signature stripped, and a bare NXDOMAIN.
+  {
+    const auto& fixture = fuzz::shared_signed_zone();
+    dns::Message response;
+    response.id = 0x4444;
+    response.qr = true;
+    response.aa = true;
+    response.rcode = dns::Rcode::NxDomain;
+    response.questions.push_back({*dns::Name::parse("nonexistent-tld."),
+                                  dns::RRType::A, dns::RRClass::IN});
+    dns::Message bare = response;
+    for (const dns::RRset* set : fixture.zone.rrsets()) {
+      if (set->type != dns::RRType::NSEC) continue;
+      for (const auto& rr : set->to_records()) response.authority.push_back(rr);
+      if (const dns::RRset* sigs =
+              fixture.zone.find(set->name, dns::RRType::RRSIG))
+        for (const auto& rr : sigs->to_records())
+          if (const auto* sig = std::get_if<dns::RrsigData>(&rr.rdata);
+              sig && sig->type_covered == dns::RRType::NSEC)
+            response.authority.push_back(rr);
+    }
+    write_seed(root / "denial", "nxdomain-proven.bin", response.encode());
+    dns::Message stripped = response;
+    std::erase_if(stripped.authority, [](const dns::ResourceRecord& rr) {
+      return rr.type == dns::RRType::RRSIG;
+    });
+    write_seed(root / "denial", "nxdomain-unsigned.bin", stripped.encode());
+    write_seed(root / "denial", "nxdomain-bare.bin", bare.encode());
+  }
+
+  std::printf("corpus written under %s\n", root.string().c_str());
+  return 0;
+}

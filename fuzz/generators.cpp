@@ -1,0 +1,316 @@
+#include "fuzz/generators.h"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "dns/axfr.h"
+#include "util/timeutil.h"
+
+namespace rootsim::fuzz {
+
+using dns::Name;
+using dns::RRClass;
+using dns::RRType;
+
+namespace {
+
+Name random_name(util::Rng& rng) {
+  static const char* const kNames[] = {
+      ".",
+      "com.",
+      "net.",
+      "org.",
+      "example.com.",
+      "a.root-servers.net.",
+      "b.root-servers.net.",
+      "m.root-servers.net.",
+      "ns1.example.com.",
+      "very.deep.label.chain.example.org.",
+      "hostname.bind.",
+      "xn--nxasmq6b.example.",
+  };
+  return *Name::parse(kNames[rng.uniform(std::size(kNames))]);
+}
+
+dns::Rdata random_rdata(util::Rng& rng) {
+  switch (rng.uniform(13)) {
+    case 0: {
+      dns::SoaData soa;
+      soa.mname = random_name(rng);
+      soa.rname = random_name(rng);
+      soa.serial = static_cast<uint32_t>(rng.next());
+      soa.refresh = 1800;
+      soa.retry = 900;
+      soa.expire = 604800;
+      soa.minimum = 86400;
+      return soa;
+    }
+    case 1:
+      return dns::NsData{random_name(rng)};
+    case 2:
+      return dns::CnameData{random_name(rng)};
+    case 3:
+      return dns::AData{util::IpAddress::v4(
+          static_cast<uint8_t>(rng.next()), static_cast<uint8_t>(rng.next()),
+          static_cast<uint8_t>(rng.next()), static_cast<uint8_t>(rng.next()))};
+    case 4: {
+      std::array<uint8_t, 16> b;
+      for (auto& octet : b) octet = static_cast<uint8_t>(rng.next());
+      return dns::AaaaData{util::IpAddress::v6(b)};
+    }
+    case 5: {
+      dns::TxtData txt;
+      size_t strings = 1 + rng.uniform(3);
+      for (size_t i = 0; i < strings; ++i)
+        txt.strings.push_back(std::string(rng.uniform(40), 'x'));
+      return txt;
+    }
+    case 6:
+      return dns::MxData{static_cast<uint16_t>(rng.next()), random_name(rng)};
+    case 7: {
+      dns::DsData ds;
+      ds.key_tag = static_cast<uint16_t>(rng.next());
+      ds.algorithm = 8;
+      ds.digest_type = 2;
+      ds.digest.assign(32, static_cast<uint8_t>(rng.next()));
+      return ds;
+    }
+    case 8: {
+      dns::DnskeyData key;
+      key.flags = rng.chance(0.5) ? 256 : 257;
+      key.algorithm = 8;
+      key.public_key.assign(4 + rng.uniform(68), static_cast<uint8_t>(rng.next()));
+      return key;
+    }
+    case 9: {
+      dns::RrsigData sig;
+      sig.type_covered = RRType::NS;
+      sig.algorithm = 8;
+      sig.labels = static_cast<uint8_t>(rng.uniform(4));
+      sig.original_ttl = 518400;
+      sig.expiration = 0x65a00000;
+      sig.inception = 0x65700000;
+      sig.key_tag = static_cast<uint16_t>(rng.next());
+      sig.signer = Name();
+      sig.signature.assign(64, static_cast<uint8_t>(rng.next()));
+      return sig;
+    }
+    case 10: {
+      dns::NsecData nsec;
+      nsec.next = random_name(rng);
+      size_t types = 1 + rng.uniform(5);
+      for (size_t i = 0; i < types; ++i)
+        nsec.types.push_back(static_cast<RRType>(1 + rng.uniform(300)));
+      return nsec;
+    }
+    case 11: {
+      dns::ZonemdData z;
+      z.serial = static_cast<uint32_t>(rng.next());
+      z.scheme = dns::ZonemdData::kSchemeSimple;
+      z.hash_algorithm = rng.chance(0.8) ? dns::ZonemdData::kHashSha384
+                                         : dns::ZonemdData::kPrivateHashAlgorithm;
+      z.digest.assign(48, static_cast<uint8_t>(rng.next()));
+      return z;
+    }
+    default: {
+      dns::GenericData g;
+      // Unassigned type codes, exercising the RFC 3597 fallback.
+      g.type_code = static_cast<uint16_t>(200 + rng.uniform(50));
+      g.bytes.assign(rng.uniform(24), static_cast<uint8_t>(rng.next()));
+      return g;
+    }
+  }
+}
+
+dns::ResourceRecord random_record(util::Rng& rng) {
+  dns::ResourceRecord rr;
+  rr.rdata = random_rdata(rng);
+  rr.type = dns::rdata_type(rr.rdata);
+  rr.name = random_name(rng);
+  rr.rclass = RRClass::IN;
+  rr.ttl = static_cast<uint32_t>(rng.uniform(1u << 20));
+  return rr;
+}
+
+}  // namespace
+
+dns::Message random_query(util::Rng& rng) {
+  static const RRType kTypes[] = {RRType::NS,   RRType::SOA,  RRType::A,
+                                  RRType::AAAA, RRType::DNSKEY, RRType::TXT};
+  dns::Message msg;
+  if (rng.chance(0.15)) {
+    // CHAOS-class identity query (hostname.bind TXT CH).
+    msg = dns::make_query(static_cast<uint16_t>(rng.next()),
+                          *Name::parse("hostname.bind."), RRType::TXT,
+                          RRClass::CH);
+  } else {
+    msg = dns::make_query(static_cast<uint16_t>(rng.next()), random_name(rng),
+                          kTypes[rng.uniform(std::size(kTypes))], RRClass::IN,
+                          rng.chance(0.5));
+  }
+  return msg;
+}
+
+dns::Message random_response(util::Rng& rng) {
+  dns::Message msg = random_query(rng);
+  msg.qr = true;
+  msg.aa = rng.chance(0.8);
+  msg.tc = rng.chance(0.05);
+  msg.ra = rng.chance(0.2);
+  msg.ad = rng.chance(0.2);
+  msg.rcode = rng.chance(0.9) ? dns::Rcode::NoError : dns::Rcode::NxDomain;
+  size_t answers = rng.uniform(6);
+  size_t authority = rng.uniform(3);
+  size_t additional = rng.uniform(3);
+  for (size_t i = 0; i < answers; ++i)
+    msg.answers.push_back(random_record(rng));
+  for (size_t i = 0; i < authority; ++i)
+    msg.authority.push_back(random_record(rng));
+  for (size_t i = 0; i < additional; ++i)
+    msg.additional.push_back(random_record(rng));
+  return msg;
+}
+
+dns::Zone random_zone(util::Rng& rng, size_t tld_count) {
+  dns::Zone zone{Name()};
+  dns::SoaData soa;
+  soa.mname = *Name::parse("a.root-servers.net.");
+  soa.rname = *Name::parse("nstld.verisign-grs.com.");
+  soa.serial = 2023120600 + static_cast<uint32_t>(rng.uniform(1000));
+  soa.refresh = 1800;
+  soa.retry = 900;
+  soa.expire = 604800;
+  soa.minimum = 86400;
+  zone.add({Name(), RRType::SOA, RRClass::IN, 86400, soa});
+  for (char c = 'a'; c <= 'm'; ++c)
+    zone.add({Name(), RRType::NS, RRClass::IN, 518400,
+              dns::NsData{*Name::parse(std::string(1, c) + ".root-servers.net.")}});
+  for (size_t i = 0; i < tld_count; ++i) {
+    std::string tld = "tld" + std::to_string(i);
+    Name owner = *Name::parse(tld + ".");
+    Name ns = *Name::parse("ns1." + tld + ".");
+    zone.add({owner, RRType::NS, RRClass::IN, 172800, dns::NsData{ns}});
+    zone.add({owner, RRType::DS, RRClass::IN, 86400,
+              dns::DsData{static_cast<uint16_t>(rng.next()), 8, 2,
+                          std::vector<uint8_t>(32, static_cast<uint8_t>(i))}});
+    zone.add({ns, RRType::A, RRClass::IN, 172800,
+              dns::AData{util::IpAddress::v4(192, 0, 2, static_cast<uint8_t>(i))}});
+  }
+  return zone;
+}
+
+const SignedZoneFixture& shared_signed_zone() {
+  static const SignedZoneFixture fixture = [] {
+    SignedZoneFixture f;
+    util::Rng rng(20231206);
+    f.zone = random_zone(rng, 3);
+    f.ksk = dnssec::make_ksk(rng, 512);  // small keys: verify speed matters,
+    f.zsk = dnssec::make_zsk(rng, 512);  // not cryptographic strength
+    dnssec::SigningPolicy policy;
+    policy.inception = util::make_time(2023, 12, 1);
+    policy.expiration = util::make_time(2023, 12, 15);
+    policy.zonemd = dnssec::SigningPolicy::ZonemdMode::Sha384;
+    dnssec::sign_zone(f.zone, f.ksk, f.zsk, policy);
+    f.anchors = dnssec::TrustAnchors::from_zone_apex(f.zone);
+    f.validation_time = util::make_time(2023, 12, 7);
+    dns::Question question{Name(), RRType::AXFR, RRClass::IN};
+    f.axfr_stream = dns::encode_axfr_stream(f.zone.axfr_records(), question);
+    return f;
+  }();
+  return fixture;
+}
+
+PointerChainInput pointer_chain_name(util::Rng& rng, size_t chain_length) {
+  PointerChainInput out;
+  // Lay down a base name, then `chain_length` names that each point at the
+  // previous one after contributing one label — the deepest legitimate
+  // compression shape. The final name is just a pointer to the top of the
+  // chain.
+  dns::WireWriter writer;
+  writer.put_u8(4);
+  for (char c : {'r', 'o', 'o', 't'}) writer.put_u8(static_cast<uint8_t>(c));
+  writer.put_u8(0);
+  size_t previous = 0;
+  for (size_t i = 0; i < chain_length; ++i) {
+    size_t start = writer.size();
+    if (start >= 0x3FFF) break;  // pointer offsets are 14-bit
+    std::string label = "l" + std::to_string(rng.uniform(100));
+    writer.put_u8(static_cast<uint8_t>(label.size()));
+    for (char c : label) writer.put_u8(static_cast<uint8_t>(c));
+    writer.put_u16(static_cast<uint16_t>(0xC000 | previous));
+    previous = start;
+  }
+  out.final_name_offset = writer.size();
+  writer.put_u16(static_cast<uint16_t>(0xC000 | previous));
+  out.bytes = writer.take();
+  return out;
+}
+
+std::vector<uint8_t> mutate(const std::vector<uint8_t>& input, util::Rng& rng,
+                            size_t max_edits) {
+  std::vector<uint8_t> bytes = input;
+  if (bytes.empty()) return bytes;
+  size_t edits = 1 + rng.uniform(max_edits);
+  for (size_t e = 0; e < edits && !bytes.empty(); ++e) {
+    size_t at = rng.uniform(bytes.size());
+    switch (rng.uniform(8)) {
+      case 0:  // bit flip
+        bytes[at] ^= static_cast<uint8_t>(1u << rng.uniform(8));
+        break;
+      case 1:  // byte overwrite
+        bytes[at] = static_cast<uint8_t>(rng.next());
+        break;
+      case 2: {  // u16 boundary overwrite: counts/lengths love these values
+        if (at + 1 >= bytes.size()) break;
+        static const uint16_t kBoundaries[] = {0, 1, 0x00FF, 0x0100,
+                                               0x7FFF, 0xFFFF};
+        uint16_t v = kBoundaries[rng.uniform(std::size(kBoundaries))];
+        bytes[at] = static_cast<uint8_t>(v >> 8);
+        bytes[at + 1] = static_cast<uint8_t>(v);
+        break;
+      }
+      case 3:  // truncate
+        bytes.resize(at);
+        break;
+      case 4: {  // duplicate a span
+        size_t span = 1 + rng.uniform(std::min<size_t>(bytes.size() - at, 32));
+        std::vector<uint8_t> copy(bytes.begin() + static_cast<long>(at),
+                                  bytes.begin() + static_cast<long>(at + span));
+        bytes.insert(bytes.begin() + static_cast<long>(at), copy.begin(),
+                     copy.end());
+        break;
+      }
+      case 5: {  // delete a span
+        size_t span = 1 + rng.uniform(std::min<size_t>(bytes.size() - at, 32));
+        bytes.erase(bytes.begin() + static_cast<long>(at),
+                    bytes.begin() + static_cast<long>(at + span));
+        break;
+      }
+      case 6: {  // insert random bytes
+        size_t span = 1 + rng.uniform(8);
+        std::vector<uint8_t> junk(span);
+        for (auto& b : junk) b = static_cast<uint8_t>(rng.next());
+        bytes.insert(bytes.begin() + static_cast<long>(at), junk.begin(),
+                     junk.end());
+        break;
+      }
+      default: {  // compression-pointer injection
+        if (at + 1 >= bytes.size()) break;
+        uint16_t target = static_cast<uint16_t>(rng.uniform(bytes.size() + 4));
+        bytes[at] = static_cast<uint8_t>(0xC0 | (target >> 8));
+        bytes[at + 1] = static_cast<uint8_t>(target);
+        break;
+      }
+    }
+  }
+  return bytes;
+}
+
+std::vector<uint8_t> random_bytes(util::Rng& rng, size_t max_length) {
+  std::vector<uint8_t> bytes(rng.uniform(max_length + 1));
+  for (auto& b : bytes) b = static_cast<uint8_t>(rng.next());
+  return bytes;
+}
+
+}  // namespace rootsim::fuzz

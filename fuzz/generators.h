@@ -1,0 +1,69 @@
+// Input generators for the wire-stack fuzz harness.
+//
+// Pure-random bytes almost never get past the header of a DNS parser: the
+// counts say "12 records" and the first name is garbage, so deep states
+// (compression chasing, per-type RDATA decoding, NSEC bitmaps, AXFR
+// reassembly) go unvisited. These generators start from structurally valid
+// artifacts — the same shapes the measurement pipeline produces — and mutate
+// them, which is what drives coverage into the interesting branches. They
+// are deterministic functions of the Rng so replay-mode failures reproduce
+// from (seed, iteration) alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/zone.h"
+#include "dnssec/signer.h"
+#include "dnssec/validator.h"
+#include "util/rng.h"
+
+namespace rootsim::fuzz {
+
+/// A random valid query in the shapes the prober sends (./NS +dnssec, TLD
+/// referral lookups, CHAOS identity queries).
+dns::Message random_query(util::Rng& rng);
+
+/// A random valid response exercising every modeled RDATA type (SOA, NS, A,
+/// AAAA, TXT, MX, DS, DNSKEY, RRSIG, NSEC, ZONEMD, OPT, RFC 3597 generic),
+/// name compression across sections, and flag combinations.
+dns::Message random_response(util::Rng& rng);
+
+/// A root-like unsigned zone with `tld_count` delegations (NS + DS + glue).
+dns::Zone random_zone(util::Rng& rng, size_t tld_count);
+
+/// A deterministically signed small root zone plus its trust anchors and the
+/// validation wall-clock that makes its signatures current. Built once per
+/// process (RSA keygen is the expensive part) and shared by the validation
+/// targets; treat as immutable.
+struct SignedZoneFixture {
+  dns::Zone zone;
+  dnssec::SigningKey ksk;
+  dnssec::SigningKey zsk;
+  dnssec::TrustAnchors anchors;
+  util::UnixTime validation_time;
+  std::vector<uint8_t> axfr_stream;  // the zone's framed wire transfer
+};
+const SignedZoneFixture& shared_signed_zone();
+
+/// Wire bytes of a name preceded by `prefix_names` compressible names, i.e. a
+/// buffer whose final name chases a chain of backward compression pointers.
+/// The returned offset is where that final name starts.
+struct PointerChainInput {
+  std::vector<uint8_t> bytes;
+  size_t final_name_offset = 0;
+};
+PointerChainInput pointer_chain_name(util::Rng& rng, size_t chain_length);
+
+/// Structure-aware mutation: applies 1..`max_edits` random edits drawn from
+/// {bit flip, byte overwrite, u16 boundary overwrite, truncation, span
+/// duplication, span deletion, random insertion, compression-pointer
+/// injection}. Never returns the input unchanged unless it was empty.
+std::vector<uint8_t> mutate(const std::vector<uint8_t>& input, util::Rng& rng,
+                            size_t max_edits = 4);
+
+/// Pure-random bytes (the weakest generator; kept for smoke coverage).
+std::vector<uint8_t> random_bytes(util::Rng& rng, size_t max_length);
+
+}  // namespace rootsim::fuzz

@@ -1,0 +1,30 @@
+#include "fuzz/target.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rootsim::fuzz {
+
+namespace {
+
+std::vector<Target>& mutable_targets() {
+  static std::vector<Target> registry;
+  return registry;
+}
+
+}  // namespace
+
+const std::vector<Target>& targets() { return mutable_targets(); }
+
+bool register_target(const char* name, TargetFn fn) {
+  mutable_targets().push_back(Target{name, fn});
+  return true;
+}
+
+void property_failure(const char* target, const char* message) {
+  std::fprintf(stderr, "fuzz target %s: property violated: %s\n", target,
+               message);
+  std::abort();
+}
+
+}  // namespace rootsim::fuzz

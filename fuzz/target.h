@@ -1,0 +1,72 @@
+// Fuzz-target plumbing shared by the three ways a target runs:
+//
+//   1. libFuzzer binary (`cmake --preset fuzz`): one executable per target,
+//      clang's -fsanitize=fuzzer provides main() and calls
+//      LLVMFuzzerTestOneInput in a coverage-guided loop.
+//   2. Replay gtest (`fuzz_replay_test`, plain ctest): every target runs its
+//      committed regression corpus plus bounded seeded random/mutation
+//      iterations — the exact same target code, no fuzzer runtime needed, so
+//      it works under gcc ASan/UBSan and in CI.
+//   3. Corpus generation (`fuzz_gen_corpus`): seeds are produced by the same
+//      generators the replay harness mutates, keeping the corpus reproducible
+//      from a clean checkout.
+//
+// A target is a pure function of the input bytes: parse, and if parsing
+// succeeded, assert the codec's differential properties (re-encode fixpoint,
+// canonical idempotence, ...). Returning nonzero or tripping an ASSERT aborts
+// under libFuzzer and fails the gtest — both surface the offending input.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rootsim::fuzz {
+
+using TargetFn = int (*)(const uint8_t* data, size_t size);
+
+struct Target {
+  const char* name;
+  TargetFn run;
+};
+
+/// All targets linked into this binary, in registration order.
+const std::vector<Target>& targets();
+
+/// Registers a target; used via ROOTSIM_FUZZ_TARGET below. Returns true so it
+/// can initialize a namespace-scope dummy.
+bool register_target(const char* name, TargetFn fn);
+
+/// Aborts (prints `message` first) — the fuzz-mode analogue of ASSERT. Used
+/// for property violations so libFuzzer minimizes on them exactly like on a
+/// sanitizer fault.
+[[noreturn]] void property_failure(const char* target, const char* message);
+
+}  // namespace rootsim::fuzz
+
+/// Defines the target function `fuzz_<name>` and registers it. When compiled
+/// standalone for libFuzzer (ROOTSIM_FUZZ_STANDALONE), also emits the
+/// LLVMFuzzerTestOneInput entry point; exactly one target per binary then.
+#define ROOTSIM_FUZZ_TARGET(name)                                         \
+  static int fuzz_##name(const uint8_t* data, size_t size);               \
+  static const bool registered_##name =                                   \
+      ::rootsim::fuzz::register_target(#name, &fuzz_##name);              \
+  ROOTSIM_FUZZ_STANDALONE_ENTRY(name)                                     \
+  static int fuzz_##name(const uint8_t* data, size_t size)
+
+#ifdef ROOTSIM_FUZZ_STANDALONE
+#define ROOTSIM_FUZZ_STANDALONE_ENTRY(name)                               \
+  extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) { \
+    return fuzz_##name(data, size);                                       \
+  }
+#else
+#define ROOTSIM_FUZZ_STANDALONE_ENTRY(name)
+#endif
+
+/// Asserts a differential property inside a target.
+#define ROOTSIM_FUZZ_EXPECT(target_name, condition)                       \
+  do {                                                                    \
+    if (!(condition))                                                     \
+      ::rootsim::fuzz::property_failure(#target_name, #condition);        \
+  } while (0)

@@ -1,0 +1,40 @@
+// AXFR stream reassembly: 2-byte framing, multi-message sequences, SOA
+// delimiters. A stream that parses into a zone must survive the full
+// differential loop: zone → fresh AXFR wire → reassembled records → equal
+// zone. This is the path where PR 3's fault injector plants bitflips, so
+// "parse failure is a result, not an error" — but a *successful* parse must
+// be exact.
+#include "dns/axfr.h"
+#include "dns/zone.h"
+#include "fuzz/target.h"
+
+namespace rootsim::fuzz {
+
+ROOTSIM_FUZZ_TARGET(axfr_stream) {
+  auto parsed = dns::decode_axfr_stream({data, size});
+  if (!parsed.ok()) return 0;
+  // Structural guarantees of a successful parse.
+  ROOTSIM_FUZZ_EXPECT(axfr_stream, parsed.records.size() >= 2);
+  ROOTSIM_FUZZ_EXPECT(axfr_stream,
+                      parsed.records.front().type == dns::RRType::SOA);
+  ROOTSIM_FUZZ_EXPECT(axfr_stream,
+                      parsed.records.back().type == dns::RRType::SOA);
+  auto zone = dns::Zone::from_axfr(parsed.records,
+                                   parsed.records.front().name);
+  if (!zone) return 0;  // e.g. first/last SOA mismatch — a valid rejection
+  // Differential loop: re-serialize the zone and reassemble.
+  dns::Question question{zone->origin(), dns::RRType::AXFR, dns::RRClass::IN};
+  auto wire = dns::encode_axfr_stream(zone->axfr_records(), question);
+  // A hostile stream can carry a near-64 KiB RDATA that, re-encoded with its
+  // full owner name, no longer fits one frame; the encoder then refuses
+  // (empty stream) rather than desynchronize. That refusal is correct.
+  if (wire.empty()) return 0;
+  auto reparsed = dns::decode_axfr_stream(wire);
+  ROOTSIM_FUZZ_EXPECT(axfr_stream, reparsed.ok());
+  auto rezone = dns::Zone::from_axfr(reparsed.records, zone->origin());
+  ROOTSIM_FUZZ_EXPECT(axfr_stream, rezone.has_value());
+  ROOTSIM_FUZZ_EXPECT(axfr_stream, *rezone == *zone);
+  return 0;
+}
+
+}  // namespace rootsim::fuzz

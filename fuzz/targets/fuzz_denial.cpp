@@ -1,0 +1,32 @@
+// NXDOMAIN denial-of-existence validation on hostile responses: the input is
+// a DNS message; verify_nxdomain_proof must classify its NSEC evidence
+// without crashing, and a verdict of Proven requires that the response
+// actually carried an NSEC record — the proof can never materialize out of
+// nothing.
+#include <algorithm>
+
+#include "dns/message.h"
+#include "dnssec/validator.h"
+#include "fuzz/generators.h"
+#include "fuzz/target.h"
+
+namespace rootsim::fuzz {
+
+ROOTSIM_FUZZ_TARGET(denial) {
+  const SignedZoneFixture& fixture = shared_signed_zone();
+  auto message = dns::Message::decode({data, size});
+  if (!message) return 0;
+  dns::Name qname = *dns::Name::parse("nonexistent-tld.");
+  auto status = dnssec::verify_nxdomain_proof(*message, qname, fixture.anchors,
+                                              fixture.validation_time);
+  bool has_nsec = std::any_of(
+      message->authority.begin(), message->authority.end(),
+      [](const dns::ResourceRecord& rr) { return rr.type == dns::RRType::NSEC; });
+  if (status == dnssec::DenialStatus::Proven)
+    ROOTSIM_FUZZ_EXPECT(denial, has_nsec);
+  if (!has_nsec)
+    ROOTSIM_FUZZ_EXPECT(denial, status == dnssec::DenialStatus::NoProof);
+  return 0;
+}
+
+}  // namespace rootsim::fuzz

@@ -1,0 +1,23 @@
+// Message::decode on hostile bytes, plus the decode→encode→decode fixpoint:
+// whatever a message decodes to, re-encoding and re-decoding must stabilize
+// after one round (the codec is a retraction onto its image). Divergence here
+// means two parsers fed the same capture disagree — the root cause of the
+// measurement-undermining parser splits the DNS reachability literature
+// documents.
+#include "dns/message.h"
+#include "fuzz/target.h"
+
+namespace rootsim::fuzz {
+
+ROOTSIM_FUZZ_TARGET(message_decode) {
+  auto first = dns::Message::decode({data, size});
+  if (!first) return 0;
+  auto wire1 = first->encode();
+  auto second = dns::Message::decode(wire1);
+  ROOTSIM_FUZZ_EXPECT(message_decode, second.has_value());
+  auto wire2 = second->encode();
+  ROOTSIM_FUZZ_EXPECT(message_decode, wire1 == wire2);
+  return 0;
+}
+
+}  // namespace rootsim::fuzz

@@ -1,0 +1,42 @@
+// Name parsing with compression-pointer chasing — the single most abused
+// spot in DNS wire format (loops, forward pointers, pointers past the end,
+// over-long accumulated names). A name that decodes must satisfy the RFC
+// 1035 limits and survive an uncompressed re-encode round-trip.
+#include <algorithm>
+#include <span>
+
+#include "dns/wire.h"
+#include "fuzz/target.h"
+
+namespace rootsim::fuzz {
+
+ROOTSIM_FUZZ_TARGET(name_decode) {
+  // First two bytes position the read inside the remaining buffer, so inputs
+  // can lay down pointer-target material *before* the name being parsed —
+  // compression pointers only point backwards, so a name at offset 0 could
+  // never chase a chain.
+  if (size < 2) return 0;
+  std::span<const uint8_t> buffer(data + 2, size - 2);
+  size_t start = static_cast<size_t>(data[0] << 8 | data[1]) % (size - 1);
+  dns::WireReader reader(buffer);
+  reader.seek(std::min(start, buffer.size()));
+  dns::Name name = reader.get_name();
+  if (!reader.ok()) return 0;
+  ROOTSIM_FUZZ_EXPECT(name_decode, name.wire_length() <= 255);
+  ROOTSIM_FUZZ_EXPECT(name_decode, name.label_count() <= 127);
+  ROOTSIM_FUZZ_EXPECT(name_decode, reader.offset() <= buffer.size());
+  // Uncompressed round-trip: encode the parsed labels and parse them back.
+  dns::WireWriter writer;
+  writer.put_name(name, /*compress=*/false);
+  ROOTSIM_FUZZ_EXPECT(name_decode, writer.size() == name.wire_length());
+  dns::WireReader second(writer.data());
+  dns::Name again = second.get_name();
+  ROOTSIM_FUZZ_EXPECT(name_decode, second.ok());
+  ROOTSIM_FUZZ_EXPECT(name_decode, again == name);
+  // Case-insensitive equality and canonical ordering agree on reflexivity.
+  ROOTSIM_FUZZ_EXPECT(name_decode, name.canonical_compare(again) == 0);
+  ROOTSIM_FUZZ_EXPECT(name_decode, again.to_lower() == name);
+  return 0;
+}
+
+}  // namespace rootsim::fuzz

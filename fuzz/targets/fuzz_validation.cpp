@@ -1,0 +1,36 @@
+// Full-zone DNSSEC validation over attacker-controlled transfers: the input
+// bytes are an AXFR stream (libFuzzer seeds with the signed fixture's real
+// transfer and mutates from there). Whatever arrives, validate_zone must
+// classify it without crashing; the untouched fixture stream must still
+// validate fully — if a "mutation" that equals the original stops verifying,
+// the canonical-form machinery has diverged.
+#include "dns/axfr.h"
+#include "dnssec/validator.h"
+#include "fuzz/generators.h"
+#include "fuzz/target.h"
+
+namespace rootsim::fuzz {
+
+ROOTSIM_FUZZ_TARGET(validation) {
+  const SignedZoneFixture& fixture = shared_signed_zone();
+  auto parsed = dns::decode_axfr_stream({data, size});
+  if (!parsed.ok()) return 0;
+  auto zone = dns::Zone::from_axfr(parsed.records, fixture.zone.origin());
+  if (!zone) return 0;
+  auto result = dnssec::validate_zone(*zone, fixture.anchors,
+                                      fixture.validation_time);
+  // Statuses must be internally consistent regardless of input.
+  if (result.fully_valid())
+    ROOTSIM_FUZZ_EXPECT(validation, result.signature_failures.empty());
+  // The genuine transfer still validates — byte-identical input must never
+  // drift to bogus.
+  if (size == fixture.axfr_stream.size() &&
+      std::equal(data, data + size, fixture.axfr_stream.begin())) {
+    ROOTSIM_FUZZ_EXPECT(validation, result.fully_valid());
+    ROOTSIM_FUZZ_EXPECT(validation,
+                        result.zonemd == dnssec::ZonemdStatus::Verified);
+  }
+  return 0;
+}
+
+}  // namespace rootsim::fuzz

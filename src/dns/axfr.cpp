@@ -1,5 +1,7 @@
 #include "dns/axfr.h"
 
+#include <algorithm>
+
 #include "util/strings.h"
 
 namespace rootsim::dns {
@@ -12,6 +14,10 @@ std::vector<uint8_t> encode_axfr_stream(const std::vector<ResourceRecord>& recor
   uint16_t message_id = options.first_message_id;
   size_t index = 0;
   bool first_message = true;
+  // The 2-octet frame prefix caps a message at 65535 bytes no matter what
+  // budget the caller asked for; exceeding it would silently truncate the
+  // length and desynchronize the stream.
+  const size_t budget = std::min<size_t>(options.max_message_bytes, 0xFFFF);
   while (index < records.size()) {
     writer.clear();
     writer.put_u16(message_id++);
@@ -35,13 +41,19 @@ std::vector<uint8_t> encode_axfr_stream(const std::vector<ResourceRecord>& recor
     while (index + count < records.size()) {
       size_t checkpoint = writer.size();
       encode_record(writer, records[index + count]);
-      if (writer.size() > options.max_message_bytes && count > 0) {
+      if (writer.size() > budget && count > 0) {
         writer.truncate(checkpoint);
         break;
       }
       ++count;
-      if (writer.size() > options.max_message_bytes) break;  // single huge RR
+      if (writer.size() > budget) break;  // single huge RR
     }
+    // A single record can exceed even the 64 KiB frame limit (a ~64 KiB RDATA
+    // plus owner/shell overhead). There is no valid framing for it, so fail
+    // the whole encode rather than emit a stream that desynchronizes at the
+    // wrapped length prefix; an empty stream never decodes as a valid
+    // transfer (no SOA delimiters).
+    if (writer.size() > 0xFFFF) return {};
     writer.patch_u16(ancount_offset, static_cast<uint16_t>(count));
     index += count;
     stream.push_back(static_cast<uint8_t>(writer.size() >> 8));

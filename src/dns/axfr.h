@@ -20,13 +20,17 @@ namespace rootsim::dns {
 
 struct AxfrStreamOptions {
   /// Maximum wire size per DNS message (RFC 5936 recommends filling
-  /// messages; real servers use ~16-64 KiB over TCP).
+  /// messages; real servers use ~16-64 KiB over TCP). Clamped to 65535, the
+  /// most a 2-octet frame prefix can describe.
   size_t max_message_bytes = 16 * 1024;
   uint16_t first_message_id = 1;
 };
 
 /// Serializes an AXFR record stream (SOA ... SOA) into a framed TCP stream:
 /// each message is prefixed by its 2-octet length (RFC 1035 §4.2.2).
+/// Returns an empty stream if any single record cannot fit a 64 KiB frame —
+/// there is no valid framing for it, and an empty stream always fails
+/// decode_axfr_stream, so the error cannot be mistaken for a transfer.
 std::vector<uint8_t> encode_axfr_stream(const std::vector<ResourceRecord>& records,
                                         const Question& question,
                                         const AxfrStreamOptions& options = {});

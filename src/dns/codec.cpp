@@ -179,6 +179,14 @@ std::optional<Rdata> decode_rdata_at(WireReader& reader, RRType type,
                                      size_t rdlength) {
   size_t end = reader.offset() + rdlength;
   auto take_rest = [&]() -> std::vector<uint8_t> {
+    // Fixed-width fields read above may already have consumed past `end` when
+    // RDLENGTH lies (e.g. a DS record claiming 2 octets): `end - offset`
+    // would then wrap to a near-2^64 count whose overflow-prone bounds check
+    // could pass. Treat overrun as the malformed-RDATA failure it is.
+    if (reader.offset() > end) {
+      reader.fail();
+      return {};
+    }
     return reader.get_bytes(end - reader.offset());
   };
   switch (type) {

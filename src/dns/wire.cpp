@@ -139,7 +139,11 @@ uint32_t WireReader::get_u32() {
 }
 
 std::vector<uint8_t> WireReader::get_bytes(size_t count) {
-  if (!ok_ || offset_ + count > data_.size()) {
+  // `count > size - offset` rather than `offset + count > size`: the latter
+  // wraps when a caller derives `count` from untrusted arithmetic (e.g. an
+  // RDATA length smaller than the fields already consumed) and would accept
+  // a huge count whose sum happens to land back inside the buffer.
+  if (!ok_ || count > data_.size() - offset_) {
     ok_ = false;
     return {};
   }
@@ -154,6 +158,7 @@ Name WireReader::get_name() {
   size_t cursor = offset_;
   bool jumped = false;
   size_t jumps = 0;
+  size_t wire_length = 1;  // terminal root octet
   size_t after_first_pointer = 0;
   while (true) {
     if (!ok_ || cursor >= data_.size()) {
@@ -162,7 +167,7 @@ Name WireReader::get_name() {
     }
     uint8_t len = data_[cursor];
     if ((len & 0xC0) == 0xC0) {
-      if (cursor + 1 >= data_.size() || ++jumps > 64) {
+      if (cursor + 1 >= data_.size() || ++jumps > kMaxPointerHops) {
         ok_ = false;
         return Name();
       }
@@ -188,6 +193,14 @@ Name WireReader::get_name() {
       ok_ = false;
       return Name();
     }
+    // Enforce the 255-octet name limit as labels accumulate rather than after
+    // the fact: a pointer-dense message can otherwise make us collect tens of
+    // kilobytes of labels that Name::from_labels would reject anyway.
+    wire_length += 1 + static_cast<size_t>(len);
+    if (wire_length > 255) {
+      ok_ = false;
+      return Name();
+    }
     labels.emplace_back(reinterpret_cast<const char*>(data_.data() + cursor + 1), len);
     cursor += 1 + static_cast<size_t>(len);
   }
@@ -209,7 +222,7 @@ void WireReader::seek(size_t offset) {
 }
 
 void WireReader::skip(size_t count) {
-  if (!ok_ || offset_ + count > data_.size()) {
+  if (!ok_ || count > data_.size() - offset_) {  // overflow-safe, see get_bytes
     ok_ = false;
     return;
   }

@@ -82,6 +82,14 @@ class WireWriter {
 /// Bounds-checked reader with compression-pointer chasing.
 class WireReader {
  public:
+  /// Hop budget for compression-pointer chains in get_name(). Forward and
+  /// self pointers are rejected outright, so every hop strictly decreases the
+  /// cursor and chains terminate; the budget additionally caps the *work* a
+  /// hostile message can demand (a 64 KiB message can chain thousands of
+  /// strictly-backward pointers). 63 hops covers any legitimate message —
+  /// real encoders emit at most one pointer per name.
+  static constexpr size_t kMaxPointerHops = 63;
+
   explicit WireReader(std::span<const uint8_t> data) : data_(data) {}
 
   uint8_t get_u8();
@@ -89,12 +97,18 @@ class WireReader {
   uint32_t get_u32();
   std::vector<uint8_t> get_bytes(size_t count);
 
-  /// Reads a possibly-compressed name. Guards against pointer loops and
-  /// forward pointers (compression targets must point backwards).
+  /// Reads a possibly-compressed name. Guards against pointer loops (hop
+  /// budget above), forward pointers (compression targets must point
+  /// backwards), pointers past the end of the message, and names whose
+  /// accumulated wire length exceeds the 255-octet limit — all of these
+  /// clear ok() immediately instead of returning partially-parsed garbage.
   Name get_name();
 
   /// True while no read has overrun or hit malformed data.
   bool ok() const { return ok_; }
+  /// Marks the reader failed; callers use this when a semantic check (not a
+  /// bounds check) proves the data malformed, so all later reads also fail.
+  void fail() { ok_ = false; }
   size_t offset() const { return offset_; }
   size_t remaining() const { return ok_ ? data_.size() - offset_ : 0; }
   void seek(size_t offset);

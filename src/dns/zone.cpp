@@ -7,6 +7,19 @@
 
 namespace rootsim::dns {
 
+bool RRset::operator==(const RRset& other) const {
+  if (!(name == other.name) || type != other.type || rclass != other.rclass ||
+      ttl != other.ttl || rdatas.size() != other.rdatas.size())
+    return false;
+  auto multiplicity = [](const std::vector<Rdata>& haystack, const Rdata& x) {
+    return std::count(haystack.begin(), haystack.end(), x);
+  };
+  for (const auto& rdata : rdatas)
+    if (multiplicity(rdatas, rdata) != multiplicity(other.rdatas, rdata))
+      return false;
+  return true;
+}
+
 std::vector<ResourceRecord> RRset::to_records() const {
   std::vector<ResourceRecord> out;
   out.reserve(rdatas.size());
@@ -32,6 +45,17 @@ void Zone::add(const ResourceRecord& rr) {
 
 bool Zone::remove_rrset(const Name& name, RRType type) {
   return sets_.erase(Key{name, type}) > 0;
+}
+
+bool Zone::remove(const ResourceRecord& rr) {
+  auto it = sets_.find(Key{rr.name, rr.type});
+  if (it == sets_.end()) return false;
+  auto& rdatas = it->second.rdatas;
+  auto pos = std::find(rdatas.begin(), rdatas.end(), rr.rdata);
+  if (pos == rdatas.end()) return false;
+  rdatas.erase(pos);
+  if (rdatas.empty()) sets_.erase(it);
+  return true;
 }
 
 const RRset* Zone::find(const Name& name, RRType type) const {

@@ -26,7 +26,11 @@ struct RRset {
 
   bool empty() const { return rdatas.empty(); }
   std::vector<ResourceRecord> to_records() const;
-  bool operator==(const RRset&) const = default;
+  // Rdata order within an RRset carries no meaning (RFC 2181 §5), so two
+  // RRsets are equal iff they hold the same rdatas as a multiset. A defaulted
+  // (ordered) comparison would call zones rebuilt from a sorted diff unequal
+  // to their originals.
+  bool operator==(const RRset& other) const;
 };
 
 /// Zone container. Records are stored grouped into RRsets and iterated in
@@ -44,6 +48,10 @@ class Zone {
 
   /// Removes the RRset with this owner and type. Returns true if removed.
   bool remove_rrset(const Name& name, RRType type);
+
+  /// Removes one record (matching rdata) from its RRset, erasing the RRset
+  /// when its last record goes. Returns false if the record was not present.
+  bool remove(const ResourceRecord& rr);
 
   /// Looks up an RRset; nullptr if absent.
   const RRset* find(const Name& name, RRType type) const;

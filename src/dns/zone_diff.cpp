@@ -61,6 +61,20 @@ ZoneDiff diff_zones(const Zone& before, const Zone& after) {
   return diff_records(flatten(before), flatten(after));
 }
 
+ZoneDiff ZoneDiff::inverse() const {
+  ZoneDiff out;
+  out.added = removed;
+  out.removed = added;
+  return out;
+}
+
+bool apply_diff(Zone& zone, const ZoneDiff& diff) {
+  bool complete = true;
+  for (const auto& rr : diff.removed) complete &= zone.remove(rr);
+  for (const auto& rr : diff.added) zone.add(rr);
+  return complete;
+}
+
 std::string ZoneDiff::to_string(size_t max_lines) const {
   std::string out;
   size_t lines = 0;

@@ -20,12 +20,22 @@ struct ZoneDiff {
   bool empty() const { return added.empty() && removed.empty(); }
   size_t size() const { return added.size() + removed.size(); }
 
+  /// The diff that undoes this one (added and removed swapped). Applying a
+  /// diff and then its inverse returns a zone to its starting state.
+  ZoneDiff inverse() const;
+
   /// Unified-diff-style rendering ("+ rr", "- rr"), canonical order.
   std::string to_string(size_t max_lines = 50) const;
 };
 
 /// Computes the record-level difference between two zones.
 ZoneDiff diff_zones(const Zone& before, const Zone& after);
+
+/// Applies a diff in place: removes `removed`, adds `added`. Returns false
+/// (leaving the zone partially updated) if any removed record was absent —
+/// the diff was computed against a different zone state. `diff_zones(a, b)`
+/// applied to `a` always succeeds and yields `b`.
+bool apply_diff(Zone& zone, const ZoneDiff& diff);
 
 /// Same, over raw record vectors (e.g. two AXFR payloads).
 ZoneDiff diff_records(const std::vector<ResourceRecord>& before,

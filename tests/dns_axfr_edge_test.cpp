@@ -1,0 +1,170 @@
+// AXFR and zone-diff edge cases: the boundaries where framing, serial
+// arithmetic, and record packing are most likely to go wrong — empty zones,
+// serial wraparound, a malformed message in the middle of an otherwise valid
+// stream, and RDATA pressing against the 64 KiB frame ceiling.
+#include <gtest/gtest.h>
+
+#include "dns/axfr.h"
+#include "dns/codec.h"
+#include "dns/zone.h"
+#include "dns/zone_diff.h"
+#include "fuzz/generators.h"
+#include "util/rng.h"
+
+namespace rootsim::dns {
+namespace {
+
+Zone make_zone(uint32_t serial, size_t tlds) {
+  util::Rng rng(4242);
+  Zone zone = fuzz::random_zone(rng, tlds);
+  // Pin the serial: remove and re-add the SOA rrset.
+  auto soa = zone.soa();
+  zone.remove_rrset(zone.origin(), RRType::SOA);
+  soa->serial = serial;
+  zone.add({zone.origin(), RRType::SOA, RRClass::IN, 86400, *soa});
+  return zone;
+}
+
+TEST(AxfrEdge, EmptyZoneHasNoTransfer) {
+  Zone zone{*Name::parse("empty.example.")};
+  // No SOA — axfr_records() must refuse to fabricate a transfer, and the
+  // empty record stream must not encode into a parseable stream.
+  EXPECT_TRUE(zone.axfr_records().empty());
+  Question question{zone.origin(), RRType::AXFR, RRClass::IN};
+  auto wire = encode_axfr_stream(zone.axfr_records(), question);
+  auto parsed = decode_axfr_stream(wire);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.records.empty());
+}
+
+TEST(AxfrEdge, SoaOnlyZoneRoundTrips) {
+  Zone zone{Name()};
+  SoaData soa;
+  soa.mname = *Name::parse("a.root-servers.net.");
+  soa.rname = *Name::parse("nstld.verisign-grs.com.");
+  soa.serial = 1;
+  zone.add({Name(), RRType::SOA, RRClass::IN, 86400, soa});
+  auto records = zone.axfr_records();
+  // Degenerate but legal: SOA ... SOA with nothing in between.
+  ASSERT_EQ(records.size(), 2u);
+  Question question{zone.origin(), RRType::AXFR, RRClass::IN};
+  auto parsed = decode_axfr_stream(encode_axfr_stream(records, question));
+  ASSERT_TRUE(parsed.ok()) << *parsed.error;
+  auto rebuilt = Zone::from_axfr(parsed.records, zone.origin());
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_TRUE(*rebuilt == zone);
+}
+
+TEST(AxfrEdge, SerialWraparoundDiff) {
+  // RFC 1982 serial arithmetic wraps: 0xFFFFFFFF -> 0 is a forward step. The
+  // diff must treat the two SOAs as an ordinary remove+add pair and stay
+  // exactly invertible across the wrap.
+  Zone old_zone = make_zone(0xFFFFFFFFu, 2);
+  Zone new_zone = make_zone(0x00000000u, 2);
+  ZoneDiff diff = diff_zones(old_zone, new_zone);
+  ASSERT_FALSE(diff.empty());
+  // Only the SOA changed between the two builds.
+  ASSERT_EQ(diff.removed.size(), 1u);
+  ASSERT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.removed[0].type, RRType::SOA);
+  EXPECT_EQ(diff.added[0].type, RRType::SOA);
+  Zone forward = old_zone;
+  EXPECT_TRUE(apply_diff(forward, diff));
+  EXPECT_TRUE(forward == new_zone);
+  EXPECT_EQ(forward.serial(), 0u);
+  EXPECT_TRUE(apply_diff(forward, diff.inverse()));
+  EXPECT_TRUE(forward == old_zone);
+  EXPECT_EQ(forward.serial(), 0xFFFFFFFFu);
+}
+
+TEST(AxfrEdge, MidStreamMalformedMessageIsAnError) {
+  util::Rng rng(7);
+  Zone zone = fuzz::random_zone(rng, 6);
+  Question question{zone.origin(), RRType::AXFR, RRClass::IN};
+  AxfrStreamOptions options;
+  options.max_message_bytes = 256;  // force several messages
+  auto wire = encode_axfr_stream(zone.axfr_records(), question, options);
+  auto intact = decode_axfr_stream(wire);
+  ASSERT_TRUE(intact.ok());
+  ASSERT_GT(intact.message_count, 2u);
+  // Corrupt the QDCOUNT of the second message: frame length is intact, the
+  // message inside is not. Frame 1 starts at offset 0; its length prefix
+  // tells us where frame 2 begins.
+  size_t second_frame = 2 + (static_cast<size_t>(wire[0]) << 8 | wire[1]);
+  ASSERT_LT(second_frame + 6, wire.size());
+  auto corrupted = wire;
+  corrupted[second_frame + 2 + 4] = 0xFF;  // qdcount high byte
+  corrupted[second_frame + 2 + 5] = 0xFF;  // qdcount low byte
+  auto parsed = decode_axfr_stream(corrupted);
+  EXPECT_FALSE(parsed.ok());
+  // Records salvaged before the bad frame are still reported.
+  EXPECT_FALSE(parsed.records.empty());
+  EXPECT_LT(parsed.records.size(), intact.records.size());
+}
+
+TEST(AxfrEdge, TruncatedFinalFrameIsAnError) {
+  util::Rng rng(8);
+  Zone zone = fuzz::random_zone(rng, 3);
+  Question question{zone.origin(), RRType::AXFR, RRClass::IN};
+  auto wire = encode_axfr_stream(zone.axfr_records(), question);
+  ASSERT_GT(wire.size(), 4u);
+  for (size_t cut : {wire.size() - 1, wire.size() - 3, size_t{1}}) {
+    auto truncated = wire;
+    truncated.resize(cut);
+    EXPECT_FALSE(decode_axfr_stream(truncated).ok()) << "cut at " << cut;
+  }
+}
+
+// Builds a TXT record whose encoded RDATA is close to `target` bytes.
+ResourceRecord big_txt(const Name& owner, size_t target) {
+  TxtData txt;
+  while (target >= 256) {
+    txt.strings.push_back(std::string(255, 'x'));
+    target -= 256;  // 1 length octet + 255 payload octets
+  }
+  if (target > 0)
+    txt.strings.push_back(std::string(target - 1, 'y'));
+  return {owner, RRType::TXT, RRClass::IN, 3600, txt};
+}
+
+TEST(AxfrEdge, OversizedRdataAtMessageBoundary) {
+  Zone zone{Name()};
+  SoaData soa;
+  soa.mname = *Name::parse("a.root-servers.net.");
+  soa.rname = *Name::parse("nstld.verisign-grs.com.");
+  soa.serial = 99;
+  zone.add({Name(), RRType::SOA, RRClass::IN, 86400, soa});
+  // ~60 KiB of TXT RDATA: legal (fits a 64 KiB message alone), but cannot
+  // share its message with anything else.
+  zone.add(big_txt(*Name::parse("big.example."), 60 * 1024));
+  Question question{zone.origin(), RRType::AXFR, RRClass::IN};
+
+  AxfrStreamOptions options;
+  options.max_message_bytes = 1 << 20;  // clamped to 65535 internally
+  auto wire = encode_axfr_stream(zone.axfr_records(), question, options);
+  ASSERT_FALSE(wire.empty());
+  auto parsed = decode_axfr_stream(wire);
+  ASSERT_TRUE(parsed.ok()) << *parsed.error;
+  // Every frame must respect the 2-octet length ceiling.
+  size_t offset = 0;
+  while (offset + 2 <= wire.size()) {
+    size_t frame = static_cast<size_t>(wire[offset]) << 8 | wire[offset + 1];
+    EXPECT_LE(frame, 0xFFFFu);
+    offset += 2 + frame;
+  }
+  EXPECT_EQ(offset, wire.size());
+  auto rebuilt = Zone::from_axfr(parsed.records, zone.origin());
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_TRUE(*rebuilt == zone);
+
+  // A record that cannot fit any frame at all (RDATA alone > 64 KiB) makes
+  // the whole stream unencodable — empty result, which never parses.
+  Zone impossible = zone;
+  impossible.add(big_txt(*Name::parse("toobig.example."), 70 * 1024));
+  auto bad = encode_axfr_stream(impossible.axfr_records(), question, options);
+  EXPECT_TRUE(bad.empty());
+  EXPECT_FALSE(decode_axfr_stream(bad).ok());
+}
+
+}  // namespace
+}  // namespace rootsim::dns

@@ -1,139 +1,103 @@
-// Robustness properties of the wire-facing parsers: arbitrary bytes and
-// mutated valid messages must never crash, hang, or read out of bounds —
-// the measurement pipeline parses whatever the (possibly corrupted) network
-// delivers. Run under ASan/UBSan for full effect; the assertions here pin
-// down graceful-failure behaviour.
+// Robustness properties of the wire-facing parsers, driven by the fuzz/
+// generators: structure-aware mutations of valid messages and handcrafted
+// compression-pointer abuse, not just random bytes. The heavy lifting
+// (committed corpora + 10k seeded iterations per target) lives in
+// fuzz_replay_test; these tests keep the same generators exercised in the
+// ordinary dns test suite and pin behaviours with precise assertions.
 #include <gtest/gtest.h>
 
 #include "dns/axfr.h"
 #include "dns/message.h"
 #include "dns/zone.h"
+#include "fuzz/generators.h"
 #include "util/rng.h"
 
 namespace rootsim::dns {
 namespace {
 
-class RandomBytes : public ::testing::TestWithParam<uint64_t> {};
+class FuzzSeeds : public ::testing::TestWithParam<uint64_t> {};
 
-TEST_P(RandomBytes, MessageDecodeNeverCrashes) {
+TEST_P(FuzzSeeds, RandomBytesNeverCrashDecoders) {
   util::Rng rng(GetParam());
   for (int iteration = 0; iteration < 200; ++iteration) {
-    size_t length = rng.uniform(600);
-    std::vector<uint8_t> bytes(length);
-    for (auto& b : bytes) b = static_cast<uint8_t>(rng.next());
-    auto message = Message::decode(bytes);
-    if (message) {
-      // If random bytes parsed, re-encoding must also be safe.
-      auto reencoded = message->encode();
-      EXPECT_LE(reencoded.size(), 65536u);
+    auto bytes = fuzz::random_bytes(rng, 600);
+    if (auto message = Message::decode(bytes)) {
+      (void)message->encode();
     }
-  }
-}
-
-TEST_P(RandomBytes, NameDecodeNeverCrashes) {
-  util::Rng rng(GetParam());
-  for (int iteration = 0; iteration < 500; ++iteration) {
-    size_t length = rng.uniform(300);
-    std::vector<uint8_t> bytes(length);
-    for (auto& b : bytes) b = static_cast<uint8_t>(rng.next());
     WireReader reader(bytes);
     Name name = reader.get_name();
     if (reader.ok()) EXPECT_LE(name.wire_length(), 255u);
+    (void)decode_axfr_stream(bytes);
   }
 }
 
-TEST_P(RandomBytes, AxfrStreamDecodeNeverCrashes) {
+TEST_P(FuzzSeeds, MutatedValidMessagesNeverCrashDecoder) {
   util::Rng rng(GetParam());
-  for (int iteration = 0; iteration < 100; ++iteration) {
-    size_t length = rng.uniform(2000);
-    std::vector<uint8_t> bytes(length);
-    for (auto& b : bytes) b = static_cast<uint8_t>(rng.next());
-    auto parsed = decode_axfr_stream(bytes);
-    // Random bytes essentially never form a valid SOA-delimited stream.
-    EXPECT_FALSE(parsed.ok());
-  }
-}
-
-INSTANTIATE_TEST_SUITE_P(Seeds, RandomBytes,
-                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
-
-Message sample_message() {
-  Message msg;
-  msg.id = 4242;
-  msg.qr = true;
-  msg.aa = true;
-  msg.questions.push_back({*Name::parse("example."), RRType::NS, RRClass::IN});
-  for (char c = 'a'; c <= 'm'; ++c) {
-    ResourceRecord rr;
-    rr.name = Name();
-    rr.type = RRType::NS;
-    rr.ttl = 518400;
-    rr.rdata = NsData{*Name::parse(std::string(1, c) + ".root-servers.net.")};
-    msg.answers.push_back(rr);
-  }
-  ResourceRecord sig;
-  sig.name = Name();
-  sig.type = RRType::RRSIG;
-  sig.ttl = 518400;
-  RrsigData rrsig;
-  rrsig.type_covered = RRType::NS;
-  rrsig.algorithm = 8;
-  rrsig.signer = Name();
-  rrsig.signature.assign(64, 0x5a);
-  sig.rdata = rrsig;
-  msg.answers.push_back(sig);
-  msg.add_edns(1232, true);
-  return msg;
-}
-
-TEST(Mutation, EveryByteFlipHandledGracefully) {
-  auto wire = sample_message().encode();
   size_t parsed_ok = 0, parsed_fail = 0;
-  for (size_t byte = 0; byte < wire.size(); ++byte) {
-    for (uint8_t bit : {0x01, 0x80}) {
-      auto mutated = wire;
-      mutated[byte] ^= bit;
-      auto message = Message::decode(mutated);
-      if (message) {
-        ++parsed_ok;
-        (void)message->encode();  // must not crash either
-      } else {
-        ++parsed_fail;
-      }
+  for (int iteration = 0; iteration < 400; ++iteration) {
+    Message original =
+        iteration % 2 ? fuzz::random_response(rng) : fuzz::random_query(rng);
+    auto mutated = fuzz::mutate(original.encode(), rng);
+    auto message = Message::decode(mutated);
+    if (!message) {
+      ++parsed_fail;
+      continue;
     }
+    ++parsed_ok;
+    // Retraction property: one more decode/encode trip is a fixpoint.
+    auto e1 = message->encode();
+    auto reparsed = Message::decode(e1);
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(reparsed->encode(), e1);
   }
-  // Both outcomes must occur: flips in counts/pointers break parsing, flips
-  // in rdata payloads survive.
+  // Structure-aware mutation must land on both sides of validity; all-pass
+  // would mean the mutator is too timid, all-fail too destructive.
   EXPECT_GT(parsed_ok, 0u);
   EXPECT_GT(parsed_fail, 0u);
 }
 
-TEST(Mutation, TruncationAtEveryLengthHandled) {
-  auto wire = sample_message().encode();
-  size_t ok = 0;
-  for (size_t length = 0; length < wire.size(); ++length) {
-    std::span<const uint8_t> prefix(wire.data(), length);
-    if (Message::decode(prefix)) ++ok;
+TEST_P(FuzzSeeds, MutatedPointerChainsNeverCrashNameDecoder) {
+  util::Rng rng(GetParam());
+  size_t parsed_ok = 0;
+  for (int iteration = 0; iteration < 600; ++iteration) {
+    auto chain = fuzz::pointer_chain_name(rng, 1 + rng.uniform(70));
+    auto bytes = iteration % 4 == 0 ? chain.bytes
+                                    : fuzz::mutate(chain.bytes, rng);
+    WireReader reader(bytes);
+    reader.seek(std::min(chain.final_name_offset, bytes.size()));
+    Name name = reader.get_name();
+    if (!reader.ok()) continue;
+    ++parsed_ok;
+    EXPECT_LE(name.wire_length(), 255u);
+    EXPECT_LE(name.label_count(), 127u);
+    EXPECT_LE(reader.offset(), bytes.size());
   }
-  // Only very specific truncations (cutting whole trailing records AND
-  // fixing counts) could parse; with intact counts, none should.
-  EXPECT_EQ(ok, 0u);
-  // The full message of course parses.
-  EXPECT_TRUE(Message::decode(wire).has_value());
+  EXPECT_GT(parsed_ok, 0u);
 }
 
-TEST(Mutation, ZoneFileLineNoiseHandled) {
-  std::string base =
-      ". IN SOA a.root-servers.net. nstld.verisign-grs.com. 1 2 3 4 5\n"
-      ". IN NS a.root-servers.net.\n"
-      "com. IN DS 1234 8 2 "
-      "00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff\n";
-  util::Rng rng(99);
-  for (int iteration = 0; iteration < 300; ++iteration) {
-    std::string mutated = base;
-    size_t position = rng.uniform(mutated.size());
-    mutated[position] = static_cast<char>(rng.uniform(256));
-    // Must not crash; may or may not parse.
+TEST_P(FuzzSeeds, MutatedAxfrStreamsNeverCrashDecoder) {
+  util::Rng rng(GetParam());
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    auto zone = fuzz::random_zone(rng, 1 + rng.uniform(3));
+    Question question{zone.origin(), RRType::AXFR, RRClass::IN};
+    AxfrStreamOptions options;
+    options.max_message_bytes = 256 + rng.uniform(1024);
+    auto wire = encode_axfr_stream(zone.axfr_records(), question, options);
+    auto mutated = fuzz::mutate(wire, rng);
+    auto parsed = decode_axfr_stream(mutated);
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.error->empty());
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, MutatedZoneFilesNeverCrashParser) {
+  util::Rng rng(GetParam());
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    auto text = fuzz::random_zone(rng, 1 + rng.uniform(3)).to_master_file();
+    std::vector<uint8_t> bytes(text.begin(), text.end());
+    bytes = fuzz::mutate(bytes, rng);
+    std::string mutated(bytes.begin(), bytes.end());
     std::string error;
     auto zone = Zone::parse_master_file(mutated, &error);
     if (!zone) {
@@ -142,22 +106,38 @@ TEST(Mutation, ZoneFileLineNoiseHandled) {
   }
 }
 
-TEST(Mutation, RoundTripStabilityUnderBenignMutation) {
-  // Property: if a mutated message parses, encode(decode(x)) must parse to
-  // the same message (the codec is a retraction).
-  auto wire = sample_message().encode();
-  util::Rng rng(7);
-  for (int iteration = 0; iteration < 500; ++iteration) {
-    auto mutated = wire;
-    mutated[rng.uniform(mutated.size())] ^= static_cast<uint8_t>(1u << rng.uniform(8));
-    auto first = Message::decode(mutated);
-    if (!first) continue;
-    auto second = Message::decode(first->encode());
-    ASSERT_TRUE(second.has_value());
-    EXPECT_EQ(second->id, first->id);
-    EXPECT_EQ(second->answers.size(), first->answers.size());
-    EXPECT_EQ(second->answers, first->answers);
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Mutation, EveryByteFlipHandledGracefully) {
+  util::Rng rng(20240101);
+  auto wire = fuzz::random_response(rng).encode();
+  size_t parsed_ok = 0, parsed_fail = 0;
+  for (size_t byte = 0; byte < wire.size(); ++byte) {
+    for (uint8_t bit : {0x01, 0x80}) {
+      auto mutated = wire;
+      mutated[byte] ^= bit;
+      if (auto message = Message::decode(mutated)) {
+        ++parsed_ok;
+        (void)message->encode();  // must not crash either
+      } else {
+        ++parsed_fail;
+      }
+    }
   }
+  EXPECT_GT(parsed_ok, 0u);
+  EXPECT_GT(parsed_fail, 0u);
+}
+
+TEST(Mutation, TruncationAtEveryLengthHandled) {
+  util::Rng rng(20240102);
+  auto wire = fuzz::random_response(rng).encode();
+  for (size_t length = 0; length < wire.size(); ++length) {
+    std::span<const uint8_t> prefix(wire.data(), length);
+    // With intact section counts, no strict prefix can parse.
+    EXPECT_FALSE(Message::decode(prefix).has_value()) << "length " << length;
+  }
+  EXPECT_TRUE(Message::decode(wire).has_value());
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace rootsim::dns {
 namespace {
 
@@ -160,6 +162,139 @@ TEST(WireWriter, PatchU16) {
   WireReader r(w.data());
   EXPECT_EQ(r.get_u16(), 0xBEEF);
   EXPECT_EQ(r.get_u32(), 42u);
+}
+
+TEST(WireName, HopBudgetAcceptsDeepLegalChain) {
+  // Chain of back-pointing single-label names: name k points at name k-1.
+  // Parsing the last name takes exactly kMaxPointerHops pointer hops, the
+  // most the reader allows.
+  std::vector<uint8_t> data = {1, 'a', 0};  // name 0 at offset 0
+  std::vector<size_t> offsets = {0};
+  for (size_t k = 1; k <= WireReader::kMaxPointerHops; ++k) {
+    offsets.push_back(data.size());
+    data.push_back(1);
+    data.push_back(static_cast<uint8_t>('a' + k % 26));
+    size_t target = offsets[k - 1];
+    data.push_back(static_cast<uint8_t>(0xC0 | (target >> 8)));
+    data.push_back(static_cast<uint8_t>(target));
+  }
+  WireReader r(data);
+  r.seek(offsets.back());
+  Name name = r.get_name();
+  // 64 labels of "x." + root = 129 octets, within every name limit.
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(name.label_count(), WireReader::kMaxPointerHops + 1);
+}
+
+TEST(WireName, HopBudgetRejectsOneHopTooMany) {
+  std::vector<uint8_t> data = {1, 'a', 0};
+  std::vector<size_t> offsets = {0};
+  for (size_t k = 1; k <= WireReader::kMaxPointerHops + 1; ++k) {
+    offsets.push_back(data.size());
+    data.push_back(1);
+    data.push_back(static_cast<uint8_t>('a' + k % 26));
+    size_t target = offsets[k - 1];
+    data.push_back(static_cast<uint8_t>(0xC0 | (target >> 8)));
+    data.push_back(static_cast<uint8_t>(target));
+  }
+  WireReader r(data);
+  r.seek(offsets.back());
+  r.get_name();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireName, RejectsSelfPointer) {
+  // A pointer that targets its own first octet: 1 hop, then a forward-or-
+  // equal jump, caught without burning the whole hop budget.
+  std::vector<uint8_t> data = {0x00, 0x00, 0xC0, 0x02};
+  WireReader r(data);
+  r.seek(2);
+  r.get_name();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireName, RejectsMutualPointerLoop) {
+  // Two names pointing at each other. Backward-only pointers make a true
+  // cycle impossible to sustain: the second hop (2 -> 4) is forward and gets
+  // rejected there, before the hop budget is ever needed.
+  std::vector<uint8_t> data = {1, 'a', 0xC0, 0x04, 1, 'b', 0xC0, 0x00};
+  WireReader r(data);
+  r.seek(4);
+  r.get_name();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireName, RejectsPointerPastEnd) {
+  // Pointer target beyond the buffer: 0xC0FF points at offset 255 of a
+  // 4-byte buffer. (Past-the-end is necessarily also forward, so either
+  // guard rejects it; what matters is that no read is attempted there.)
+  std::vector<uint8_t> data = {0x00, 0x00, 0xC0, 0xFF};
+  WireReader r(data);
+  r.seek(2);
+  r.get_name();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireName, RejectsTruncatedPointer) {
+  // First pointer octet present, second missing.
+  std::vector<uint8_t> data = {0x00, 0xC0};
+  WireReader r(data);
+  r.seek(1);
+  r.get_name();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireName, RejectsOverlongNameBuiltFromPointers) {
+  // Each stage adds a 63-octet label and points back at the previous stage;
+  // four stages exceed the 255-octet name ceiling while staying far under
+  // the hop budget. The reader must reject on accumulated length.
+  std::vector<uint8_t> data;
+  std::vector<size_t> offsets;
+  for (int stage = 0; stage < 4; ++stage) {
+    offsets.push_back(data.size());
+    data.push_back(63);
+    data.insert(data.end(), 63, static_cast<uint8_t>('a' + stage));
+    if (stage == 0) {
+      data.push_back(0);
+    } else {
+      size_t target = offsets[stage - 1];
+      data.push_back(static_cast<uint8_t>(0xC0 | (target >> 8)));
+      data.push_back(static_cast<uint8_t>(target));
+    }
+  }
+  // Three stages: 3*64 + 1 = 193 octets — legal.
+  WireReader ok_reader(data);
+  ok_reader.seek(offsets[2]);
+  Name legal = ok_reader.get_name();
+  EXPECT_TRUE(ok_reader.ok());
+  EXPECT_EQ(legal.wire_length(), 193u);
+  // Four stages: 4*64 + 1 = 257 octets — must fail, not truncate silently.
+  WireReader bad_reader(data);
+  bad_reader.seek(offsets[3]);
+  bad_reader.get_name();
+  EXPECT_FALSE(bad_reader.ok());
+}
+
+TEST(WireReader, GetBytesNearMaxOffsetDoesNotWrap) {
+  // Regression: `offset + count` can wrap size_t; the bounds check must not.
+  std::vector<uint8_t> data = {1, 2, 3, 4};
+  WireReader r(data);
+  r.seek(2);
+  r.get_bytes(std::numeric_limits<size_t>::max() - 1);
+  EXPECT_FALSE(r.ok());
+  WireReader s(data);
+  s.seek(2);
+  s.skip(std::numeric_limits<size_t>::max() - 1);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(WireReader, FailPoisonsSubsequentReads) {
+  std::vector<uint8_t> data = {1, 2, 3, 4};
+  WireReader r(data);
+  EXPECT_EQ(r.get_u8(), 1);
+  r.fail();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.get_u16(), 0);  // failed readers return zeros
 }
 
 TEST(WireReader, SeekAndSkip) {

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Lint the WireReader safety contract.
+
+WireReader's get_* accessors return zeros/empties once a bounds check fails;
+the *caller* is responsible for consulting ok() before trusting anything it
+read. That contract is easy to uphold inside the codec layer and easy to
+violate everywhere else, so this lint enforces two rules:
+
+  1. Layering: only the codec layer (src/dns/wire.*, codec.*, message.*,
+     axfr.*) and fuzz targets may use WireReader at all. Everything above it
+     consumes decoded Message/ResourceRecord values and never touches raw
+     wire bytes. A new WireReader user outside the allowlist is almost
+     always a parser being grown in the wrong place.
+
+  2. Checked reads: within the files that may use WireReader, every function
+     body that calls reader.get_*()/skip()/seek() must also consult ok()
+     (or set the failure itself via fail()). A body that reads and never
+     checks is exactly the silent-garbage pattern the hardening work
+     removed.
+
+Heuristics are intentionally line/brace based — no compiler needed — and the
+codebase is expected to stay lint-clean: run from the repo root with no
+arguments, exit 0 means clean.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Files allowed to use WireReader (rule 1). Globs are relative to repo root.
+ALLOWED_WIRE_USERS = [
+    "src/dns/wire.h",
+    "src/dns/wire.cpp",
+    "src/dns/codec.h",
+    "src/dns/codec.cpp",
+    "src/dns/message.h",
+    "src/dns/message.cpp",
+    "src/dns/axfr.h",
+    "src/dns/axfr.cpp",
+    "fuzz/targets/*.cpp",
+    "tests/dns_wire_test.cpp",
+    "tests/dns_codec_test.cpp",
+    "tests/dns_fuzz_test.cpp",
+    "tests/dns_roundtrip_property_test.cpp",
+]
+
+# Reader method calls that consume wire data (rule 2).
+READ_CALL = re.compile(r"\b(\w+)\s*[.\-]>?\s*(get_u8|get_u16|get_u32|get_bytes|get_name|skip|seek)\s*\(")
+# Anything that counts as consulting the reader's validity.
+OK_CHECK = re.compile(r"[.\-]>?\s*(ok|fail)\s*\(\s*\)")
+# A body that hands the reader on transfers the checking obligation.
+HANDOFF = re.compile(r"\(\s*&?\s*(reader|r|second|[a-z_]*reader)\b[^)]*\)")
+
+DECL = re.compile(r"\bWireReader\b")
+
+
+def match_any(path, patterns):
+    return any(path.match(glob) for glob in patterns)
+
+
+def function_bodies(text):
+    """Yields (start_line, body_text) for each top-level brace block.
+
+    Coarse but effective for this codebase's formatting: tracks brace depth
+    and groups everything between a depth-0 '{' and its matching '}'.
+    """
+    depth = 0
+    start = None
+    lines = text.splitlines()
+    body = []
+    for number, line in enumerate(lines, 1):
+        stripped = re.sub(r'"(\\.|[^"\\])*"', '""', line)  # ignore strings
+        stripped = re.sub(r"//.*", "", stripped)
+        opens = stripped.count("{")
+        closes = stripped.count("}")
+        if depth == 0 and opens > 0:
+            start = number
+            body = [line]
+        elif depth > 0:
+            body.append(line)
+        depth += opens - closes
+        if depth == 0 and start is not None:
+            yield start, "\n".join(body)
+            start = None
+            body = []
+
+
+def lint_file(path, rel):
+    problems = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+
+    if DECL.search(text) and not match_any(rel, ALLOWED_WIRE_USERS):
+        first = next(
+            i for i, line in enumerate(text.splitlines(), 1) if DECL.search(line)
+        )
+        problems.append(
+            (first,
+             "WireReader used outside the codec layer; parse through "
+             "Message::decode/decode_record instead, or extend "
+             "ALLOWED_WIRE_USERS with a justification")
+        )
+        return problems
+
+    if not match_any(rel, ALLOWED_WIRE_USERS):
+        return problems
+
+    for start, body in function_bodies(text):
+        reads = READ_CALL.findall(body)
+        if not reads:
+            continue
+        # Writers also have 'seek'-free helpers; only readers matter. The
+        # receiver must look like a reader (heuristic: not 'writer'/'w').
+        receivers = {name for name, _ in reads
+                     if not name.startswith("writer") and name not in {"w", "out"}}
+        if not receivers:
+            continue
+        if OK_CHECK.search(body) or HANDOFF.search(body):
+            continue
+        problems.append(
+            (start,
+             f"function reads from WireReader ({', '.join(sorted(receivers))}) "
+             "but never consults ok()")
+        )
+    return problems
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    failures = 0
+    for directory in ("src", "fuzz", "tests", "examples", "bench"):
+        base = root / directory
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in {".cpp", ".h"}:
+                continue
+            rel = path.relative_to(root)
+            for line, message in lint_file(path, rel):
+                print(f"{rel}:{line}: {message}")
+                failures += 1
+    if failures:
+        print(f"\ncheck_wire_safety: {failures} problem(s)", file=sys.stderr)
+        return 1
+    print("check_wire_safety: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
