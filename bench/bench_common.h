@@ -96,6 +96,17 @@ inline void write_bench_json(const std::string& name, size_t threads,
   std::printf("wrote %s\n", path.c_str());
 }
 
+/// Writes the recorder's RSSAC002 per-instance daily telemetry to `path`
+/// (one JSON object per instance-day; render with tools/obs_report.py).
+/// No-op when the campaign recorded no telemetry.
+inline void write_rssac002(const std::string& path = "rssac002.jsonl") {
+  const auto& collector = paper_recorder().rssac002();
+  if (collector.empty()) return;
+  if (collector.write_jsonl(path))
+    std::printf("wrote %s (%zu instance-day records)\n", path.c_str(),
+                collector.record_count());
+}
+
 inline void print_header(const std::string& experiment,
                          const std::string& paper_reference) {
   // Construct the recorder *before* registering the atexit hook so it

@@ -35,5 +35,7 @@ int main() {
               " 3 VPs/12 obs, Leeds 7 VPs/40 obs); 15 distinct bad zone files\n"
               " from 66 observations out of 75.7M transfers]\n");
   bench::write_bench_json("table2_zonemd_errors", workers);
+  // Per-instance daily telemetry from every server the audit touched.
+  bench::write_rssac002();
   return 0;
 }

@@ -9,6 +9,7 @@
 //   +norec    clear RD (default for authoritatives anyway)
 //   +vp=N     use vantage point N (default 0) — changes anycast catchment
 //   +time=YYYY-MM-DD  query at a specific campaign date (default 2023-12-10)
+//   +flight   dump the transport flight recorder (always dumped on failure)
 //
 // Examples:
 //   rootdig @199.9.14.201 . SOA            # old b.root address
@@ -20,6 +21,7 @@
 #include <string>
 
 #include "measure/campaign.h"
+#include "netsim/flight_recorder.h"
 #include "obs/obs.h"
 #include "util/strings.h"
 
@@ -30,7 +32,10 @@ namespace {
 // Scans the probe's trace for query-level failures (timeouts, REFUSED,
 // refused transfers) and surfaces them dig-style. Without this, a probe
 // whose inner queries all timed out printed empty sections and nothing else.
-void print_probe_warnings(const obs::Recorder& recorder) {
+// Returns the number of failures found so the caller can trigger the flight
+// recorder post-mortem.
+int print_probe_warnings(const obs::Recorder& recorder) {
+  int failures = 0;
   for (const auto& event : recorder.tracer().events()) {
     if (event.kind != obs::TraceEvent::Kind::Event) continue;
     std::string qname, status;
@@ -41,12 +46,27 @@ void print_probe_warnings(const obs::Recorder& recorder) {
     if (event.name == "query" && !status.empty() && status != "NOERROR") {
       std::printf(";; WARNING: query for %s failed: %s\n", qname.c_str(),
                   status.c_str());
+      ++failures;
     } else if (event.name == "axfr" && status == "refused") {
       std::printf(";; WARNING: zone transfer refused\n");
+      ++failures;
     } else if (event.name == "probe.error") {
       std::printf(";; WARNING: probe error\n");
+      ++failures;
     }
   }
+  return failures;
+}
+
+// The post-mortem: what the transport actually did, exchange by exchange
+// (attempts, drops, cause codes), from the flight recorder ring.
+void print_flight_records(const netsim::FlightRecorder& flight) {
+  if (flight.size() == 0) return;
+  std::printf(";; FLIGHT RECORDER: last %zu of %llu exchange(s)\n",
+              flight.size(),
+              static_cast<unsigned long long>(flight.recorded()));
+  for (const auto& line : util::split(flight.to_jsonl(), '\n'))
+    if (!line.empty()) std::printf(";;   %s\n", line.c_str());
 }
 
 }  // namespace
@@ -56,6 +76,7 @@ int main(int argc, char** argv) {
   std::string qname = ".";
   std::string qtype_text = "NS";
   bool dnssec = false;
+  bool show_flight = false;
   size_t vp_index = 0;
   std::string date = "2023-12-10";
 
@@ -66,6 +87,8 @@ int main(int argc, char** argv) {
       server = arg.substr(1);
     } else if (arg == "+dnssec") {
       dnssec = true;
+    } else if (arg == "+flight") {
+      show_flight = true;
     } else if (arg == "+norec") {
       // authoritative queries never recurse; accepted for dig compatibility
     } else if (util::starts_with(arg, "+vp=")) {
@@ -74,7 +97,7 @@ int main(int argc, char** argv) {
       date = arg.substr(6);
     } else if (arg == "-h" || arg == "--help") {
       std::printf("usage: rootdig [@server] [qname] [qtype] [+dnssec] [+vp=N] "
-                  "[+time=YYYY-MM-DD]\n");
+                  "[+time=YYYY-MM-DD] [+flight]\n");
       return 0;
     } else {
       positional.push_back(arg);
@@ -104,6 +127,10 @@ int main(int argc, char** argv) {
 
   measure::CampaignConfig config;
   config.zone.tld_count = 60;
+  // Every transport exchange of the probe lands in this bounded ring; on a
+  // failed query the dump below is the post-mortem.
+  netsim::FlightRecorder flight(64);
+  config.transport.flight_recorder = &flight;
   obs::Recorder recorder;
   measure::Campaign campaign(config, recorder.obs());
   if (campaign.catalog().index_of_address(*address) < 0) {
@@ -126,6 +153,7 @@ int main(int argc, char** argv) {
   if (qtype == dns::RRType::AXFR) {
     if (!probe.axfr || probe.axfr->refused) {
       print_probe_warnings(recorder);
+      print_flight_records(flight);
       std::printf("; transfer failed\n");
       return 1;
     }
@@ -133,6 +161,7 @@ int main(int argc, char** argv) {
       std::printf("%s\n", dns::record_to_string(rr).c_str());
     std::printf("; transfer size: %zu records, serial %u\n",
                 probe.axfr->records.size(), probe.axfr->soa_serial);
+    if (show_flight) print_flight_records(flight);
     return 0;
   }
 
@@ -159,7 +188,8 @@ int main(int argc, char** argv) {
 
   std::printf("; <<>> rootsim rootdig <<>> @%s %s %s%s\n", server.c_str(),
               qname.c_str(), qtype_text.c_str(), dnssec ? " +dnssec" : "");
-  print_probe_warnings(recorder);
+  const int failures = print_probe_warnings(recorder);
+  if (show_flight || failures > 0) print_flight_records(flight);
   std::printf(";; ->>HEADER<<- opcode: QUERY, status: %s, id: %u\n",
               rcode_to_string(response.rcode).c_str(), response.id);
   std::printf(";; flags: qr%s%s; QUERY: %zu, ANSWER: %zu, AUTHORITY: %zu, "

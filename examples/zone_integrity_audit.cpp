@@ -6,6 +6,7 @@
 
 #include "dnssec/validator.h"
 #include "measure/campaign.h"
+#include "obs/obs.h"
 
 using namespace rootsim;
 
@@ -23,7 +24,10 @@ static void report(const char* label, const dnssec::ZoneValidationResult& result
 int main() {
   measure::CampaignConfig config;
   config.zone.tld_count = 60;
-  measure::Campaign campaign(config);
+  // Record per-instance RSSAC002 telemetry for every exchange the audit
+  // makes; dumped as rssac002.jsonl at the end.
+  obs::Recorder recorder;
+  measure::Campaign campaign(config, recorder.obs());
   const measure::VantagePoint& vp = campaign.vantage_points()[0];
   dnssec::TrustAnchors anchors = campaign.authority().trust_anchors();
   util::UnixTime now = util::make_time(2023, 12, 15, 9, 0);
@@ -93,5 +97,10 @@ int main() {
   }
   std::printf("\nZONEMD catches all four — including the glue case DNSSEC\n"
               "cannot see. That is the paper's §7 argument in running code.\n");
+
+  if (recorder.rssac002().write_jsonl("rssac002.jsonl"))
+    std::printf("\nwrote rssac002.jsonl (%zu instance-day records) — render "
+                "with tools/obs_report.py\n",
+                recorder.rssac002().record_count());
   return 0;
 }

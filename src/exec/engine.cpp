@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "exec/profiler.h"
+
 namespace rootsim::exec {
 
 size_t resolve_workers(size_t requested) {
@@ -38,6 +40,23 @@ void parallel_for(size_t unit_count, size_t workers,
   for (auto& t : pool) t.join();
 }
 
+void parallel_for(size_t unit_count, size_t workers, Profiler* profiler,
+                  const std::function<void(size_t, size_t)>& fn) {
+  if (!profiler) {
+    parallel_for(unit_count, workers, fn);
+    return;
+  }
+  const size_t effective =
+      std::max<size_t>(1, std::min(workers ? workers : 1, unit_count));
+  profiler->begin_region(unit_count, effective);
+  parallel_for(unit_count, workers, [&](size_t unit, size_t shard) {
+    const double begin_ms = profiler->now_ms();
+    fn(unit, shard);
+    profiler->unit_done(unit, shard, begin_ms, profiler->now_ms());
+  });
+  profiler->end_region();
+}
+
 ObsShards::ObsShards(obs::Obs main, size_t shard_count) : main_(main) {
   if (!main_.enabled()) return;
   size_t capacity = main_.tracer ? main_.tracer->capacity() : 1;
@@ -53,6 +72,7 @@ obs::Obs ObsShards::shard(size_t index) {
   // not pay for tracing either.
   if (!main_.tracer) obs.tracer = nullptr;
   if (!main_.metrics) obs.metrics = nullptr;
+  if (!main_.rssac002) obs.rssac002 = nullptr;
   return obs;
 }
 
@@ -60,6 +80,7 @@ void ObsShards::merge() {
   for (auto& shard : shards_) {
     if (main_.metrics) main_.metrics->merge_from(shard->metrics());
     if (main_.tracer) main_.tracer->absorb(std::move(shard->tracer()));
+    if (main_.rssac002) main_.rssac002->merge_from(shard->rssac002());
   }
   shards_.clear();
 }

@@ -25,6 +25,8 @@
 
 namespace rootsim::exec {
 
+class Profiler;
+
 /// Effective worker count: `requested` if nonzero, else the ROOTSIM_WORKERS
 /// environment variable, else 1. Never returns 0.
 size_t resolve_workers(size_t requested = 0);
@@ -35,6 +37,13 @@ size_t resolve_workers(size_t requested = 0);
 /// inline on the calling thread (same code path, no pool), so serial and
 /// parallel runs differ only in interleaving — never in results.
 void parallel_for(size_t unit_count, size_t workers,
+                  const std::function<void(size_t unit, size_t shard)>& fn);
+
+/// Same, recording every unit's wall span into `profiler` (see profiler.h).
+/// nullptr profiler takes exactly the plain overload's path — profiling only
+/// ever changes what is *measured*, never what runs, so deterministic outputs
+/// are identical with it on or off.
+void parallel_for(size_t unit_count, size_t workers, Profiler* profiler,
                   const std::function<void(size_t unit, size_t shard)>& fn);
 
 /// Per-worker observability shards with deterministic merge.

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "exec/engine.h"
+#include "exec/profiler.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -199,8 +200,17 @@ std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
   const auto addresses = catalog_.service_addresses(schedule_.config().end);
   const auto& renumbering = catalog_.renumbering();
 
+  // ROOTSIM_PROFILE turns on the exec-pool profiler: per-unit wall spans and
+  // the worker imbalance report land in PROF_exec_audit.json (or the knob's
+  // value as a path). Profiling never touches the deterministic outputs —
+  // nullptr takes the exact unprofiled path.
+  exec::Profiler profiler;
+  exec::Profiler* prof =
+      exec::Profiler::enabled_by_env() ? &profiler : nullptr;
+
   WallClock::time_point phase_start = WallClock::now();
-  exec::parallel_for(total_units, workers, [&](size_t unit, size_t shard) {
+  exec::parallel_for(total_units, workers, prof,
+                     [&](size_t unit, size_t shard) {
     obs::Obs sink = shards.shard(shard);
     Prober& prober = *probers[shard];
     if (unit < fault_count) {
@@ -244,6 +254,7 @@ std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
         knobs.server_frozen_at = event.server_frozen_at;
       ProbeRecord probe = prober.probe(vp, address, event.when,
                                        schedule_.round_at(event.when), knobs);
+      if (prof) prof->add_unit_sim_ms(unit, probe.transport.time_ms);
       ZoneAuditObservation obs = validate_probe(probe, &event, sink);
       obs.affects_all_servers = all_servers;
       if (vp_fallback && obs.note != "axfr-refused" &&
@@ -268,10 +279,12 @@ std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
       const auto& address = addresses[rng.uniform(addresses.size())];
       ProbeRecord probe =
           prober.probe(vp, address, schedule_.round_time(round), round, {});
+      if (prof) prof->add_unit_sim_ms(unit, probe.transport.time_ms);
       observations[unit] = validate_probe(probe, nullptr, sink);
     }
   });
   shards.merge();
+  if (prof) prof->write(exec::Profiler::env_output_path());
   if (obs_.metrics) {
     obs_.count("campaign.clean_samples", clean_samples);
     // Volatile: the worker count is an execution detail, not part of the

@@ -1,0 +1,88 @@
+#include "netsim/flight_recorder.h"
+
+#include "dns/rdata.h"
+#include "obs/metrics.h"  // json_escape
+#include "util/strings.h"
+
+namespace rootsim::netsim {
+
+std::string_view to_string(FlightRecord::Cause cause) {
+  switch (cause) {
+    case FlightRecord::Cause::Ok: return "ok";
+    case FlightRecord::Cause::Timeout: return "timeout";
+    case FlightRecord::Cause::TcpRefused: return "tcp-refused";
+    case FlightRecord::Cause::Refused: return "refused";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity ? capacity : 1) {}
+
+void FlightRecorder::record(FlightRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() >= capacity_) ring_.pop_front();
+  ++recorded_;
+  ring_.push_back(std::move(record));
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ - ring_.size();
+}
+
+std::vector<FlightRecord> FlightRecorder::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  // recorded_ survives clear(): totals stay monotone per recorder.
+}
+
+std::string FlightRecorder::to_jsonl() const {
+  std::string out;
+  for (const FlightRecord& record : records()) {
+    out += util::format(
+        "{\"op\":\"%s\",\"cause\":\"%.*s\"",
+        record.op == FlightRecord::Op::Axfr ? "axfr" : "query",
+        static_cast<int>(to_string(record.cause).size()),
+        to_string(record.cause).data());
+    out += util::format(
+        ",\"vp\":%u,\"root\":%d,\"family\":\"v%d\",\"round\":%llu,\"site\":%u",
+        record.vp_id, record.root_index,
+        record.family == util::IpFamily::V4 ? 4 : 6,
+        static_cast<unsigned long long>(record.round), record.site_id);
+    if (!record.qname.empty()) {
+      out += ",\"qname\":\"" + obs::json_escape(record.qname) + "\"";
+      out += ",\"qtype\":\"" +
+             dns::rrtype_to_string(static_cast<dns::RRType>(record.qtype)) +
+             "\"";
+    }
+    if (record.truncated_retry) out += ",\"truncated_retry\":true";
+    out += util::format(
+        ",\"t\":%lld,\"udp_attempts\":%u,\"tcp_attempts\":%u,\"drops\":%u",
+        static_cast<long long>(record.when), record.udp_attempts,
+        record.tcp_attempts, record.drops);
+    out += util::format(
+        ",\"bytes_sent\":%llu,\"bytes_received\":%llu,\"time_ms\":%.3f}\n",
+        static_cast<unsigned long long>(record.bytes_sent),
+        static_cast<unsigned long long>(record.bytes_received),
+        record.time_ms);
+  }
+  return out;
+}
+
+}  // namespace rootsim::netsim

@@ -1,0 +1,102 @@
+// Transport flight recorder: a bounded ring of recent exchanges.
+//
+// When a probe fails in a large campaign, the aggregate counters say *that*
+// exchanges timed out but not *which* ones or *why*. The flight recorder
+// keeps the last N exchanges — path coordinates, cause code, attempt/drop
+// counts, byte and time cost — so a failed query can be post-mortemed from
+// the ring dump (rootdig does exactly that on failure).
+//
+// Attach one by pointing TransportConfig::flight_recorder at it; the
+// transport records every exchange() / axfr() completion. With no recorder
+// attached the transport pays one null-pointer branch per exchange. The ring
+// is mutex-protected so parallel workers can share one recorder; ring order
+// then reflects scheduling, which is why the recorder is a *diagnostic*
+// surface — it never feeds the deterministic exports (metrics/trace/rssac002
+// stay byte-identical with or without it).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ip.h"
+#include "util/timeutil.h"
+
+namespace rootsim::netsim {
+
+/// One completed exchange as the transport saw it.
+struct FlightRecord {
+  enum class Op : uint8_t { Query, Axfr };
+  /// Why the exchange ended the way it did.
+  enum class Cause : uint8_t {
+    Ok,          ///< final response delivered
+    Timeout,     ///< every retry budget exhausted (UDP or TCP connect)
+    TcpRefused,  ///< needed TCP, path refuses it (truncated answer is final)
+    Refused,     ///< server-side refusal (AXFR disabled)
+  };
+
+  // Path coordinates (which conversation this was).
+  uint32_t vp_id = 0;
+  int root_index = -1;
+  util::IpFamily family = util::IpFamily::V4;
+  uint64_t round = 0;
+  uint32_t site_id = 0;
+
+  Op op = Op::Query;
+  Cause cause = Cause::Ok;
+  /// The UDP answer came back TC=1 — the exchange moved to TCP, unless the
+  /// path refuses TCP (cause tcp-refused), in which case the truncated
+  /// answer was final.
+  bool truncated_retry = false;
+
+  uint32_t udp_attempts = 0;
+  uint32_t tcp_attempts = 0;
+  uint32_t drops = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  double time_ms = 0;  ///< simulated time the exchange cost
+
+  std::string qname;  ///< first question ("." for root); empty for AXFR
+  uint16_t qtype = 0;
+  util::UnixTime when = 0;  ///< simulated send time
+};
+
+std::string_view to_string(FlightRecord::Cause cause);
+
+/// Thread-safe bounded ring of FlightRecords, oldest evicted first.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = 256);
+
+  void record(FlightRecord record);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  /// Total records ever recorded, including evicted ones.
+  uint64_t recorded() const;
+  /// Records evicted by the ring bound.
+  uint64_t dropped() const;
+
+  /// In-order copy of the buffered records (oldest first).
+  std::vector<FlightRecord> records() const;
+
+  /// One JSON object per buffered record, oldest first:
+  ///   {"op":"query","cause":"timeout","vp":12,"root":1,"family":"v4",
+  ///    "round":9980,"site":33,"qname":".","qtype":"SOA","t":1694593200,
+  ///    "udp_attempts":3,"tcp_attempts":0,"drops":3,"bytes_sent":132,
+  ///    "bytes_received":0,"time_ms":10500.0}
+  std::string to_jsonl() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t recorded_ = 0;
+  std::deque<FlightRecord> ring_;
+};
+
+}  // namespace rootsim::netsim

@@ -1,5 +1,6 @@
 #include "netsim/transport.h"
 
+#include "netsim/flight_recorder.h"
 #include "util/strings.h"
 
 namespace rootsim::netsim {
@@ -28,6 +29,10 @@ Transport::Path Transport::open_path(const VantageView& client,
   Path path;
   path.route_ = router_->route_at(client, root_index, family, round);
   path.conditions_ = config_.conditions_for_site(path.route_.site_id);
+  path.vp_id_ = client.vp_id;
+  path.root_index_ = root_index;
+  path.family_ = family;
+  path.round_ = round;
   // The path's private loss/jitter stream: a pure function of the path
   // coordinates and the transport seed, so a probe's outcomes never depend
   // on which worker ran it or what ran before it.
@@ -82,6 +87,54 @@ ExchangeOutcome Transport::exchange(Path& path, const Endpoint& endpoint,
     obs::inc(bytes_sent_, outcome.stats.bytes_sent);
     obs::inc(bytes_received_, outcome.stats.bytes_received);
   }
+  if (obs_.rssac002 &&
+      (outcome.udp_queries_served || outcome.tcp_queries_served)) {
+    // Server-side accounting: only exchanges the server actually saw count
+    // (a query datagram lost on the way never reached it).
+    ExchangeTelemetry telemetry;
+    telemetry.v6 = path.family_ == util::IpFamily::V6;
+    telemetry.source_id = path.vp_id_;
+    telemetry.when = now;
+    telemetry.udp_queries = outcome.udp_queries_served;
+    telemetry.tcp_queries = outcome.tcp_queries_served;
+    telemetry.delivered = outcome.delivered;
+    telemetry.final_tcp = outcome.transport == TransportProto::Tcp;
+    telemetry.rcode =
+        outcome.delivered ? static_cast<uint16_t>(outcome.response.rcode) : 0;
+    telemetry.truncated = outcome.truncated;
+    dns::WireWriter wire;
+    query.encode_into(wire);
+    telemetry.query_bytes = wire.size();
+    // After a delivered exchange the path's wire buffer still holds the
+    // final response image.
+    telemetry.response_bytes = outcome.delivered ? path.wire_.size() : 0;
+    endpoint.note_exchange(telemetry);
+  }
+  if (config_.flight_recorder) {
+    FlightRecord record;
+    record.op = FlightRecord::Op::Query;
+    record.cause = outcome.timed_out    ? FlightRecord::Cause::Timeout
+                   : outcome.tcp_refused ? FlightRecord::Cause::TcpRefused
+                                         : FlightRecord::Cause::Ok;
+    record.vp_id = path.vp_id_;
+    record.root_index = static_cast<int>(path.root_index_);
+    record.family = path.family_;
+    record.round = path.round_;
+    record.site_id = path.site_id();
+    record.truncated_retry = outcome.truncated;
+    record.udp_attempts = outcome.stats.udp_attempts;
+    record.tcp_attempts = outcome.stats.tcp_attempts;
+    record.drops = outcome.stats.drops;
+    record.bytes_sent = outcome.stats.bytes_sent;
+    record.bytes_received = outcome.stats.bytes_received;
+    record.time_ms = outcome.stats.time_ms;
+    if (!query.questions.empty()) {
+      record.qname = query.questions[0].qname.to_string();
+      record.qtype = static_cast<uint16_t>(query.questions[0].qtype);
+    }
+    record.when = now;
+    config_.flight_recorder->record(std::move(record));
+  }
   return outcome;
 }
 
@@ -115,6 +168,8 @@ ExchangeOutcome Transport::exchange_impl(Path& path, const Endpoint& endpoint,
     }
     dns::Message udp_answer =
         endpoint.udp_response(*parsed_query, now, path.conditions_.path_mtu);
+    ++outcome.udp_queries_served;  // the query reached the server
+    if (udp_answer.tc) outcome.truncated = true;
     udp_answer.encode_into(path.wire_);
     if (dropped(path)) {  // response datagram lost (the server still worked)
       ++outcome.stats.drops;
@@ -159,6 +214,7 @@ ExchangeOutcome Transport::exchange_impl(Path& path, const Endpoint& endpoint,
   }
   outcome.stats.bytes_sent += query_bytes + 2;  // RFC 1035 §4.2.2 length prefix
   dns::Message tcp_answer = endpoint.tcp_response(*parsed_query, now);
+  ++outcome.tcp_queries_served;
   tcp_answer.encode_into(path.wire_);
   outcome.stats.bytes_received += path.wire_.size() + 2;
   outcome.stats.time_ms += round_trip_ms(path);
@@ -181,6 +237,51 @@ ExchangeOutcome Transport::exchange_impl(Path& path, const Endpoint& endpoint,
 
 AxfrOutcome Transport::axfr(Path& path, const Endpoint& endpoint,
                             util::UnixTime now) const {
+  AxfrOutcome outcome = axfr_impl(path, endpoint, now);
+  if (obs_.rssac002 && !outcome.tcp_refused && !outcome.timed_out) {
+    // The connection established, so the server saw the request — account
+    // the transfer (or the refusal: one REFUSED response) per RSSAC002.
+    ExchangeTelemetry telemetry;
+    telemetry.v6 = path.family_ == util::IpFamily::V6;
+    telemetry.source_id = path.vp_id_;
+    telemetry.when = now;
+    telemetry.tcp_queries = 1;
+    telemetry.delivered = true;
+    telemetry.final_tcp = true;
+    telemetry.rcode = outcome.delivered
+                          ? static_cast<uint16_t>(dns::Rcode::NoError)
+                          : static_cast<uint16_t>(dns::Rcode::Refused);
+    telemetry.axfr = true;
+    telemetry.query_bytes = 64;
+    telemetry.response_bytes =
+        outcome.delivered ? outcome.stream.size() : uint64_t{64};
+    endpoint.note_exchange(telemetry);
+  }
+  if (config_.flight_recorder) {
+    FlightRecord record;
+    record.op = FlightRecord::Op::Axfr;
+    record.cause = outcome.tcp_refused  ? FlightRecord::Cause::TcpRefused
+                   : outcome.timed_out  ? FlightRecord::Cause::Timeout
+                   : !outcome.delivered ? FlightRecord::Cause::Refused
+                                        : FlightRecord::Cause::Ok;
+    record.vp_id = path.vp_id_;
+    record.root_index = static_cast<int>(path.root_index_);
+    record.family = path.family_;
+    record.round = path.round_;
+    record.site_id = path.site_id();
+    record.tcp_attempts = outcome.stats.tcp_attempts;
+    record.drops = outcome.stats.drops;
+    record.bytes_sent = outcome.stats.bytes_sent;
+    record.bytes_received = outcome.stats.bytes_received;
+    record.time_ms = outcome.stats.time_ms;
+    record.when = now;
+    config_.flight_recorder->record(std::move(record));
+  }
+  return outcome;
+}
+
+AxfrOutcome Transport::axfr_impl(Path& path, const Endpoint& endpoint,
+                                 util::UnixTime now) const {
   AxfrOutcome outcome;
   if (path.conditions_.tcp_refused) {
     outcome.tcp_refused = true;

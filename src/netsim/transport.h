@@ -39,10 +39,31 @@
 
 namespace rootsim::netsim {
 
+class FlightRecorder;
+
 /// The protocol a response (finally) arrived over.
 enum class TransportProto : uint8_t { Udp, Tcp };
 
 std::string_view to_string(TransportProto proto);
+
+/// Server-side summary of one exchange, handed to Endpoint::note_exchange
+/// when an RSSAC002 collector is attached — everything the instance needs to
+/// account the exchange the way a real root operator's telemetry pipeline
+/// would (see obs/rssac002.h). Plain integers only; the endpoint translates.
+struct ExchangeTelemetry {
+  bool v6 = false;            ///< address family of the queried service address
+  uint64_t source_id = 0;     ///< client identity (vp id)
+  util::UnixTime when = 0;    ///< simulated send time
+  uint32_t udp_queries = 0;   ///< datagram queries that reached the server
+  uint32_t tcp_queries = 0;   ///< TCP queries that reached the server
+  bool delivered = false;     ///< a final response reached the client
+  bool final_tcp = false;     ///< that response went over TCP
+  uint16_t rcode = 0;         ///< rcode of the final response
+  bool truncated = false;     ///< the server sent a TC=1 answer
+  bool axfr = false;          ///< the exchange was a zone transfer
+  uint64_t query_bytes = 0;   ///< wire size of the query message
+  uint64_t response_bytes = 0;  ///< wire size of the final response / stream
+};
 
 /// Conditions of one client↔site link. Defaults model the clean path the
 /// seed campaign assumed; each knob is one scenario line (packet loss at a
@@ -83,6 +104,10 @@ struct TransportConfig {
   /// AXFR pacing: the framed stream is charged one RTT per in-flight window
   /// of this many bytes (stop-and-wait per window — crude but deterministic).
   size_t tcp_window_bytes = 64 * 1024;
+  /// Optional flight recorder (non-owning): when set, every exchange()/axfr()
+  /// completion is pushed onto its ring for post-mortem. Diagnostic only —
+  /// never part of the deterministic export surface (see flight_recorder.h).
+  FlightRecorder* flight_recorder = nullptr;
 
   const LinkConditions& conditions_for_site(uint32_t site_id) const {
     auto it = site_conditions.find(site_id);
@@ -129,6 +154,11 @@ struct ExchangeOutcome {
   dns::Message response;  // valid when delivered
   TransportProto transport = TransportProto::Udp;
   bool retried_over_tcp = false;
+  /// Server-side accounting (feeds telemetry): datagram/TCP queries that
+  /// actually reached the server, and whether any answer left it with TC=1.
+  uint32_t udp_queries_served = 0;
+  uint32_t tcp_queries_served = 0;
+  bool truncated = false;
   TransportStats stats;
 };
 
@@ -165,6 +195,10 @@ class Transport {
                                       util::UnixTime now) const = 0;
     /// Framed AXFR stream (RFC 5936); empty = transfer refused.
     virtual std::span<const uint8_t> axfr_stream(util::UnixTime now) const = 0;
+    /// Telemetry hook: called once per completed exchange when (and only
+    /// when) the transport's sink carries an RSSAC002 collector. Default
+    /// no-op keeps every existing endpoint unchanged.
+    virtual void note_exchange(const ExchangeTelemetry&) const {}
   };
 
   /// A resolved client↔site path: the route, the link conditions that apply
@@ -176,11 +210,20 @@ class Transport {
     const RouteResult& route() const { return route_; }
     const LinkConditions& conditions() const { return conditions_; }
     uint32_t site_id() const { return route_.site_id; }
+    // The coordinates the path was opened with (telemetry / flight records).
+    uint32_t vp_id() const { return vp_id_; }
+    uint32_t root_index() const { return root_index_; }
+    util::IpFamily family() const { return family_; }
+    uint64_t round() const { return round_; }
 
    private:
     friend class Transport;
     RouteResult route_;
     LinkConditions conditions_;
+    uint32_t vp_id_ = 0;
+    uint32_t root_index_ = 0;
+    util::IpFamily family_ = util::IpFamily::V4;
+    uint64_t round_ = 0;
     util::Rng rng_{0};
     dns::WireWriter wire_;
   };
@@ -226,6 +269,8 @@ class Transport {
   ExchangeOutcome exchange_impl(Path& path, const Endpoint& endpoint,
                                 const dns::Message& query,
                                 util::UnixTime now) const;
+  AxfrOutcome axfr_impl(Path& path, const Endpoint& endpoint,
+                        util::UnixTime now) const;
   /// One delivered-datagram round trip on this path (base + extra + jitter).
   double round_trip_ms(Path& path) const;
   /// Draws one datagram-loss decision (false on loss-free paths, no draw).

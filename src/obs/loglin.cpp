@@ -1,0 +1,112 @@
+#include "obs/loglin.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/strings.h"
+
+namespace rootsim::obs {
+
+uint32_t LogLinearHistogram::bucket_index(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<uint32_t>(value);
+  // 2^e <= value < 2^(e+1), e >= 4; the top 4 mantissa bits below the
+  // leading one select the linear sub-bucket.
+  const uint32_t e = 63 - static_cast<uint32_t>(std::countl_zero(value));
+  const uint32_t sub =
+      static_cast<uint32_t>((value >> (e - 4)) & (kSubBuckets - 1));
+  return kSubBuckets + (e - 4) * kSubBuckets + sub;
+}
+
+uint64_t LogLinearHistogram::bucket_lower(uint32_t index) {
+  if (index < kSubBuckets) return index;
+  const uint32_t e = 4 + (index - kSubBuckets) / kSubBuckets;
+  const uint32_t sub = (index - kSubBuckets) % kSubBuckets;
+  return static_cast<uint64_t>(kSubBuckets + sub) << (e - 4);
+}
+
+uint64_t LogLinearHistogram::bucket_upper(uint32_t index) {
+  if (index < kSubBuckets) return index + 1;
+  const uint32_t e = 4 + (index - kSubBuckets) / kSubBuckets;
+  const uint64_t width = uint64_t{1} << (e - 4);
+  const uint64_t lower = bucket_lower(index);
+  // The very last bucket's upper bound would overflow; saturate.
+  return lower > ~uint64_t{0} - width ? ~uint64_t{0} : lower + width;
+}
+
+void LogLinearHistogram::observe(uint64_t value, uint64_t n) {
+  if (n == 0) return;
+  const uint32_t index = bucket_index(value);
+  if (buckets_.size() <= index) buckets_.resize(index + 1, 0);
+  buckets_[index] += n;
+  count_ += n;
+  sum_ += value * n;
+  max_ = std::max(max_, value);
+}
+
+void LogLinearHistogram::merge_from(const LogLinearHistogram& other) {
+  if (buckets_.size() < other.buckets_.size())
+    buckets_.resize(other.buckets_.size(), 0);
+  for (size_t i = 0; i < other.buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+double LogLinearHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank-based with within-bucket linear interpolation: rank r falls into
+  // the bucket where the cumulative count first exceeds it, and the value
+  // is placed proportionally inside that bucket's [lower, upper) range —
+  // never snapped to the upper bound.
+  const double rank = q * static_cast<double>(count_ - 1);
+  uint64_t cumulative = 0;
+  for (uint32_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t in_bucket = buckets_[i];
+    if (in_bucket == 0) continue;
+    if (rank < static_cast<double>(cumulative + in_bucket)) {
+      const double lower = static_cast<double>(bucket_lower(i));
+      const double upper = static_cast<double>(bucket_upper(i));
+      const double offset =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * offset;
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(max_);
+}
+
+std::vector<LogLinearHistogram::Bucket> LogLinearHistogram::nonzero_buckets()
+    const {
+  std::vector<Bucket> out;
+  for (uint32_t i = 0; i < buckets_.size(); ++i)
+    if (buckets_[i])
+      out.push_back({bucket_lower(i), bucket_upper(i), buckets_[i]});
+  return out;
+}
+
+std::string LogLinearHistogram::to_json() const {
+  std::string out = util::format(
+      "{\"count\":%llu,\"sum\":%llu,\"max\":%llu",
+      static_cast<unsigned long long>(count_),
+      static_cast<unsigned long long>(sum_),
+      static_cast<unsigned long long>(max_));
+  out += util::format(",\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f,\"p999\":%.1f",
+                      quantile(0.50), quantile(0.90), quantile(0.99),
+                      quantile(0.999));
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (const Bucket& bucket : nonzero_buckets()) {
+    if (!first) out += ",";
+    first = false;
+    out += util::format("[%llu,%llu,%llu]",
+                        static_cast<unsigned long long>(bucket.lower),
+                        static_cast<unsigned long long>(bucket.upper),
+                        static_cast<unsigned long long>(bucket.count));
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rootsim::obs

@@ -1,0 +1,75 @@
+// Fixed-layout log-linear histograms for the RSSAC002 telemetry plane.
+//
+// RSSAC002v5 asks operators to publish size and volume *distributions* per
+// instance per day; a useful implementation must (a) read back accurate
+// quantiles (p50/p90/p99/p999 of response sizes span 512 B .. 64 KiB, so
+// fixed linear buckets either blur the head or truncate the tail) and
+// (b) merge across exec-pool shards without changing a single bit of the
+// result — the byte-identity determinism suites diff the merged export
+// against a serial run's.
+//
+// The layout is therefore *fixed at compile time* for every histogram:
+// values 0..15 get exact unit buckets, and every power-of-two octave above
+// is split into 16 linear sub-buckets (the HdrHistogram/DDSketch shape,
+// ~3% relative error). Identical layout everywhere makes merge a plain
+// element-wise add: associative, commutative, and bit-exact regardless of
+// shard count or merge order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rootsim::obs {
+
+class LogLinearHistogram {
+ public:
+  /// 16 exact unit buckets + 16 sub-buckets for each octave [2^e, 2^(e+1)),
+  /// e in [4, 63].
+  static constexpr uint32_t kSubBuckets = 16;
+  static constexpr uint32_t kBucketCount = kSubBuckets + (64 - 4) * kSubBuckets;
+
+  /// Bucket index of a value; the mapping is total over uint64_t.
+  static uint32_t bucket_index(uint64_t value);
+  /// Inclusive lower bound of a bucket.
+  static uint64_t bucket_lower(uint32_t index);
+  /// Exclusive upper bound of a bucket (lower + width; saturates at the top).
+  static uint64_t bucket_upper(uint32_t index);
+
+  void observe(uint64_t value, uint64_t n = 1);
+
+  /// Element-wise add. Because every histogram shares one fixed layout this
+  /// is exact and associative: merging shards in any grouping or order gives
+  /// the same buckets a single-pass run would.
+  void merge_from(const LogLinearHistogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+
+  /// Interpolated quantile, q in [0,1]: locates the bucket holding rank
+  /// q*(count-1) and interpolates linearly inside the bucket's value range
+  /// rather than returning the bucket's upper bound. Exact for values < 16
+  /// (unit buckets); within one sub-bucket width (~3%) above. 0 when empty.
+  double quantile(double q) const;
+
+  /// Sparse occupied buckets, ascending: {lower, upper, count}.
+  struct Bucket {
+    uint64_t lower = 0;
+    uint64_t upper = 0;
+    uint64_t count = 0;
+  };
+  std::vector<Bucket> nonzero_buckets() const;
+
+  /// {"count":N,"sum":S,"max":M,"p50":..,"p90":..,"p99":..,"p999":..,
+  ///  "buckets":[[lo,hi,n],...]} — the shape rssac002.jsonl embeds.
+  std::string to_json() const;
+
+ private:
+  std::vector<uint64_t> buckets_;  // lazily sized to the highest touched index
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace rootsim::obs

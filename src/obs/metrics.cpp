@@ -82,6 +82,41 @@ void Histogram::merge_from(const Histogram& other) {
   }
 }
 
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<uint64_t>& buckets, double q) {
+  uint64_t total = 0;
+  for (uint64_t c : buckets) total += c;
+  if (total == 0 || bounds.empty() || buckets.size() != bounds.size() + 1)
+    return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(total - 1);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (rank < static_cast<double>(cumulative + in_bucket)) {
+      // Overflow bucket: no finite upper edge to interpolate toward.
+      if (i == bounds.size()) return bounds.back();
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double offset = (rank - static_cast<double>(cumulative)) /
+                            static_cast<double>(in_bucket);
+      return lower + (upper - lower) * offset;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.back();
+}
+
+double sample_quantile(const MetricSample& sample, double q) {
+  if (sample.kind != MetricSample::Kind::Histogram) return 0;
+  return histogram_quantile(sample.bounds, sample.buckets, q);
+}
+
+double Histogram::quantile(double q) const {
+  return histogram_quantile(bounds_, bucket_counts(), q);
+}
+
 const std::vector<double>& default_latency_bounds_ms() {
   static const std::vector<double> bounds = {1,  2,   5,   10,  20,  50,
                                              100, 150, 200, 300, 500};

@@ -84,6 +84,9 @@ class Histogram {
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const;
 
+  /// Interpolated quantile, q in [0,1] — see histogram_quantile().
+  double quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
@@ -162,6 +165,21 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<Key, Entry> series_;
 };
+
+/// Interpolated quantile of a fixed-bucket histogram, q in [0,1]. Bucket i
+/// spans (bounds[i-1], bounds[i]] (0 as the floor of the first bucket — every
+/// histogram in the pipeline observes non-negative values); the value at rank
+/// q*(count-1) is placed *linearly inside* its bucket's range rather than
+/// snapped to the bucket upper bound, so p50 of a uniform sample lands near
+/// the middle of a bucket instead of at its edge. The +inf overflow bucket
+/// cannot be interpolated and reports the highest finite bound. Because
+/// merge_from() adds buckets element-wise, merge(a,b) quantiles are exactly
+/// the single-pass quantiles. Returns 0 on an empty histogram.
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<uint64_t>& buckets, double q);
+
+/// Quantile of a snapshotted histogram sample (0 for counters/gauges).
+double sample_quantile(const MetricSample& sample, double q);
 
 /// Renders a MetricSample as one JSONL object (shared by registry export and
 /// RunReport).

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "obs/metrics.h"
+#include "obs/rssac002.h"
 #include "obs/trace.h"
 
 namespace rootsim::obs {
@@ -14,8 +15,11 @@ namespace rootsim::obs {
 struct Obs {
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
+  Rssac002Collector* rssac002 = nullptr;
 
-  bool enabled() const { return metrics != nullptr || tracer != nullptr; }
+  bool enabled() const {
+    return metrics != nullptr || tracer != nullptr || rssac002 != nullptr;
+  }
 
   /// Null-safe counter increment. Prefer caching the Counter* handle (via
   /// `counter_handle`) on hot paths; this convenience does a registry lookup.
@@ -60,18 +64,24 @@ inline void observe(Histogram* histogram, double value) {
 ///   obs::RunReport report = obs::RunReport::capture(recorder);
 class Recorder {
  public:
-  explicit Recorder(size_t trace_capacity = 1 << 16)
-      : tracer_(trace_capacity) {}
+  explicit Recorder(size_t trace_capacity = 1 << 16) : tracer_(trace_capacity) {
+    // Registered eagerly so serial and sharded runs export the same series
+    // set even when nothing overflows.
+    tracer_.bind_drop_counter(&metrics_.counter("tracer.dropped_spans"));
+  }
 
-  Obs obs() { return Obs{&metrics_, &tracer_}; }
+  Obs obs() { return Obs{&metrics_, &tracer_, &rssac002_}; }
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+  Rssac002Collector& rssac002() { return rssac002_; }
+  const Rssac002Collector& rssac002() const { return rssac002_; }
 
  private:
   MetricsRegistry metrics_;
   Tracer tracer_;
+  Rssac002Collector rssac002_;
 };
 
 }  // namespace rootsim::obs

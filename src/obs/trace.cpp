@@ -13,6 +13,7 @@ void Tracer::push(TraceEvent event) {
   if (ring_.size() >= capacity_) {
     ring_.pop_front();
     ++dropped_;
+    if (drop_counter_) drop_counter_->inc();
   }
   ring_.push_back(std::move(event));
 }

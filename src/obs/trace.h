@@ -22,6 +22,8 @@
 
 namespace rootsim::obs {
 
+class Counter;
+
 /// One key=value annotation on a span or event. Values are pre-rendered
 /// strings: formatting at record time keeps the dump deterministic and the
 /// storage simple.
@@ -79,6 +81,13 @@ class Tracer {
   /// count — is byte-identical to a serial run's. The shard is left empty.
   void absorb(Tracer&& shard);
 
+  /// Mirrors ring evictions into a metrics counter (tracer.dropped_spans) so
+  /// overflow is visible in exports instead of silent. Only push()-time
+  /// evictions increment the counter — absorb() folds the shard's *counter*
+  /// through the metrics merge, so double-counting shard drops here would
+  /// break serial-vs-sharded equality.
+  void bind_drop_counter(Counter* counter) { drop_counter_ = counter; }
+
  private:
   void push(TraceEvent event);
 
@@ -86,6 +95,7 @@ class Tracer {
   size_t capacity_;
   uint64_t next_id_ = 1;
   uint64_t dropped_ = 0;
+  Counter* drop_counter_ = nullptr;
   std::deque<TraceEvent> ring_;
 };
 

@@ -28,6 +28,29 @@ class InstanceEndpoint final : public netsim::Transport::Endpoint {
   std::span<const uint8_t> axfr_stream(util::UnixTime now) const override {
     return instance_->handle_axfr_stream(now);
   }
+  /// Translates the transport's exchange summary into an RSSAC002 sample
+  /// under this instance's identity. Called by the transport only when an
+  /// RSSAC002 collector rides the sink; the null-collector check covers a
+  /// transport and instance built from different sinks.
+  void note_exchange(const netsim::ExchangeTelemetry& telemetry) const override {
+    obs::Rssac002Collector* collector = instance_->telemetry_collector();
+    if (!collector) return;
+    obs::Rssac002Sample sample;
+    sample.instance = instance_->identity();
+    sample.when = telemetry.when;
+    sample.v6 = telemetry.v6;
+    sample.udp_queries = telemetry.udp_queries;
+    sample.tcp_queries = telemetry.tcp_queries;
+    sample.delivered = telemetry.delivered;
+    sample.final_tcp = telemetry.final_tcp;
+    sample.rcode = telemetry.rcode;
+    sample.truncated = telemetry.truncated;
+    sample.axfr = telemetry.axfr;
+    sample.query_bytes = telemetry.query_bytes;
+    sample.response_bytes = telemetry.response_bytes;
+    sample.source_id = telemetry.source_id;
+    collector->record(sample);
+  }
 
  private:
   const RootServerInstance* instance_;

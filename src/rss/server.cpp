@@ -15,7 +15,8 @@ RootServerInstance::RootServerInstance(const ZoneAuthority& authority,
       catalog_(&catalog),
       root_index_(root_index),
       identity_(std::move(identity)),
-      behavior_(behavior) {
+      behavior_(behavior),
+      telemetry_(obs.rssac002) {
   if (obs.metrics) {
     served_in_ = obs.counter_handle("rss.queries_served", {{"class", "in"}});
     served_ch_ = obs.counter_handle("rss.queries_served", {{"class", "ch"}});

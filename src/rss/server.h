@@ -96,6 +96,11 @@ class RootServerInstance {
   uint32_t root_index() const { return root_index_; }
   InstanceBehavior& behavior() { return behavior_; }
 
+  /// The RSSAC002 collector this instance reports into (from the obs sink it
+  /// was constructed with); nullptr when telemetry is disabled. The
+  /// transport-side endpoint adapter feeds it per-exchange samples.
+  obs::Rssac002Collector* telemetry_collector() const { return telemetry_; }
+
  private:
   util::UnixTime effective_time(util::UnixTime now) const;
   dns::Message answer_chaos(const dns::Message& query,
@@ -109,6 +114,7 @@ class RootServerInstance {
   uint32_t root_index_;
   std::string identity_;
   InstanceBehavior behavior_;
+  obs::Rssac002Collector* telemetry_ = nullptr;
   // Pre-resolved metric handles; null when no sink is attached.
   obs::Counter* served_in_ = nullptr;
   obs::Counter* served_ch_ = nullptr;

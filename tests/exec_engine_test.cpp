@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "measure/campaign.h"
+#include "netsim/flight_recorder.h"
 #include "obs/obs.h"
 #include "util/strings.h"
 
@@ -160,19 +162,25 @@ struct AuditRun {
   std::vector<measure::ZoneAuditObservation> observations;
   std::string metrics_jsonl;
   std::string trace_jsonl;
+  std::string rssac002_jsonl;
+  uint64_t flight_recorded = 0;
 };
 
-AuditRun run_audit(size_t workers) {
+AuditRun run_audit(size_t workers,
+                   netsim::FlightRecorder* flight_recorder = nullptr) {
   measure::CampaignConfig config;
   config.zone.tld_count = 30;
   config.zone.rsa_modulus_bits = 512;
   config.vp_scale = 0.05;
+  config.transport.flight_recorder = flight_recorder;
   obs::Recorder recorder;
   measure::Campaign campaign(config, recorder.obs());
   AuditRun run;
   run.observations = campaign.run_zone_audit(12, workers);
   run.metrics_jsonl = recorder.metrics().to_jsonl();
   run.trace_jsonl = recorder.tracer().to_jsonl();
+  run.rssac002_jsonl = recorder.rssac002().to_jsonl();
+  if (flight_recorder) run.flight_recorded = flight_recorder->recorded();
   return run;
 }
 
@@ -183,6 +191,7 @@ TEST(ZoneAudit, WorkerCountInvisibleInEveryOutput) {
   ASSERT_FALSE(serial.observations.empty());
   ASSERT_FALSE(serial.metrics_jsonl.empty());
   ASSERT_FALSE(serial.trace_jsonl.empty());
+  ASSERT_FALSE(serial.rssac002_jsonl.empty());
   for (size_t workers : {2, 8}) {
     AuditRun parallel = run_audit(workers);
     ASSERT_EQ(parallel.observations.size(), serial.observations.size())
@@ -195,7 +204,47 @@ TEST(ZoneAudit, WorkerCountInvisibleInEveryOutput) {
         << workers << " workers";
     EXPECT_EQ(parallel.trace_jsonl, serial.trace_jsonl)
         << workers << " workers";
+    EXPECT_EQ(parallel.rssac002_jsonl, serial.rssac002_jsonl)
+        << workers << " workers";
   }
+}
+
+// Same property with the *diagnostic* surfaces switched on: the exec-pool
+// profiler (via ROOTSIM_PROFILE) and a shared flight recorder must not leak
+// into any deterministic export for any worker count. The profiler's own
+// artifact and the flight ring are wall-clock/scheduling-ordered and are
+// deliberately not byte-compared — only their presence and totals are.
+TEST(ZoneAudit, ByteIdenticalWithProfilerAndFlightRecorderEnabled) {
+  const char* profile_path = "PROF_exec_engine_test.json";
+  setenv("ROOTSIM_PROFILE", profile_path, 1);
+  netsim::FlightRecorder serial_flight(64);
+  AuditRun serial = run_audit(1, &serial_flight);
+  ASSERT_FALSE(serial.rssac002_jsonl.empty());
+  EXPECT_GT(serial.flight_recorded, 0u);
+  std::FILE* artifact = std::fopen(profile_path, "r");
+  EXPECT_NE(artifact, nullptr) << "profiler artifact was not written";
+  if (artifact) std::fclose(artifact);
+  for (size_t workers : {2, 8}) {
+    netsim::FlightRecorder flight(64);
+    AuditRun parallel = run_audit(workers, &flight);
+    ASSERT_EQ(parallel.observations.size(), serial.observations.size())
+        << workers << " workers";
+    for (size_t i = 0; i < serial.observations.size(); ++i)
+      ASSERT_TRUE(
+          observations_equal(parallel.observations[i], serial.observations[i]))
+          << workers << " workers, observation " << i;
+    EXPECT_EQ(parallel.metrics_jsonl, serial.metrics_jsonl)
+        << workers << " workers";
+    EXPECT_EQ(parallel.trace_jsonl, serial.trace_jsonl)
+        << workers << " workers";
+    EXPECT_EQ(parallel.rssac002_jsonl, serial.rssac002_jsonl)
+        << workers << " workers";
+    // The flight recorder sees the same *set* of exchanges in any schedule.
+    EXPECT_EQ(parallel.flight_recorded, serial.flight_recorded)
+        << workers << " workers";
+  }
+  unsetenv("ROOTSIM_PROFILE");
+  std::remove(profile_path);
 }
 
 }  // namespace

@@ -146,6 +146,68 @@ TEST(Registry, ConcurrentIncrementsDoNotLose) {
   EXPECT_DOUBLE_EQ(h.sum(), kThreads * kPerThread * 1.0);
 }
 
+TEST(HistogramQuantile, InterpolatesWithinTheBucket) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("rtt", {}, {10, 20, 50, 100});
+  // 100 uniform values in (10, 20]: the median must sit near 15, inside the
+  // bucket, not snapped to the 20 upper bound.
+  for (int i = 0; i < 100; ++i) h.observe(10.0 + (i + 0.5) * 0.1);
+  double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LT(p50, 20.0);
+  EXPECT_NEAR(p50, 15.0, 1.0);
+  // Everything below the first bound interpolates from a floor of 0.
+  Histogram& low = registry.histogram("low", {}, {8.0});
+  for (int i = 0; i < 10; ++i) low.observe(4.0);
+  EXPECT_GT(low.quantile(0.5), 0.0);
+  EXPECT_LE(low.quantile(0.5), 8.0);
+  // The +inf bucket cannot be interpolated: it reports the top finite bound.
+  Histogram& top = registry.histogram("top", {}, {10, 20});
+  top.observe(500);
+  EXPECT_DOUBLE_EQ(top.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(registry.histogram("empty", {}, {1.0}).quantile(0.5), 0.0);
+}
+
+// Satellite property: because merge_from adds buckets element-wise,
+// merge(a, b) quantiles are *exactly* the single-pass quantiles — not
+// approximately, byte for byte on the double.
+TEST(HistogramQuantile, MergeEqualsSinglePass) {
+  const std::vector<double> bounds = {1, 2, 5, 10, 20, 50, 100, 200};
+  MetricsRegistry single_reg, a_reg, b_reg;
+  Histogram& single = single_reg.histogram("h", {}, bounds);
+  Histogram& a = a_reg.histogram("h", {}, bounds);
+  Histogram& b = b_reg.histogram("h", {}, bounds);
+  uint64_t state = 7;
+  for (int i = 0; i < 4000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    double value = static_cast<double>((state >> 33) % 2500) / 10.0;
+    single.observe(value);
+    (i % 3 ? a : b).observe(value);
+  }
+  a.merge_from(b);
+  ASSERT_EQ(a.count(), single.count());
+  for (double q : {0.0, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), single.quantile(q)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(
+        histogram_quantile(a.bounds(), a.bucket_counts(), q),
+        histogram_quantile(single.bounds(), single.bucket_counts(), q))
+        << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantile, SampleQuantileMatchesLiveHistogram) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("rtt", {}, {10, 20, 50});
+  for (int i = 0; i < 50; ++i) h.observe(12.0 + 0.1 * i);
+  auto samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(sample_quantile(samples[0], 0.5), h.quantile(0.5));
+  // Non-histogram samples have no quantile.
+  MetricSample counter_sample;
+  counter_sample.kind = MetricSample::Kind::Counter;
+  EXPECT_DOUBLE_EQ(sample_quantile(counter_sample, 0.5), 0.0);
+}
+
 TEST(NullSink, HelpersAreNoOps) {
   Obs null_sink;
   EXPECT_FALSE(null_sink.enabled());

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "obs/obs.h"
 #include "obs/trace.h"
 #include "util/strings.h"
 
@@ -104,6 +105,41 @@ TEST(Tracer, IdenticalOperationSequencesDumpIdenticalJsonl) {
     return tracer.to_jsonl();
   };
   EXPECT_EQ(run(), run());
+}
+
+TEST(Tracer, DroppedSpansCounterMirrorsRingEvictions) {
+  Recorder recorder(/*trace_capacity=*/4);
+  // The series is registered eagerly: it appears (as zero) in exports even
+  // when nothing ever overflows, so serial and sharded runs export the same
+  // series set.
+  EXPECT_EQ(recorder.metrics().counter_total("tracer.dropped_spans"), 0u);
+  EXPECT_NE(recorder.metrics().to_jsonl().find("tracer.dropped_spans"),
+            std::string::npos);
+  for (int i = 0; i < 10; ++i) recorder.tracer().event(0, "e", i);
+  EXPECT_EQ(recorder.tracer().dropped(), 6u);
+  EXPECT_EQ(recorder.metrics().counter_total("tracer.dropped_spans"), 6u);
+}
+
+TEST(Tracer, AbsorbPlusMetricsMergeCountsEachDropExactlyOnce) {
+  // Serial reference: one ring sees all 15 events.
+  Recorder serial(/*trace_capacity=*/4);
+  for (int i = 0; i < 15; ++i) serial.tracer().event(0, "e", i);
+
+  // Sharded: the shard's push-time drops are already in the shard's counter
+  // (folded by the metrics merge); absorb() must only count the evictions it
+  // newly causes in the main ring, or the total would double-count.
+  Recorder main(/*trace_capacity=*/4);
+  Recorder shard(/*trace_capacity=*/4);
+  for (int i = 0; i < 5; ++i) main.tracer().event(0, "e", i);
+  for (int i = 5; i < 15; ++i) shard.tracer().event(0, "e", i);
+  main.tracer().absorb(std::move(shard.tracer()));
+  main.metrics().merge_from(shard.metrics());
+
+  EXPECT_EQ(main.tracer().dropped(), serial.tracer().dropped());
+  EXPECT_EQ(main.metrics().counter_total("tracer.dropped_spans"),
+            serial.metrics().counter_total("tracer.dropped_spans"));
+  EXPECT_EQ(main.metrics().counter_total("tracer.dropped_spans"),
+            main.tracer().dropped());
 }
 
 TEST(Tracer, ClearKeepsIdStreamUnique) {

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Diff fresh BENCH_*.json results against the committed baselines.
+
+The figure/table benches emit flat JSON objects (see bench/bench_common.h):
+deterministic work counters (probes, signatures, threads) that must match
+the committed baseline exactly — they are pure functions of (seed, config)
+— and wall-clock fields (wall_ms, *_per_s) that vary by machine and only
+need to stay inside a tolerance band.
+
+    tools/bench_compare.py --baseline-dir . --fresh-dir build/bench
+    tools/bench_compare.py BENCH_transport.json fresh/BENCH_transport.json
+
+Wall-time policy: a fresh run may be up to --max-slowdown times slower than
+the baseline (default 10x — CI machines are slow and noisy); any speedup is
+fine. Exit 0 when every compared pair passes, 1 otherwise. Baselines with no
+fresh counterpart are skipped with a note (not an error), so one bench can
+be compared without running the whole suite.
+
+Pure stdlib; no dependencies.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Pure functions of (seed, config): must be byte-equal across machines.
+EXACT_FIELDS = ("bench", "probes", "signatures", "threads")
+# Wall-clock dependent: tolerance band only.
+TIMING_FIELDS = ("wall_ms",)
+
+
+def load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare(name, baseline, fresh, max_slowdown):
+    failures = []
+    for field in EXACT_FIELDS:
+        if field not in baseline:
+            continue
+        if fresh.get(field) != baseline[field]:
+            failures.append(
+                f"{name}: {field} changed: baseline={baseline[field]!r} "
+                f"fresh={fresh.get(field)!r} (deterministic field; a diff "
+                f"means behaviour changed, not the machine)")
+    for field in TIMING_FIELDS:
+        base = baseline.get(field)
+        new = fresh.get(field)
+        if not base or new is None:
+            continue
+        slowdown = new / base
+        if slowdown > max_slowdown:
+            failures.append(
+                f"{name}: {field} {new:.1f} is {slowdown:.1f}x the baseline "
+                f"{base:.1f} (allowed {max_slowdown:.1f}x)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("pair", nargs="*",
+                        help="explicit BASELINE FRESH file pair")
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory holding committed BENCH_*.json")
+    parser.add_argument("--fresh-dir",
+                        help="directory holding freshly produced BENCH_*.json")
+    parser.add_argument("--max-slowdown", type=float, default=10.0,
+                        help="allowed wall-time ratio fresh/baseline")
+    args = parser.parse_args()
+
+    pairs = []
+    if args.pair:
+        if len(args.pair) != 2:
+            parser.error("explicit mode takes exactly: BASELINE FRESH")
+        pairs.append((args.pair[0], args.pair[1]))
+    elif args.fresh_dir:
+        for fresh in sorted(glob.glob(os.path.join(args.fresh_dir,
+                                                   "BENCH_*.json"))):
+            baseline = os.path.join(args.baseline_dir,
+                                    os.path.basename(fresh))
+            if os.path.exists(baseline):
+                pairs.append((baseline, fresh))
+            else:
+                print(f"note: no baseline for {os.path.basename(fresh)}; "
+                      f"skipped")
+    else:
+        parser.error("pass BASELINE FRESH or --fresh-dir")
+
+    if not pairs:
+        print("error: nothing to compare", file=sys.stderr)
+        return 1
+
+    failures = []
+    for baseline_path, fresh_path in pairs:
+        name = os.path.basename(fresh_path)
+        try:
+            baseline, fresh = load(baseline_path), load(fresh_path)
+        except (OSError, json.JSONDecodeError) as err:
+            failures.append(f"{name}: unreadable: {err}")
+            continue
+        found = compare(name, baseline, fresh, args.max_slowdown)
+        failures.extend(found)
+        status = "FAIL" if found else "ok"
+        ratio = ""
+        if baseline.get("wall_ms") and fresh.get("wall_ms"):
+            ratio = f"  wall {fresh['wall_ms'] / baseline['wall_ms']:.2f}x"
+        print(f"{status:4} {name}{ratio}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

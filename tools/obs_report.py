@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Render rssac002.jsonl (per-instance daily telemetry) into tables.
+
+The simulation's root server instances export RSSAC002-style records — one
+JSON object per (instance, day) with query/response volume split by
+transport and address family, the rcode mix, truncation counts, size
+distributions and unique-source estimates (see src/obs/rssac002.h). This
+tool renders that JSONL into the tables an operator would read:
+
+    tools/obs_report.py rssac002.jsonl              # all tables
+    tools/obs_report.py --table traffic r.jsonl     # one table
+    tools/obs_report.py --instance k1-lon r.jsonl   # one instance
+
+Tables:
+    traffic   queries/responses by transport and family, truncation, AXFR
+    rcodes    response-code mix per instance
+    sizes     query/response size distributions (p50/p90/p99, max)
+    sources   unique-source estimates per family
+
+Pure stdlib; no dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    records = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{lineno}: bad JSON: {err}")
+    return records
+
+
+def fmt_table(headers, rows):
+    widths = [len(h) for h in headers]
+    rendered = [[str(cell) for cell in row] for row in rows]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) if i else c.ljust(w)
+                               for i, (c, w) in enumerate(zip(row, widths))).rstrip())
+    return "\n".join(lines)
+
+
+def key(record):
+    return (record.get("instance", "?"), record.get("day", "?"))
+
+
+def table_traffic(records):
+    rows = []
+    for r in records:
+        udp = r.get("dns-udp-queries-received-ipv4", 0) + r.get(
+            "dns-udp-queries-received-ipv6", 0)
+        tcp = r.get("dns-tcp-queries-received-ipv4", 0) + r.get(
+            "dns-tcp-queries-received-ipv6", 0)
+        v4 = r.get("dns-udp-queries-received-ipv4", 0) + r.get(
+            "dns-tcp-queries-received-ipv4", 0)
+        v6 = r.get("dns-udp-queries-received-ipv6", 0) + r.get(
+            "dns-tcp-queries-received-ipv6", 0)
+        responses = sum(
+            r.get(f"dns-{p}-responses-sent-{f}", 0)
+            for p in ("udp", "tcp") for f in ("ipv4", "ipv6"))
+        total = udp + tcp
+        tc = r.get("dns-responses-truncated", 0)
+        rows.append([
+            *key(r), total, udp, tcp, v4, v6, responses, tc,
+            f"{100.0 * tc / total:.2f}%" if total else "-",
+            r.get("axfr-served", 0),
+        ])
+    headers = ["instance", "day", "queries", "udp", "tcp", "ipv4", "ipv6",
+               "responses", "tc", "tc-rate", "axfr"]
+    return fmt_table(headers, rows)
+
+
+def table_rcodes(records):
+    names = {"0": "NOERROR", "1": "FORMERR", "2": "SERVFAIL", "3": "NXDOMAIN",
+             "4": "NOTIMP", "5": "REFUSED"}
+    codes = []
+    for r in records:
+        for code in r.get("rcode-volume", {}):
+            if code not in codes:
+                codes.append(code)
+    codes.sort(key=lambda c: (c == "other", int(c) if c.isdigit() else 0))
+    headers = ["instance", "day"] + [names.get(c, f"rcode{c}") for c in codes]
+    rows = [[*key(r)] + [r.get("rcode-volume", {}).get(c, 0) for c in codes]
+            for r in records]
+    return fmt_table(headers, rows)
+
+
+def table_sizes(records):
+    rows = []
+    for r in records:
+        row = [*key(r)]
+        for field in ("query-size", "udp-response-size", "tcp-response-size"):
+            h = r.get(field, {})
+            if h.get("count"):
+                row.append(f"{h['p50']:.0f}/{h['p90']:.0f}/{h['p99']:.0f}"
+                           f" (max {h['max']})")
+            else:
+                row.append("-")
+        rows.append(row)
+    headers = ["instance", "day", "query p50/p90/p99", "udp-resp p50/p90/p99",
+               "tcp-resp p50/p90/p99"]
+    return fmt_table(headers, rows)
+
+
+def table_sources(records):
+    rows = [[*key(r), r.get("num-sources-ipv4", 0), r.get("num-sources-ipv6", 0)]
+            for r in records]
+    return fmt_table(["instance", "day", "sources-ipv4", "sources-ipv6"], rows)
+
+
+TABLES = {
+    "traffic": table_traffic,
+    "rcodes": table_rcodes,
+    "sizes": table_sizes,
+    "sources": table_sources,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("jsonl", help="rssac002.jsonl file to render")
+    parser.add_argument("--table", choices=sorted(TABLES), action="append",
+                        help="render only this table (repeatable)")
+    parser.add_argument("--instance", help="filter to one instance identity")
+    parser.add_argument("--day", help="filter to one day (YYYY-MM-DD)")
+    args = parser.parse_args()
+
+    records = load(args.jsonl)
+    if args.instance:
+        records = [r for r in records if r.get("instance") == args.instance]
+    if args.day:
+        records = [r for r in records if r.get("day") == args.day]
+    if not records:
+        print("no records matched", file=sys.stderr)
+        return 1
+    records.sort(key=key)
+
+    selected = args.table or sorted(TABLES)
+    out = []
+    for name in selected:
+        out.append(f"== {name} ==")
+        out.append(TABLES[name](records))
+        out.append("")
+    print("\n".join(out).rstrip())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
