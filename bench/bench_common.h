@@ -12,7 +12,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
+#include "exec/engine.h"
 #include "measure/campaign.h"
 #include "obs/report.h"
 
@@ -62,7 +64,10 @@ inline void print_run_report() {
 /// directory with wall time and the throughput counters the perf acceptance
 /// criteria track (probe and signature-check rates from the shared recorder).
 /// Committed copies of these files live in the repo root next to
-/// EXPERIMENTS.md so perf changes leave an auditable trail.
+/// EXPERIMENTS.md so perf changes leave an auditable trail. Host parallelism
+/// (`hardware_concurrency`) and the scheduler mode are recorded so
+/// tools/bench_compare.py can refuse wall-time comparisons across hosts
+/// instead of calling a slower machine a regression.
 inline void write_bench_json(const std::string& name, size_t threads,
                              double wall_ms = -1) {
   if (wall_ms < 0)
@@ -84,14 +89,18 @@ inline void write_bench_json(const std::string& name, size_t threads,
                "  \"probes_per_s\": %.1f,\n"
                "  \"signatures\": %llu,\n"
                "  \"signatures_per_s\": %.1f,\n"
-               "  \"threads\": %zu\n"
+               "  \"threads\": %zu,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"sched\": \"%.*s\"\n"
                "}\n",
                name.c_str(), wall_ms,
                static_cast<unsigned long long>(probes),
                seconds > 0 ? static_cast<double>(probes) / seconds : 0.0,
                static_cast<unsigned long long>(signatures),
                seconds > 0 ? static_cast<double>(signatures) / seconds : 0.0,
-               threads);
+               threads, std::thread::hardware_concurrency(),
+               static_cast<int>(to_string(exec::resolve_scheduler()).size()),
+               to_string(exec::resolve_scheduler()).data());
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());
 }

@@ -409,8 +409,162 @@ void MontgomeryContext::mul(Limbs& out, const Limbs& a, const Limbs& b,
   }
 }
 
+void MontgomeryContext::sqr(Limbs& out, const Limbs& a, Limbs& scratch) const {
+  // Schoolbook squaring into a 2k-limb product — the cross terms a[i]*a[j]
+  // (i < j) are computed once and doubled, so a squaring costs roughly half
+  // the limb multiplies of the general CIOS pass — then one Montgomery
+  // reduction. Squarings are ~80% of the multiplies in an exponentiation.
+  const size_t k = n_.size();
+  Limbs& wide = scratch;
+  wide.assign(2 * k + 1, 0);
+  for (size_t i = 0; i < k; ++i) {
+    uint64_t carry = 0;
+    const uint64_t ai = a[i];
+    for (size_t j = i + 1; j < k; ++j) {
+      U128 cur = static_cast<U128>(ai) * a[j] + wide[i + j] + carry;
+      wide[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    size_t idx = i + k;
+    while (carry) {
+      U128 cur = static_cast<U128>(wide[idx]) + carry;
+      wide[idx] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+      ++idx;
+    }
+  }
+  // Double the cross terms, then add the diagonal a[i]^2 contributions.
+  uint64_t prev = 0;
+  for (size_t i = 0; i < 2 * k; ++i) {
+    uint64_t cur = wide[i];
+    wide[i] = (cur << 1) | (prev >> 63);
+    prev = cur;
+  }
+  uint64_t carry = 0;
+  for (size_t i = 0; i < k; ++i) {
+    U128 sq = static_cast<U128>(a[i]) * a[i];
+    U128 lo = static_cast<U128>(wide[2 * i]) + static_cast<uint64_t>(sq) + carry;
+    wide[2 * i] = static_cast<uint64_t>(lo);
+    U128 hi = static_cast<U128>(wide[2 * i + 1]) +
+              static_cast<uint64_t>(sq >> 64) + static_cast<uint64_t>(lo >> 64);
+    wide[2 * i + 1] = static_cast<uint64_t>(hi);
+    carry = static_cast<uint64_t>(hi >> 64);
+  }
+  reduce(out, wide);
+}
+
+void MontgomeryContext::reduce(Limbs& out, Limbs& wide) const {
+  // Separated-operand Montgomery reduction of a 2k-limb product. `wide`
+  // needs a spare top limb for carry propagation (callers allocate 2k+1).
+  const size_t k = n_.size();
+  for (size_t i = 0; i < k; ++i) {
+    const uint64_t m = wide[i] * n0_inv_;
+    uint64_t carry = 0;
+    for (size_t j = 0; j < k; ++j) {
+      U128 cur = static_cast<U128>(m) * n_[j] + wide[i + j] + carry;
+      wide[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    size_t idx = i + k;
+    while (carry) {
+      U128 cur = static_cast<U128>(wide[idx]) + carry;
+      wide[idx] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+      ++idx;
+    }
+  }
+  // Result sits in wide[k .. 2k] and is < 2n; one conditional subtraction.
+  bool ge = wide[2 * k] != 0;
+  if (!ge) {
+    ge = true;
+    for (size_t i = k; i > 0; --i) {
+      if (wide[k + i - 1] != n_[i - 1]) {
+        ge = wide[k + i - 1] > n_[i - 1];
+        break;
+      }
+    }
+  }
+  out.assign(k, 0);
+  if (ge) {
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < k; ++i) {
+      U128 sub = static_cast<U128>(n_[i]) + borrow;
+      U128 lhs = wide[k + i];
+      if (lhs >= sub) {
+        out[i] = static_cast<uint64_t>(lhs - sub);
+        borrow = 0;
+      } else {
+        out[i] = static_cast<uint64_t>((static_cast<U128>(1) << 64) + lhs - sub);
+        borrow = 1;
+      }
+    }
+  } else {
+    std::copy(wide.begin() + static_cast<long>(k),
+              wide.begin() + static_cast<long>(2 * k), out.begin());
+  }
+}
+
+FixedWindowSchedule FixedWindowSchedule::from_exponent(const BigNum& exponent) {
+  FixedWindowSchedule s;
+  s.bit_length = exponent.bit_length();
+  if (s.bit_length == 0) return s;
+  const size_t windows = (s.bit_length + 3) / 4;
+  s.digits.resize(windows);
+  for (size_t w = 0; w < windows; ++w) {
+    unsigned digit = 0;
+    for (size_t b = 0; b < 4; ++b) {
+      size_t bit_index = (windows - 1 - w) * 4 + (3 - b);
+      digit = (digit << 1) | (exponent.bit(bit_index) ? 1u : 0u);
+    }
+    s.digits[w] = static_cast<uint8_t>(digit);
+  }
+  return s;
+}
+
 BigNum MontgomeryContext::exp(const BigNum& base, const BigNum& exponent) const {
   assert(valid());
+  const size_t bits = exponent.bit_length();
+  if (bits == 0) return BigNum(1) % modulus_;
+  // Small exponents (RSA's public e = 65537 on the verify path) do at most
+  // ~2 multiplies beyond the squarings — building the 16-entry window table
+  // (15 multiplies) would dominate. Plain left-to-right square-and-multiply.
+  if (bits <= 24) {
+    const size_t k = n_.size();
+    BigNum reduced = base % modulus_;
+    Limbs base_n = reduced.limbs_;
+    base_n.resize(k, 0);
+    Limbs scratch, mont_base, tmp;
+    mul(mont_base, base_n, r2_, scratch);
+    Limbs acc = mont_base;  // top exponent bit is 1
+    for (size_t i = bits - 1; i > 0; --i) {
+      sqr(tmp, acc, scratch);
+      acc.swap(tmp);
+      if (exponent.bit(i - 1)) {
+        mul(tmp, acc, mont_base, scratch);
+        acc.swap(tmp);
+      }
+    }
+    Limbs one(k, 0);
+    one[0] = 1;
+    mul(tmp, acc, one, scratch);  // from_mont
+    BigNum out;
+    out.limbs_ = std::move(tmp);
+    out.normalize();
+    return out;
+  }
+  FixedWindowSchedule schedule = FixedWindowSchedule::from_exponent(exponent);
+  return exp_windows(base, schedule.digits.data(), schedule.digits.size());
+}
+
+BigNum MontgomeryContext::exp(const BigNum& base,
+                              const FixedWindowSchedule& schedule) const {
+  assert(valid());
+  if (schedule.empty()) return BigNum(1) % modulus_;
+  return exp_windows(base, schedule.digits.data(), schedule.digits.size());
+}
+
+BigNum MontgomeryContext::exp_windows(const BigNum& base, const uint8_t* digits,
+                                      size_t digit_count) const {
   const size_t k = n_.size();
   BigNum reduced = base % modulus_;
   Limbs base_n = reduced.limbs_;
@@ -425,35 +579,39 @@ BigNum MontgomeryContext::exp(const BigNum& base, const BigNum& exponent) const 
   mul(table[1], base_n, r2_, scratch);   // to_mont(base)
   for (size_t i = 2; i < 16; ++i) mul(table[i], table[i - 1], table[1], scratch);
 
-  const size_t bits = exponent.bit_length();
-  if (bits == 0) return BigNum(1) % modulus_;
-  const size_t windows = (bits + 3) / 4;
-  Limbs acc;
-  bool started = false;
+  Limbs acc = table[digits[0]];  // top window is nonzero by construction
   Limbs tmp;
-  for (size_t w = windows; w > 0; --w) {
-    unsigned digit = 0;
-    for (size_t b = 0; b < 4; ++b) {
-      size_t bit_index = (w - 1) * 4 + (3 - b);
-      digit = (digit << 1) | (exponent.bit(bit_index) ? 1u : 0u);
-    }
-    if (!started) {
-      acc = table[digit];  // top window is nonzero by construction
-      started = true;
-      continue;
-    }
+  for (size_t d = 1; d < digit_count; ++d) {
     for (int s = 0; s < 4; ++s) {
-      mul(tmp, acc, acc, scratch);
+      sqr(tmp, acc, scratch);
       acc.swap(tmp);
     }
-    if (digit) {
-      mul(tmp, acc, table[digit], scratch);
+    if (digits[d]) {
+      mul(tmp, acc, table[digits[d]], scratch);
       acc.swap(tmp);
     }
   }
   mul(tmp, acc, one, scratch);  // from_mont
   BigNum out;
   out.limbs_ = std::move(tmp);
+  out.normalize();
+  return out;
+}
+
+BigNum MontgomeryContext::mul_mod(const BigNum& a, const BigNum& b) const {
+  assert(valid());
+  const size_t k = n_.size();
+  BigNum ra = a % modulus_;
+  BigNum rb = b % modulus_;
+  Limbs la = ra.limbs_;
+  la.resize(k, 0);
+  Limbs lb = rb.limbs_;
+  lb.resize(k, 0);
+  Limbs scratch, mont_a, prod;
+  mul(mont_a, la, r2_, scratch);   // a*R
+  mul(prod, mont_a, lb, scratch);  // (a*R)*b*R^-1 = a*b mod n
+  BigNum out;
+  out.limbs_ = std::move(prod);
   out.normalize();
   return out;
 }

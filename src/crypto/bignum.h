@@ -86,13 +86,32 @@ struct BigNum::DivMod {
   BigNum remainder;
 };
 
+/// Precomputed left-to-right 4-bit window decomposition of an exponent.
+/// Modulus-independent: compute once per fixed exponent (an RSA key's d,
+/// dp, dq) and reuse it across every exponentiation with that exponent —
+/// the per-call bit scans disappear from the signing hot loop.
+struct FixedWindowSchedule {
+  /// Window digits, most significant first. digits.front() is nonzero for
+  /// any nonzero exponent.
+  std::vector<uint8_t> digits;
+  size_t bit_length = 0;
+
+  bool empty() const { return digits.empty(); }
+  static FixedWindowSchedule from_exponent(const BigNum& exponent);
+};
+
 /// Montgomery-form modular exponentiation for a fixed odd modulus.
 ///
 /// Precomputes -n^{-1} mod 2^64 and R^2 mod n (R = 2^(64k)) once, then every
 /// multiply is one CIOS pass — no division anywhere on the exponentiation
 /// path. exp() uses a 4-bit fixed window (16-entry table, 4 squarings + one
-/// table multiply per window). Reusing one context across many operations
-/// with the same modulus (RSA sign/verify) amortizes the setup divmod.
+/// table multiply per window); squarings go through a dedicated half-product
+/// kernel (~25% fewer limb multiplies than the general CIOS pass). Small
+/// exponents (RSA's e = 65537) skip the window table entirely — plain
+/// square-and-multiply is cheaper than building 16 table entries. Reusing
+/// one context across many operations with the same modulus (RSA
+/// sign/verify) amortizes the setup divmod; that reuse is what
+/// crypto::RsaSignContext / RsaVerifyContext package for the DNSSEC paths.
 class MontgomeryContext {
  public:
   /// `modulus` must be odd and > 1; valid() is false otherwise and exp()
@@ -105,10 +124,26 @@ class MontgomeryContext {
   /// (base ^ exponent) mod modulus.
   BigNum exp(const BigNum& base, const BigNum& exponent) const;
 
+  /// Same, driven by a precomputed window schedule of the exponent (must be
+  /// the schedule of a nonzero exponent; pairs with a per-key cache).
+  BigNum exp(const BigNum& base, const FixedWindowSchedule& schedule) const;
+
+  /// (a * b) mod modulus through the Montgomery domain — one conversion
+  /// round-trip, no Knuth division. Used by the CRT recombination.
+  BigNum mul_mod(const BigNum& a, const BigNum& b) const;
+
  private:
   using Limbs = std::vector<uint64_t>;
   /// out = (a * b * R^-1) mod n; a, b, out are k-limb Montgomery residues.
   void mul(Limbs& out, const Limbs& a, const Limbs& b, Limbs& scratch) const;
+  /// out = (a * a * R^-1) mod n; exploits product symmetry (half the
+  /// cross-limb multiplies of mul).
+  void sqr(Limbs& out, const Limbs& a, Limbs& scratch) const;
+  /// Montgomery-reduces the 2k-limb product in `wide` into `out`.
+  void reduce(Limbs& out, Limbs& wide) const;
+  /// Shared driver behind both exp() overloads.
+  BigNum exp_windows(const BigNum& base, const uint8_t* digits,
+                     size_t digit_count) const;
 
   BigNum modulus_;
   Limbs n_;          // modulus limbs, k entries

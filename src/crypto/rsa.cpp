@@ -173,51 +173,78 @@ RsaPublicKey RsaPublicKey::from_dnskey_wire(std::span<const uint8_t> wire) {
   return key;
 }
 
-namespace {
-
-// RSADP via CRT (RFC 8017 §5.1.2): two half-size exponentiations plus the
-// Garner recombination. Falls back to the full-size exponent when the key
-// carries no factorization.
-BigNum rsa_private_op(const RsaPrivateKey& key, const BigNum& m) {
-  if (key.p.is_zero() || key.q.is_zero() ||
-      !(key.p * key.q == key.public_key.n))
-    return m.mod_pow(key.d, key.public_key.n);
-  BigNum dp = key.dp.is_zero() ? key.d % (key.p - BigNum(1)) : key.dp;
-  BigNum dq = key.dq.is_zero() ? key.d % (key.q - BigNum(1)) : key.dq;
-  BigNum qinv = key.qinv.is_zero() ? key.q.mod_inverse(key.p) : key.qinv;
-  if (qinv.is_zero()) return m.mod_pow(key.d, key.public_key.n);
-  BigNum m1 = m.mod_pow(dp, key.p);
-  BigNum m2 = m.mod_pow(dq, key.q);
-  // h = qinv * (m1 - m2) mod p, keeping the subtraction non-negative.
-  BigNum m2_mod_p = m2 % key.p;
-  BigNum diff = m1 >= m2_mod_p ? m1 - m2_mod_p : m1 + key.p - m2_mod_p;
-  BigNum h = (qinv * diff) % key.p;
-  return m2 + h * key.q;
+RsaSignContext::RsaSignContext(const RsaPrivateKey& key)
+    : key_(key),
+      ctx_p_(key.p),
+      ctx_q_(key.q),
+      ctx_n_(key.public_key.n) {
+  // RSADP via CRT (RFC 8017 §5.1.2): two half-size exponentiations plus the
+  // Garner recombination. A hand-built key may omit the factorization or the
+  // CRT coefficients; derive what's missing, and fall back to the full-size
+  // exponent if the pieces don't cohere.
+  if (!key_.p.is_zero() && !key_.q.is_zero() &&
+      key_.p * key_.q == key_.public_key.n && ctx_p_.valid() &&
+      ctx_q_.valid()) {
+    dp_ = key_.dp.is_zero() ? key_.d % (key_.p - BigNum(1)) : key_.dp;
+    dq_ = key_.dq.is_zero() ? key_.d % (key_.q - BigNum(1)) : key_.dq;
+    qinv_ = key_.qinv.is_zero() ? key_.q.mod_inverse(key_.p) : key_.qinv;
+    if (!qinv_.is_zero()) {
+      dp_schedule_ = FixedWindowSchedule::from_exponent(dp_);
+      dq_schedule_ = FixedWindowSchedule::from_exponent(dq_);
+      crt_ok_ = true;
+    }
+  }
+  if (!crt_ok_ && ctx_n_.valid())
+    d_schedule_ = FixedWindowSchedule::from_exponent(key_.d);
 }
 
-}  // namespace
+BigNum RsaSignContext::private_op(const BigNum& m) const {
+  if (crt_ok_) {
+    BigNum m1 = ctx_p_.exp(m, dp_schedule_);
+    BigNum m2 = ctx_q_.exp(m, dq_schedule_);
+    // h = qinv * (m1 - m2) mod p, keeping the subtraction non-negative.
+    BigNum m2_mod_p = m2 % key_.p;
+    BigNum diff = m1 >= m2_mod_p ? m1 - m2_mod_p : m1 + key_.p - m2_mod_p;
+    BigNum h = ctx_p_.mul_mod(qinv_, diff);
+    return m2 + h * key_.q;
+  }
+  if (ctx_n_.valid()) return ctx_n_.exp(m, d_schedule_);
+  return m.mod_pow(key_.d, key_.public_key.n);
+}
 
-std::vector<uint8_t> rsa_sign(const RsaPrivateKey& key, RsaHash hash,
-                              std::span<const uint8_t> message) {
-  size_t k = key.public_key.modulus_bytes();
+std::vector<uint8_t> RsaSignContext::sign(
+    RsaHash hash, std::span<const uint8_t> message) const {
+  size_t k = key_.public_key.modulus_bytes();
   std::vector<uint8_t> em = emsa_encode(hash, message, k);
   if (em.empty()) return {};
   BigNum m = BigNum::from_bytes(em);
-  BigNum s = rsa_private_op(key, m);
+  BigNum s = private_op(m);
   return s.to_bytes_padded(k);
+}
+
+RsaVerifyContext::RsaVerifyContext(const RsaPublicKey& key)
+    : key_(key), modulus_bytes_(key.modulus_bytes()), ctx_(key.n) {}
+
+bool RsaVerifyContext::verify(RsaHash hash, std::span<const uint8_t> message,
+                              std::span<const uint8_t> signature) const {
+  if (signature.size() != modulus_bytes_ || key_.n.is_zero()) return false;
+  BigNum s = BigNum::from_bytes(signature);
+  if (s >= key_.n) return false;
+  BigNum m = ctx_.valid() ? ctx_.exp(s, key_.e) : s.mod_pow(key_.e, key_.n);
+  std::vector<uint8_t> em = m.to_bytes_padded(modulus_bytes_);
+  std::vector<uint8_t> expected = emsa_encode(hash, message, modulus_bytes_);
+  return !expected.empty() && em == expected;
+}
+
+std::vector<uint8_t> rsa_sign(const RsaPrivateKey& key, RsaHash hash,
+                              std::span<const uint8_t> message) {
+  return RsaSignContext(key).sign(hash, message);
 }
 
 bool rsa_verify(const RsaPublicKey& key, RsaHash hash,
                 std::span<const uint8_t> message,
                 std::span<const uint8_t> signature) {
-  size_t k = key.modulus_bytes();
-  if (signature.size() != k || key.n.is_zero()) return false;
-  BigNum s = BigNum::from_bytes(signature);
-  if (s >= key.n) return false;
-  BigNum m = s.mod_pow(key.e, key.n);
-  std::vector<uint8_t> em = m.to_bytes_padded(k);
-  std::vector<uint8_t> expected = emsa_encode(hash, message, k);
-  return !expected.empty() && em == expected;
+  return RsaVerifyContext(key).verify(hash, message, signature);
 }
 
 }  // namespace rootsim::crypto

@@ -53,11 +53,61 @@ RsaPrivateKey generate_rsa_key(util::Rng& rng, size_t modulus_bits = 1024);
 /// Miller–Rabin primality test with `rounds` random bases.
 bool is_probable_prime(const BigNum& candidate, util::Rng& rng, int rounds = 24);
 
-/// PKCS#1 v1.5 signature over `message` (hashes internally).
+/// Per-key precomputation for the CRT signing path: Montgomery contexts for
+/// p, q (and n as fallback) plus fixed-window schedules for dp/dq. Everything
+/// a signature needs except the message is derived once here, so a key that
+/// signs a whole zone (the ZSK signs ~1500 RRsets per serial) pays the
+/// R^2-mod-n divisions and exponent window scans exactly once. Immutable
+/// after construction — safe to share across threads.
+class RsaSignContext {
+ public:
+  explicit RsaSignContext(const RsaPrivateKey& key);
+
+  const RsaPrivateKey& key() const { return key_; }
+
+  /// PKCS#1 v1.5 signature over `message`; same bytes as rsa_sign().
+  std::vector<uint8_t> sign(RsaHash hash,
+                            std::span<const uint8_t> message) const;
+
+ private:
+  BigNum private_op(const BigNum& m) const;
+
+  RsaPrivateKey key_;
+  bool crt_ok_ = false;
+  BigNum dp_, dq_, qinv_;
+  MontgomeryContext ctx_p_, ctx_q_, ctx_n_;
+  FixedWindowSchedule dp_schedule_, dq_schedule_, d_schedule_;
+};
+
+/// Per-key precomputation for the verify path. DNSSEC validation re-verifies
+/// against the same two zone keys hundreds of times per probe; caching the
+/// modulus Montgomery context (and letting the small public exponent take the
+/// tableless square-and-multiply path) removes the per-call setup division.
+/// Immutable after construction — safe to share across threads.
+class RsaVerifyContext {
+ public:
+  explicit RsaVerifyContext(const RsaPublicKey& key);
+
+  const RsaPublicKey& key() const { return key_; }
+
+  /// Same result as rsa_verify(); false on any mismatch or malformed input.
+  bool verify(RsaHash hash, std::span<const uint8_t> message,
+              std::span<const uint8_t> signature) const;
+
+ private:
+  RsaPublicKey key_;
+  size_t modulus_bytes_ = 0;
+  MontgomeryContext ctx_;
+};
+
+/// PKCS#1 v1.5 signature over `message` (hashes internally). One-shot
+/// convenience over RsaSignContext — hold a context to amortize the per-key
+/// precomputation across many signatures.
 std::vector<uint8_t> rsa_sign(const RsaPrivateKey& key, RsaHash hash,
                               std::span<const uint8_t> message);
 
 /// Verifies a PKCS#1 v1.5 signature; false on any mismatch or malformed input.
+/// One-shot convenience over RsaVerifyContext.
 bool rsa_verify(const RsaPublicKey& key, RsaHash hash,
                 std::span<const uint8_t> message,
                 std::span<const uint8_t> signature);

@@ -50,22 +50,99 @@ bool is_delegation(const dns::Zone& zone, const dns::Name& name) {
   return zone.find(name, dns::RRType::NS) != nullptr;
 }
 
+SignatureCache::SignatureCache(size_t max_entries)
+    : max_entries_(max_entries ? max_entries : 1) {}
+
+std::vector<uint8_t> SignatureCache::sign(const crypto::RsaSignContext& ctx,
+                                          std::span<const uint8_t> key_id,
+                                          crypto::RsaHash hash,
+                                          std::span<const uint8_t> payload) {
+  crypto::Sha256 h;
+  h.update(key_id);
+  h.update(payload);
+  auto digest = h.finish();
+  std::string lookup(reinterpret_cast<const char*>(digest.data()),
+                     digest.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(lookup);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Sign outside the lock; a concurrent miss on the same payload computes
+  // the same bytes, so whichever insert wins is correct.
+  std::vector<uint8_t> signature = ctx.sign(hash, payload);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  if (entries_.size() >= max_entries_) entries_.clear();
+  entries_.emplace(std::move(lookup), signature);
+  return signature;
+}
+
+uint64_t SignatureCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t SignatureCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t SignatureCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void SignatureCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
 namespace {
 
-dns::RrsigData sign_rrset(const dns::RRset& rrset, const SigningKey& key,
-                          const SigningPolicy& policy, const dns::Name& signer) {
+// Everything sign_zone needs per key, derived once per call: the RSA CRT
+// precomputation, the key tag (otherwise re-derived from the DNSKEY wire on
+// every RRset), and the cache identity bytes (DNSKEY RDATA wire form).
+struct ZoneSigner {
+  explicit ZoneSigner(const SigningKey& k)
+      : key(&k),
+        ctx(k.rsa),
+        tag(k.key_tag()),
+        hash(hash_for_algorithm(k.algorithm)) {
+    identity.push_back(static_cast<uint8_t>(k.flags >> 8));
+    identity.push_back(static_cast<uint8_t>(k.flags));
+    identity.push_back(3);  // protocol
+    identity.push_back(k.algorithm);
+    auto pk = k.rsa.public_key.to_dnskey_wire();
+    identity.insert(identity.end(), pk.begin(), pk.end());
+  }
+
+  const SigningKey* key;
+  crypto::RsaSignContext ctx;
+  uint16_t tag;
+  crypto::RsaHash hash;
+  std::vector<uint8_t> identity;
+};
+
+dns::RrsigData sign_rrset(const dns::RRset& rrset, const ZoneSigner& signer,
+                          const SigningPolicy& policy, const dns::Name& apex,
+                          SignatureCache* cache) {
   dns::RrsigData sig;
   sig.type_covered = rrset.type;
-  sig.algorithm = key.algorithm;
+  sig.algorithm = signer.key->algorithm;
   sig.labels = static_cast<uint8_t>(rrset.name.label_count());
   sig.original_ttl = rrset.ttl;
   sig.expiration = rrsig_time(policy.expiration);
   sig.inception = rrsig_time(policy.inception);
-  sig.key_tag = key.key_tag();
-  sig.signer = signer;
+  sig.key_tag = signer.tag;
+  sig.signer = apex;
   auto payload = signing_payload(sig, rrset);
-  sig.signature = crypto::rsa_sign(key.rsa, hash_for_algorithm(key.algorithm),
-                                   payload);
+  sig.signature = cache ? cache->sign(signer.ctx, signer.identity, signer.hash,
+                                      payload)
+                        : signer.ctx.sign(signer.hash, payload);
   return sig;
 }
 
@@ -120,8 +197,10 @@ std::vector<uint8_t> compute_zonemd_digest(const dns::Zone& zone,
 }
 
 void sign_zone(dns::Zone& zone, const SigningKey& ksk, const SigningKey& zsk,
-               const SigningPolicy& policy) {
+               const SigningPolicy& policy, SignatureCache* cache) {
   const dns::Name& apex = zone.origin();
+  const ZoneSigner ksk_signer(ksk);
+  const ZoneSigner zsk_signer(zsk);
 
   // Strip any previous DNSSEC material and ZONEMD.
   std::vector<std::pair<dns::Name, dns::RRType>> to_remove;
@@ -202,9 +281,9 @@ void sign_zone(dns::Zone& zone, const SigningKey& ksk, const SigningKey& zsk,
       if (set->type != dns::RRType::DS && set->type != dns::RRType::NSEC)
         continue;
     }
-    const SigningKey& key =
-        (set->type == dns::RRType::DNSKEY) ? ksk : zsk;  // KSK signs DNSKEY only
-    dns::RrsigData sig = sign_rrset(*set, key, policy, apex);
+    const ZoneSigner& signer =  // KSK signs DNSKEY only
+        (set->type == dns::RRType::DNSKEY) ? ksk_signer : zsk_signer;
+    dns::RrsigData sig = sign_rrset(*set, signer, policy, apex, cache);
     dns::ResourceRecord rr;
     rr.name = set->name;
     rr.type = dns::RRType::RRSIG;
@@ -245,7 +324,7 @@ void sign_zone(dns::Zone& zone, const SigningKey& ksk, const SigningKey& zsk,
         zone.add(dns::ResourceRecord{apex, dns::RRType::RRSIG, dns::RRClass::IN,
                                      sig_ttl, rdata});
       const dns::RRset* zonemd_set = zone.find(apex, dns::RRType::ZONEMD);
-      dns::RrsigData sig = sign_rrset(*zonemd_set, zsk, policy, apex);
+      dns::RrsigData sig = sign_rrset(*zonemd_set, zsk_signer, policy, apex, cache);
       zone.add(dns::ResourceRecord{apex, dns::RRType::RRSIG, dns::RRClass::IN,
                                    zonemd_set->ttl, sig});
     }

@@ -8,6 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 
 #include "crypto/rsa.h"
 #include "dns/zone.h"
@@ -39,12 +42,58 @@ struct SigningPolicy {
   enum class ZonemdMode { None, PrivateAlgorithm, Sha384 } zonemd = ZonemdMode::Sha384;
 };
 
+/// Memoizes RRSIG signature bytes across sign_zone calls.
+///
+/// The root zone re-signs ~every 12 hours, but most RRsets (delegations,
+/// glue, NSEC chain) are unchanged between serials and — because inception
+/// is pinned to the day edit — so are their RRSIG timestamps within a day.
+/// The cache is content-addressed: the lookup key is SHA-256 over the
+/// signing key's DNSKEY RDATA wire followed by the RRSIG signing payload,
+/// which embeds the full RRSIG template (type covered, key tag, signer,
+/// inception/expiration) and the canonical RRset wire form. Any change to
+/// the RRset, the validity window, or the key therefore produces a
+/// different lookup key: serial bumps (SOA/ZONEMD RRsets) and key rolls
+/// invalidate by construction, and a hit can only ever return bytes a
+/// cold sign of the identical payload would produce.
+///
+/// Thread-safe. Hit/miss totals are scheduling-independent as long as the
+/// entry bound is not reached (the set of distinct payloads signed is a
+/// property of the workload, not of signing order), which keeps the
+/// `rss.sig_cache.*` counters byte-identical across worker counts.
+class SignatureCache {
+ public:
+  explicit SignatureCache(size_t max_entries = 1 << 16);
+
+  /// Returns the cached signature for (key identity, payload), or signs via
+  /// `ctx` and caches. `key_id` must uniquely identify the signing key (the
+  /// DNSKEY RDATA wire form).
+  std::vector<uint8_t> sign(const crypto::RsaSignContext& ctx,
+                            std::span<const uint8_t> key_id,
+                            crypto::RsaHash hash,
+                            std::span<const uint8_t> payload);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t size() const;
+  size_t max_entries() const { return max_entries_; }
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t max_entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::unordered_map<std::string, std::vector<uint8_t>> entries_;
+};
+
 /// Signs `zone` in place: strips old NSEC/RRSIG/ZONEMD/DNSKEY, installs the
 /// DNSKEY RRset, NSEC chain and ZONEMD, and signs all authoritative RRsets.
 /// Delegation NS RRsets and glue are not signed (RFC 4035 §2.2) — exactly the
 /// gap ZONEMD closes and the reason the paper calls it valuable.
+/// With `cache` non-null, unchanged RRsets reuse previously computed
+/// signature bytes instead of re-running the RSA kernel.
 void sign_zone(dns::Zone& zone, const SigningKey& ksk, const SigningKey& zsk,
-               const SigningPolicy& policy);
+               const SigningPolicy& policy, SignatureCache* cache = nullptr);
 
 /// Computes the RFC 8976 SIMPLE/SHA-384 digest over the zone (ignoring the
 /// apex ZONEMD RRset's RRSIG and zeroing nothing: the caller must pass a zone

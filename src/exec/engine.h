@@ -5,20 +5,29 @@
 // units out over a fixed-size worker pool while keeping every output a pure
 // function of (seed, config), independent of thread count and scheduling:
 //
-//   * static contiguous sharding: worker w owns units [w*chunk, (w+1)*chunk),
-//     so "merge shards in order" equals "merge units in order";
 //   * callers draw per-unit RNGs by forking the campaign seed by unit name,
 //     never by sharing a sequential stream across units;
 //   * results are slot-addressed (unit i writes output[i]);
-//   * observability is sharded per worker (ObsShards) and absorbed into the
-//     main recorder in shard order after the region, which reproduces the
+//   * observability is sharded per *unit* (ObsShards) and absorbed into the
+//     main recorder in unit order after the region, which reproduces the
 //     exact counter totals, histogram buckets, trace ids and ring-drop
-//     behaviour of a single-threaded run — exports stay byte-identical.
+//     behaviour of a single-threaded run — exports stay byte-identical no
+//     matter which worker ran which unit, or in what order.
+//
+// Scheduling (which worker runs which unit, when) is therefore free to be
+// dynamic. The default scheduler is deterministic work stealing: each worker
+// owns a contiguous range of units packed into one 64-bit atomic; owners pop
+// units from the front, idle workers steal the tail half of the richest
+// victim's remaining range. Long-pole units no longer strand the rest of a
+// static shard behind them (see DESIGN.md §9 for the determinism argument).
+// ROOTSIM_SCHED=static restores the old static contiguous partition for A/B
+// comparison; outputs are byte-identical either way.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "obs/obs.h"
@@ -31,37 +40,61 @@ class Profiler;
 /// environment variable, else 1. Never returns 0.
 size_t resolve_workers(size_t requested = 0);
 
-/// Runs `fn(unit, shard)` for every unit in [0, unit_count). Units are
-/// statically partitioned into `workers` contiguous blocks; block w runs on
-/// its own thread and passes shard index w. With workers == 1 the loop runs
-/// inline on the calling thread (same code path, no pool), so serial and
-/// parallel runs differ only in interleaving — never in results.
+/// How parallel_for hands units to workers. Outputs never depend on the
+/// choice — only wall-clock behaviour does.
+enum class SchedulerMode {
+  Static,     ///< contiguous blocks, worker w owns [w*chunk, (w+1)*chunk)
+  WorkSteal,  ///< same initial blocks; idle workers steal tail halves
+};
+
+std::string_view to_string(SchedulerMode mode);
+
+/// Scheduler from the ROOTSIM_SCHED environment variable: "static" selects
+/// SchedulerMode::Static, anything else (or unset) the default WorkSteal.
+SchedulerMode resolve_scheduler();
+
+/// Runs `fn(unit, worker)` for every unit in [0, unit_count) on `workers`
+/// threads under `resolve_scheduler()`. With workers == 1 the loop runs
+/// inline on the calling thread (same code path, no pool, no atomics), so
+/// serial and parallel runs differ only in interleaving — never in results.
+/// The second argument to `fn` is the *worker* index (which thread is
+/// calling), not a partition: under work stealing any worker may run any
+/// unit, so per-worker state (probers, scratch) is keyed by it while
+/// per-unit state (RNG forks, output slots, obs shards) is keyed by `unit`.
 void parallel_for(size_t unit_count, size_t workers,
-                  const std::function<void(size_t unit, size_t shard)>& fn);
+                  const std::function<void(size_t unit, size_t worker)>& fn);
 
-/// Same, recording every unit's wall span into `profiler` (see profiler.h).
-/// nullptr profiler takes exactly the plain overload's path — profiling only
-/// ever changes what is *measured*, never what runs, so deterministic outputs
-/// are identical with it on or off.
+/// Same with an explicit scheduler (tests and A/B benches).
+void parallel_for(size_t unit_count, size_t workers, SchedulerMode mode,
+                  const std::function<void(size_t unit, size_t worker)>& fn);
+
+/// Same, recording every unit's wall span, per-worker steal counts and the
+/// scheduler mode into `profiler` (see profiler.h). nullptr profiler takes
+/// exactly the plain overload's path — profiling only ever changes what is
+/// *measured*, never what runs, so deterministic outputs are identical with
+/// it on or off.
 void parallel_for(size_t unit_count, size_t workers, Profiler* profiler,
-                  const std::function<void(size_t unit, size_t shard)>& fn);
+                  const std::function<void(size_t unit, size_t worker)>& fn);
 
-/// Per-worker observability shards with deterministic merge.
+/// Per-unit observability shards with deterministic merge.
 ///
-/// Each worker records into its own Recorder; merge() absorbs them into the
-/// main sinks in shard order. Shard tracers get the main tracer's capacity:
-/// combined with contiguous sharding this makes the merged ring's content,
-/// id sequence and drop count byte-identical to a serial run (see
-/// Tracer::absorb). On a null main sink every shard is the null sink too and
-/// merge() is a no-op.
+/// Each unit records into its own Recorder; merge() absorbs them into the
+/// main sinks in unit order. Shard tracers get the main tracer's capacity:
+/// the concatenation of per-unit event streams in unit order *is* the serial
+/// event stream, so the merged ring's content, id sequence and drop count
+/// are byte-identical to a serial run (see Tracer::absorb) — regardless of
+/// which worker ran which unit or in what order the scheduler interleaved
+/// them. On a null main sink every shard is the null sink too and merge()
+/// is a no-op.
 class ObsShards {
  public:
+  /// One shard per unit: pass the region's unit count.
   ObsShards(obs::Obs main, size_t shard_count);
 
-  /// The Obs handle worker `shard` records into.
+  /// The Obs handle unit `index`'s work records into.
   obs::Obs shard(size_t index);
 
-  /// Absorbs all shards into the main sinks, in shard order. Call exactly
+  /// Absorbs all shards into the main sinks, in unit order. Call exactly
   /// once, after the parallel region.
   void merge();
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "util/strings.h"
 
@@ -25,8 +26,18 @@ std::string Profiler::env_output_path() {
 void Profiler::begin_region(size_t unit_count, size_t workers) {
   workers_ = std::max<size_t>(workers, 1);
   units_.assign(unit_count, UnitSpan{});
+  steals_.assign(workers_, 0);
+  sched_ = "static";
   region_begin_ms_ = now_ms();
   region_end_ms_ = region_begin_ms_;
+}
+
+void Profiler::set_scheduler(std::string_view sched) {
+  sched_.assign(sched);
+}
+
+void Profiler::note_steals(size_t worker, uint64_t count) {
+  if (worker < steals_.size()) steals_[worker] = count;
 }
 
 void Profiler::unit_done(size_t unit, size_t shard, double begin_ms,
@@ -60,24 +71,33 @@ std::vector<Profiler::WorkerReport> Profiler::worker_reports() const {
     ++report.units;
   }
   const double wall = wall_ms();
-  for (WorkerReport& report : reports)
+  for (WorkerReport& report : reports) {
     report.utilization = wall > 0 ? report.busy_ms / wall : 0;
+    report.idle_ms = std::max(0.0, wall - report.busy_ms);
+    if (report.worker < steals_.size())
+      report.steal_count = steals_[report.worker];
+  }
   return reports;
 }
 
 std::string Profiler::to_json() const {
   const auto reports = worker_reports();
-  double total_busy = 0, critical_path = 0;
+  double total_busy = 0, critical_path = 0, last_end = 0;
   size_t recorded = 0;
   for (const WorkerReport& report : reports) {
     total_busy += report.busy_ms;
     critical_path = std::max(critical_path, report.busy_ms);
+    last_end = std::max(last_end, report.last_end_ms);
     recorded += report.units;
   }
   const double wall = wall_ms();
   const double mean_busy =
       workers_ > 0 ? total_busy / static_cast<double>(workers_) : 0;
-  std::string out = "{\"schema\":\"rootsim-exec-profile/1\",\"summary\":{";
+  // The idle tail after the last unit completes: join + shard merge, work no
+  // unit span accounts for.
+  const double tail_ms =
+      recorded > 0 ? std::max(0.0, region_end_ms_ - last_end) : 0;
+  std::string out = "{\"schema\":\"rootsim-exec-profile/2\",\"summary\":{";
   out += util::format(
       "\"workers\":%zu,\"units\":%zu,\"wall_ms\":%.3f,\"total_busy_ms\":%.3f",
       workers_, recorded, wall, total_busy);
@@ -89,6 +109,9 @@ std::string Profiler::to_json() const {
           ? total_busy / (wall * static_cast<double>(workers_))
           : 0,
       mean_busy > 0 ? critical_path / mean_busy : 0);
+  out += util::format(
+      ",\"tail_ms\":%.3f,\"sched\":\"%s\",\"hardware_concurrency\":%u",
+      tail_ms, sched_.c_str(), std::thread::hardware_concurrency());
   out += "},\"per_worker\":[";
   for (size_t w = 0; w < reports.size(); ++w) {
     const WorkerReport& report = reports[w];
@@ -96,9 +119,11 @@ std::string Profiler::to_json() const {
     out += util::format(
         "{\"worker\":%zu,\"units\":%zu,\"busy_ms\":%.3f,"
         "\"first_begin_ms\":%.3f,\"last_end_ms\":%.3f,"
-        "\"utilization\":%.4f,\"sim_ms\":%.3f}",
+        "\"utilization\":%.4f,\"idle_ms\":%.3f,\"steal_count\":%llu,"
+        "\"sim_ms\":%.3f}",
         report.worker, report.units, report.busy_ms, report.first_begin_ms,
-        report.last_end_ms, report.utilization, report.sim_ms);
+        report.last_end_ms, report.utilization, report.idle_ms,
+        static_cast<unsigned long long>(report.steal_count), report.sim_ms);
   }
   out += "],\"units\":[";
   bool first = true;

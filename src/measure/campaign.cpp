@@ -181,19 +181,30 @@ std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
 
   // One work unit per fault event plus one per clean sample. Units are
   // slot-addressed and seeded by index, so the observation vector is the
-  // same for every worker count; per-worker obs shards merged in shard
-  // order keep the metric/trace exports byte-identical too.
+  // same for every worker count; per-unit obs shards merged in unit order
+  // keep the metric/trace exports byte-identical too — no matter which
+  // worker the scheduler hands a unit to, or in what order.
   const size_t fault_count = faults_.size();
   const size_t total_units = fault_count + clean_samples;
   workers = std::max<size_t>(1, std::min(exec::resolve_workers(workers),
                                          std::max<size_t>(total_units, 1)));
-  exec::ObsShards shards(obs_, workers);
+  exec::ObsShards shards(obs_, total_units);
+  // Each worker owns one Prober (and its Transport); the unit body rebinds
+  // it to the current unit's obs shard before probing. An attached flight
+  // recorder gets one lock-free shard per worker so recording stays off the
+  // parallel hot path (its ring is diagnostic, merged at read time).
+  std::vector<netsim::FlightRecorder::Shard*> flight_shards;
+  if (config_.transport.flight_recorder && workers > 1)
+    flight_shards = config_.transport.flight_recorder->make_shards(workers);
   std::vector<std::unique_ptr<Prober>> probers;
   probers.reserve(workers);
-  for (size_t w = 0; w < workers; ++w)
+  for (size_t w = 0; w < workers; ++w) {
+    netsim::TransportConfig transport_config = config_.transport;
+    if (!flight_shards.empty()) transport_config.flight_shard = flight_shards[w];
     probers.push_back(std::make_unique<Prober>(*authority_, catalog_, *router_,
-                                               config_.transport,
-                                               shards.shard(w)));
+                                               std::move(transport_config),
+                                               obs::Obs{}));
+  }
   std::vector<ZoneAuditObservation> observations(total_units);
   // Hoisted out of the sampling loop: the address set is time-invariant for
   // the fixed `end` snapshot and each unit needs only a reference.
@@ -210,9 +221,10 @@ std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
 
   WallClock::time_point phase_start = WallClock::now();
   exec::parallel_for(total_units, workers, prof,
-                     [&](size_t unit, size_t shard) {
-    obs::Obs sink = shards.shard(shard);
-    Prober& prober = *probers[shard];
+                     [&](size_t unit, size_t worker) {
+    obs::Obs sink = shards.shard(unit);
+    Prober& prober = *probers[worker];
+    prober.rebind_obs(sink);
     if (unit < fault_count) {
       // Planned fault event: full-fidelity probe with the fault knobs set.
       const FaultEvent& event = faults_[unit];

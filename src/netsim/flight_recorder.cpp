@@ -1,5 +1,7 @@
 #include "netsim/flight_recorder.h"
 
+#include <algorithm>
+
 #include "dns/rdata.h"
 #include "obs/metrics.h"  // json_escape
 #include "util/strings.h"
@@ -19,6 +21,12 @@ std::string_view to_string(FlightRecord::Cause cause) {
 FlightRecorder::FlightRecorder(size_t capacity)
     : capacity_(capacity ? capacity : 1) {}
 
+void FlightRecorder::Shard::record(FlightRecord record) {
+  if (ring_.size() >= capacity_) ring_.pop_front();
+  ++recorded_;
+  ring_.push_back(std::move(record));
+}
+
 void FlightRecorder::record(FlightRecord record) {
   std::lock_guard<std::mutex> lock(mu_);
   if (ring_.size() >= capacity_) ring_.pop_front();
@@ -26,30 +34,53 @@ void FlightRecorder::record(FlightRecord record) {
   ring_.push_back(std::move(record));
 }
 
-size_t FlightRecorder::size() const {
+std::vector<FlightRecorder::Shard*> FlightRecorder::make_shards(size_t count) {
   std::lock_guard<std::mutex> lock(mu_);
-  return ring_.size();
+  std::vector<Shard*> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    shards_.emplace_back(Shard(capacity_));
+    out.push_back(&shards_.back());
+  }
+  return out;
 }
+
+size_t FlightRecorder::size() const { return records().size(); }
 
 uint64_t FlightRecorder::recorded() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return recorded_;
+  uint64_t total = recorded_;
+  for (const Shard& shard : shards_) total += shard.recorded_;
+  return total;
 }
 
-uint64_t FlightRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return recorded_ - ring_.size();
-}
+uint64_t FlightRecorder::dropped() const { return recorded() - size(); }
 
 std::vector<FlightRecord> FlightRecorder::records() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return {ring_.begin(), ring_.end()};
+  std::vector<FlightRecord> merged{ring_.begin(), ring_.end()};
+  for (const Shard& shard : shards_)
+    merged.insert(merged.end(), shard.ring_.begin(), shard.ring_.end());
+  // Order by simulated send time (scheduling put them in arbitrary shards);
+  // stable so owner-then-shard order breaks ties, then keep the newest
+  // `capacity` like a single ring would have.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const FlightRecord& a, const FlightRecord& b) {
+                     return a.when < b.when;
+                   });
+  if (merged.size() > capacity_)
+    merged.erase(merged.begin(),
+                 merged.begin() + static_cast<long>(merged.size() - capacity_));
+  return merged;
 }
 
 void FlightRecorder::clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  // recorded totals stay monotone per recorder across clear(): fold the
+  // dying shards' counts into the owner before dropping them.
+  for (const Shard& shard : shards_) recorded_ += shard.recorded_;
   ring_.clear();
-  // recorded_ survives clear(): totals stay monotone per recorder.
+  shards_.clear();
 }
 
 std::string FlightRecorder::to_jsonl() const {

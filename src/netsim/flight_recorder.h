@@ -8,11 +8,17 @@
 //
 // Attach one by pointing TransportConfig::flight_recorder at it; the
 // transport records every exchange() / axfr() completion. With no recorder
-// attached the transport pays one null-pointer branch per exchange. The ring
-// is mutex-protected so parallel workers can share one recorder; ring order
-// then reflects scheduling, which is why the recorder is a *diagnostic*
-// surface — it never feeds the deterministic exports (metrics/trace/rssac002
-// stay byte-identical with or without it).
+// attached the transport pays one null-pointer branch per exchange.
+//
+// Concurrency: the owner ring is mutex-protected for ad-hoc sharing, but
+// parallel workers should each write a per-worker Shard (make_shards) —
+// single-writer rings with no lock at all, so the recorder stays enabled in
+// scaling benches without serializing workers on a mutex. Reads merge the
+// owner ring and every shard ordered by simulated send time. Either way the
+// recorder is a *diagnostic* surface — buffered order reflects scheduling
+// and never feeds the deterministic exports (metrics/trace/rssac002 stay
+// byte-identical with or without it); only the recorded() total is
+// scheduling-independent.
 #pragma once
 
 #include <cstdint>
@@ -69,18 +75,42 @@ std::string_view to_string(FlightRecord::Cause cause);
 /// Thread-safe bounded ring of FlightRecords, oldest evicted first.
 class FlightRecorder {
  public:
+  /// One worker's lock-free view of the recorder. record() touches only this
+  /// shard's own bounded ring — no mutex, single writer by construction.
+  /// The parent folds shard contents into every read API.
+  class Shard {
+   public:
+    void record(FlightRecord record);
+
+   private:
+    friend class FlightRecorder;
+    explicit Shard(size_t capacity) : capacity_(capacity) {}
+    size_t capacity_;
+    uint64_t recorded_ = 0;
+    std::deque<FlightRecord> ring_;
+  };
+
   explicit FlightRecorder(size_t capacity = 256);
 
   void record(FlightRecord record);
 
+  /// Creates `count` per-worker shards and returns their pointers (owned by
+  /// the recorder, valid until clear()). Each call appends fresh shards;
+  /// earlier shards keep contributing to reads. Reading while a worker is
+  /// still writing its shard is a race — merge after the parallel region
+  /// (thread join gives the happens-before edge).
+  std::vector<Shard*> make_shards(size_t count);
+
   size_t capacity() const { return capacity_; }
   size_t size() const;
-  /// Total records ever recorded, including evicted ones.
+  /// Total records ever recorded, including evicted ones, across the owner
+  /// ring and all shards. Scheduling-independent.
   uint64_t recorded() const;
-  /// Records evicted by the ring bound.
+  /// Records evicted by the ring bounds (recorded minus buffered).
   uint64_t dropped() const;
 
-  /// In-order copy of the buffered records (oldest first).
+  /// Merged copy of the buffered records, ordered by simulated send time
+  /// (ties keep owner-then-shard order), truncated to the newest `capacity`.
   std::vector<FlightRecord> records() const;
 
   /// One JSON object per buffered record, oldest first:
@@ -90,6 +120,8 @@ class FlightRecorder {
   ///    "bytes_received":0,"time_ms":10500.0}
   std::string to_jsonl() const;
 
+  /// Drops all buffered records and all shards (their pointers die here).
+  /// Not safe while workers are still recording.
   void clear();
 
  private:
@@ -97,6 +129,7 @@ class FlightRecorder {
   size_t capacity_;
   uint64_t recorded_ = 0;
   std::deque<FlightRecord> ring_;
+  std::deque<Shard> shards_;
 };
 
 }  // namespace rootsim::netsim

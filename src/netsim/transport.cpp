@@ -11,7 +11,12 @@ std::string_view to_string(TransportProto proto) {
 
 Transport::Transport(const AnycastRouter& router, TransportConfig config,
                      obs::Obs obs)
-    : router_(&router), config_(std::move(config)), obs_(obs) {
+    : router_(&router), config_(std::move(config)) {
+  rebind_obs(obs);
+}
+
+void Transport::rebind_obs(obs::Obs obs) {
+  obs_ = obs;
   if (obs_.metrics) {
     exchanges_[0] = obs_.counter_handle("transport.exchanges", {{"proto", "udp"}});
     exchanges_[1] = obs_.counter_handle("transport.exchanges", {{"proto", "tcp"}});
@@ -20,6 +25,10 @@ Transport::Transport(const AnycastRouter& router, TransportConfig config,
     tcp_fallbacks_ = obs_.counter_handle("transport.tcp_fallbacks");
     bytes_sent_ = obs_.counter_handle("transport.bytes", {{"dir", "sent"}});
     bytes_received_ = obs_.counter_handle("transport.bytes", {{"dir", "received"}});
+  } else {
+    exchanges_[0] = exchanges_[1] = nullptr;
+    drops_ = timeouts_ = tcp_fallbacks_ = nullptr;
+    bytes_sent_ = bytes_received_ = nullptr;
   }
 }
 
@@ -110,7 +119,7 @@ ExchangeOutcome Transport::exchange(Path& path, const Endpoint& endpoint,
     telemetry.response_bytes = outcome.delivered ? path.wire_.size() : 0;
     endpoint.note_exchange(telemetry);
   }
-  if (config_.flight_recorder) {
+  if (config_.flight_shard || config_.flight_recorder) {
     FlightRecord record;
     record.op = FlightRecord::Op::Query;
     record.cause = outcome.timed_out    ? FlightRecord::Cause::Timeout
@@ -133,7 +142,10 @@ ExchangeOutcome Transport::exchange(Path& path, const Endpoint& endpoint,
       record.qtype = static_cast<uint16_t>(query.questions[0].qtype);
     }
     record.when = now;
-    config_.flight_recorder->record(std::move(record));
+    if (config_.flight_shard)
+      config_.flight_shard->record(std::move(record));
+    else
+      config_.flight_recorder->record(std::move(record));
   }
   return outcome;
 }
@@ -257,7 +269,7 @@ AxfrOutcome Transport::axfr(Path& path, const Endpoint& endpoint,
         outcome.delivered ? outcome.stream.size() : uint64_t{64};
     endpoint.note_exchange(telemetry);
   }
-  if (config_.flight_recorder) {
+  if (config_.flight_shard || config_.flight_recorder) {
     FlightRecord record;
     record.op = FlightRecord::Op::Axfr;
     record.cause = outcome.tcp_refused  ? FlightRecord::Cause::TcpRefused
@@ -275,7 +287,10 @@ AxfrOutcome Transport::axfr(Path& path, const Endpoint& endpoint,
     record.bytes_received = outcome.stats.bytes_received;
     record.time_ms = outcome.stats.time_ms;
     record.when = now;
-    config_.flight_recorder->record(std::move(record));
+    if (config_.flight_shard)
+      config_.flight_shard->record(std::move(record));
+    else
+      config_.flight_recorder->record(std::move(record));
   }
   return outcome;
 }

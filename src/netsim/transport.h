@@ -32,14 +32,13 @@
 
 #include "dns/codec.h"
 #include "dns/message.h"
+#include "netsim/flight_recorder.h"
 #include "netsim/routing.h"
 #include "obs/obs.h"
 #include "util/rng.h"
 #include "util/timeutil.h"
 
 namespace rootsim::netsim {
-
-class FlightRecorder;
 
 /// The protocol a response (finally) arrived over.
 enum class TransportProto : uint8_t { Udp, Tcp };
@@ -108,6 +107,11 @@ struct TransportConfig {
   /// completion is pushed onto its ring for post-mortem. Diagnostic only —
   /// never part of the deterministic export surface (see flight_recorder.h).
   FlightRecorder* flight_recorder = nullptr;
+  /// Per-worker shard of the recorder (non-owning). When set it wins over
+  /// `flight_recorder`: records go to the shard's lock-free ring instead of
+  /// the owner's mutex-protected one, keeping the recorder off the parallel
+  /// hot path (see FlightRecorder::make_shards).
+  FlightRecorder::Shard* flight_shard = nullptr;
 
   const LinkConditions& conditions_for_site(uint32_t site_id) const {
     auto it = site_conditions.find(site_id);
@@ -232,6 +236,13 @@ class Transport {
   /// TCP fallbacks and wire bytes under `transport.*`.
   explicit Transport(const AnycastRouter& router, TransportConfig config = {},
                      obs::Obs obs = {});
+
+  /// Re-points the metric handles at a different sink. The work-stealing
+  /// audit hands each worker's transport the current unit's ObsShard before
+  /// every probe — re-resolving seven handles is noise next to the ~47-query
+  /// probe they account. Not thread-safe against concurrent exchanges on the
+  /// same Transport (each worker owns its transport, so that never happens).
+  void rebind_obs(obs::Obs obs);
 
   /// Resolves the serving site for (client, root, family) at `round` —
   /// exactly one route selection — and binds the per-link conditions and the

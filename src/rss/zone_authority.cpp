@@ -42,8 +42,13 @@ ZoneAuthority::ZoneAuthority(const RootCatalog& catalog, ZoneAuthorityConfig con
     : catalog_(&catalog), config_(config) {
   if (obs.metrics) {
     zones_built_ = obs.counter_handle("rss.zones_built");
+    sig_cache_hits_ = obs.counter_handle("rss.sig_cache.hits");
+    sig_cache_misses_ = obs.counter_handle("rss.sig_cache.misses");
     zone_serial_ = &obs.metrics->gauge("rss.zone_serial");
   }
+  if (config_.signature_cache_entries > 0)
+    signature_cache_ = std::make_unique<dnssec::SignatureCache>(
+        config_.signature_cache_entries);
   util::Rng rng(config_.seed);
   util::Rng tld_rng = rng.fork("tlds");
   tlds_ = make_tlds(config_.tld_count, tld_rng);
@@ -147,7 +152,15 @@ const dns::Zone& ZoneAuthority::zone_at(util::UnixTime t) const {
   policy.expiration =
       policy.inception + config_.rrsig_validity_days * util::kSecondsPerDay;
   policy.zonemd = zonemd_mode_at(t);
-  dnssec::sign_zone(zone, ksk_, zsk_, policy);
+  const uint64_t hits_before =
+      signature_cache_ ? signature_cache_->hits() : 0;
+  const uint64_t misses_before =
+      signature_cache_ ? signature_cache_->misses() : 0;
+  dnssec::sign_zone(zone, ksk_, zsk_, policy, signature_cache_.get());
+  if (signature_cache_) {
+    obs::inc(sig_cache_hits_, signature_cache_->hits() - hits_before);
+    obs::inc(sig_cache_misses_, signature_cache_->misses() - misses_before);
+  }
 
   auto [inserted, ok] = cache_.emplace(serial, std::make_unique<dns::Zone>(std::move(zone)));
   obs::inc(zones_built_);

@@ -38,6 +38,11 @@ struct ZoneAuthorityConfig {
   util::UnixTime broot_change = util::make_time(2023, 11, 27);
   /// RRSIG validity window length (the root uses ~2 weeks).
   int64_t rrsig_validity_days = 14;
+  /// Signature memo bound (entries). The audit workloads sign a few thousand
+  /// distinct payloads; keep the bound far above that so hit/miss totals stay
+  /// scheduling-independent (the cache never resets mid-campaign). 0 disables
+  /// the cache entirely.
+  size_t signature_cache_entries = 1 << 16;
 };
 
 /// Builds signed root zones for any instant of the campaign.
@@ -68,6 +73,12 @@ class ZoneAuthority {
   const ZoneAuthorityConfig& config() const { return config_; }
   const std::vector<std::string>& tlds() const { return tlds_; }
 
+  /// The cross-serial signature memo (null when disabled by config).
+  /// Counters `rss.sig_cache.hits` / `rss.sig_cache.misses` mirror it.
+  const dnssec::SignatureCache* signature_cache() const {
+    return signature_cache_.get();
+  }
+
   /// The ZONEMD mode in force at `t` (None / PrivateAlgorithm / Sha384).
   dnssec::SigningPolicy::ZonemdMode zonemd_mode_at(util::UnixTime t) const;
 
@@ -80,7 +91,10 @@ class ZoneAuthority {
   dnssec::SigningKey ksk_;
   dnssec::SigningKey zsk_;
   obs::Counter* zones_built_ = nullptr;
+  obs::Counter* sig_cache_hits_ = nullptr;
+  obs::Counter* sig_cache_misses_ = nullptr;
   obs::Gauge* zone_serial_ = nullptr;
+  std::unique_ptr<dnssec::SignatureCache> signature_cache_;
   // Zone build + insert happens under the lock: std::map nodes are stable,
   // so returned references stay valid, and `rss.zones_built` counts exactly
   // one build per serial regardless of worker count.

@@ -268,5 +268,150 @@ TEST(Validator, StatusStrings) {
   EXPECT_EQ(to_string(ZonemdStatus::Verified), "zonemd-verified");
 }
 
+// ---------------------------------------------------------------------------
+// Signature memo: warm signatures must be the exact bytes a cold sign
+// produces, and anything that changes what a signature covers — the RRset,
+// the serial, the key — must miss instead of serving stale bytes.
+
+TEST(SignatureCache, WarmSignZoneIsByteIdenticalToColdSign) {
+  util::Rng rng(42);
+  SigningKey ksk = make_ksk(rng, 512);
+  SigningKey zsk = make_zsk(rng, 512);
+  SigningPolicy policy;
+  policy.inception = make_time(2023, 12, 1);
+  policy.expiration = make_time(2023, 12, 15);
+  policy.zonemd = SigningPolicy::ZonemdMode::Sha384;
+
+  dns::Zone cold = make_unsigned_root();
+  sign_zone(cold, ksk, zsk, policy);
+
+  SignatureCache cache;
+  dns::Zone first = make_unsigned_root();
+  sign_zone(first, ksk, zsk, policy, &cache);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+  EXPECT_EQ(cache.size(), cache.misses());
+  EXPECT_EQ(first.to_master_file(), cold.to_master_file());
+
+  // Identical zone again: every signature must come out of the memo, and the
+  // bytes must still be the cold-sign bytes (RSASSA-PKCS1 is deterministic,
+  // so any divergence is a cache bug, not an RNG artifact).
+  const uint64_t misses_after_cold = cache.misses();
+  dns::Zone second = make_unsigned_root();
+  sign_zone(second, ksk, zsk, policy, &cache);
+  EXPECT_EQ(cache.misses(), misses_after_cold);
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_EQ(second.to_master_file(), cold.to_master_file());
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SignatureCache, SerialBumpInvalidatesChangedRRsetsOnly) {
+  util::Rng rng(42);
+  SigningKey ksk = make_ksk(rng, 512);
+  SigningKey zsk = make_zsk(rng, 512);
+  SigningPolicy policy;
+  policy.inception = make_time(2023, 12, 1);
+  policy.expiration = make_time(2023, 12, 15);
+  policy.zonemd = SigningPolicy::ZonemdMode::Sha384;
+
+  SignatureCache cache;
+  dns::Zone first = make_unsigned_root();
+  sign_zone(first, ksk, zsk, policy, &cache);
+  const uint64_t misses_first = cache.misses();
+  const uint64_t hits_first = cache.hits();
+
+  // Bump the serial: the SOA RRset (and the serial-bearing ZONEMD) now cover
+  // different content, so their cached signatures are unusable by
+  // construction — the payload *is* the cache key.
+  auto bumped_unsigned = [] {
+    dns::Zone zone = make_unsigned_root();
+    dns::Zone bumped{Name{}};
+    for (const dns::RRset* rrset : zone.rrsets())
+      for (dns::ResourceRecord record : rrset->to_records()) {
+        if (record.type == RRType::SOA)
+          std::get<dns::SoaData>(record.rdata).serial += 1;
+        bumped.add(record);
+      }
+    return bumped;
+  };
+  dns::Zone bumped = bumped_unsigned();
+  sign_zone(bumped, ksk, zsk, policy, &cache);
+  EXPECT_GT(cache.misses(), misses_first) << "serial bump must re-sign";
+  EXPECT_GT(cache.hits(), hits_first) << "unchanged RRsets must still hit";
+
+  // And the mixed hit/miss output is exactly what a cold signer produces.
+  dns::Zone cold = bumped_unsigned();
+  sign_zone(cold, ksk, zsk, policy);
+  EXPECT_EQ(bumped.to_master_file(), cold.to_master_file());
+}
+
+TEST(SignatureCache, KeyRollNeverServesOldKeysBytes) {
+  util::Rng rng(42);
+  SigningKey ksk = make_ksk(rng, 512);
+  SigningKey zsk = make_zsk(rng, 512);
+  util::Rng roll_rng(43);
+  SigningKey rolled_zsk = make_zsk(roll_rng, 512);
+  ASSERT_NE(zsk.key_tag(), rolled_zsk.key_tag());
+  SigningPolicy policy;
+  policy.inception = make_time(2023, 12, 1);
+  policy.expiration = make_time(2023, 12, 15);
+  policy.zonemd = SigningPolicy::ZonemdMode::Sha384;
+
+  SignatureCache cache;
+  dns::Zone first = make_unsigned_root();
+  sign_zone(first, ksk, zsk, policy, &cache);
+  const uint64_t hits_before_roll = cache.hits();
+
+  // Same zone content, new ZSK: every ZSK signature carries a new key
+  // identity and the DNSKEY RRset itself changed, so nothing may hit.
+  dns::Zone rolled = make_unsigned_root();
+  sign_zone(rolled, ksk, rolled_zsk, policy, &cache);
+  EXPECT_EQ(cache.hits(), hits_before_roll);
+
+  dns::Zone cold = make_unsigned_root();
+  sign_zone(cold, ksk, rolled_zsk, policy);
+  EXPECT_EQ(rolled.to_master_file(), cold.to_master_file());
+
+  // The rolled zone validates only against the rolled anchors.
+  TrustAnchors rolled_anchors;
+  rolled_anchors.keys = {ksk.to_dnskey(), rolled_zsk.to_dnskey()};
+  EXPECT_TRUE(
+      validate_zone(rolled, rolled_anchors, make_time(2023, 12, 7)).fully_valid());
+  TrustAnchors old_anchors;
+  old_anchors.keys = {ksk.to_dnskey(), zsk.to_dnskey()};
+  EXPECT_FALSE(
+      validate_zone(rolled, old_anchors, make_time(2023, 12, 7)).fully_valid());
+}
+
+TEST(SignatureCache, BoundedAndDirectSignMatchesContext) {
+  util::Rng rng(7);
+  SigningKey zsk = make_zsk(rng, 512);
+  crypto::RsaSignContext ctx(zsk.rsa);
+  const std::vector<uint8_t> key_id = {1, 2, 3};
+  const std::vector<uint8_t> payload_a = {10, 20, 30};
+  const std::vector<uint8_t> payload_b = {10, 20, 31};
+
+  SignatureCache cache(2);
+  EXPECT_EQ(cache.max_entries(), 2u);
+  auto direct = crypto::rsa_sign(zsk.rsa, crypto::RsaHash::Sha256, payload_a);
+  ASSERT_FALSE(direct.empty());
+  auto miss = cache.sign(ctx, key_id, crypto::RsaHash::Sha256, payload_a);
+  EXPECT_EQ(miss, direct);
+  auto hit = cache.sign(ctx, key_id, crypto::RsaHash::Sha256, payload_a);
+  EXPECT_EQ(hit, direct);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Distinct payloads get distinct entries; a distinct key identity misses
+  // even on an identical payload.
+  cache.sign(ctx, key_id, crypto::RsaHash::Sha256, payload_b);
+  const std::vector<uint8_t> other_key_id = {9, 9, 9};
+  cache.sign(ctx, other_key_id, crypto::RsaHash::Sha256, payload_a);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_LE(cache.size(), cache.max_entries());
+}
+
 }  // namespace
 }  // namespace rootsim::dnssec

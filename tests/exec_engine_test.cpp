@@ -6,11 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "exec/profiler.h"
 #include "measure/campaign.h"
 #include "netsim/flight_recorder.h"
 #include "obs/obs.h"
@@ -19,22 +22,65 @@
 namespace rootsim {
 namespace {
 
-TEST(ParallelFor, CoversEveryUnitExactlyOnceWithContiguousShards) {
+TEST(ParallelFor, WorkStealCoversEveryUnitExactlyOnce) {
   constexpr size_t kUnits = 103;  // deliberately not a multiple of workers
   constexpr size_t kWorkers = 4;
   std::vector<std::atomic<int>> hits(kUnits);
-  std::vector<std::atomic<int>> shard_of(kUnits);
-  exec::parallel_for(kUnits, kWorkers, [&](size_t unit, size_t shard) {
-    hits[unit].fetch_add(1);
-    shard_of[unit].store(static_cast<int>(shard));
-  });
+  exec::parallel_for(kUnits, kWorkers, exec::SchedulerMode::WorkSteal,
+                     [&](size_t unit, size_t worker) {
+                       hits[unit].fetch_add(1);
+                       ASSERT_LT(worker, kWorkers);
+                     });
   for (size_t unit = 0; unit < kUnits; ++unit)
     ASSERT_EQ(hits[unit].load(), 1) << unit;
-  // Contiguous block sharding: shard indices are non-decreasing in unit
-  // order. That invariant is what makes "merge shards in order" equal
-  // "merge units in order".
+}
+
+TEST(ParallelFor, StaticModeKeepsContiguousShards) {
+  constexpr size_t kUnits = 103;
+  constexpr size_t kWorkers = 4;
+  std::vector<std::atomic<int>> hits(kUnits);
+  std::vector<std::atomic<int>> shard_of(kUnits);
+  exec::parallel_for(kUnits, kWorkers, exec::SchedulerMode::Static,
+                     [&](size_t unit, size_t shard) {
+                       hits[unit].fetch_add(1);
+                       shard_of[unit].store(static_cast<int>(shard));
+                     });
+  for (size_t unit = 0; unit < kUnits; ++unit)
+    ASSERT_EQ(hits[unit].load(), 1) << unit;
+  // Static contiguous blocks: shard indices are non-decreasing in unit order.
   for (size_t unit = 1; unit < kUnits; ++unit)
     ASSERT_GE(shard_of[unit].load(), shard_of[unit - 1].load()) << unit;
+}
+
+TEST(ParallelFor, ResolveSchedulerFromEnvironment) {
+  unsetenv("ROOTSIM_SCHED");
+  EXPECT_EQ(exec::resolve_scheduler(), exec::SchedulerMode::WorkSteal);
+  setenv("ROOTSIM_SCHED", "static", 1);
+  EXPECT_EQ(exec::resolve_scheduler(), exec::SchedulerMode::Static);
+  setenv("ROOTSIM_SCHED", "steal", 1);
+  EXPECT_EQ(exec::resolve_scheduler(), exec::SchedulerMode::WorkSteal);
+  unsetenv("ROOTSIM_SCHED");
+  EXPECT_EQ(to_string(exec::SchedulerMode::Static), "static");
+  EXPECT_EQ(to_string(exec::SchedulerMode::WorkSteal), "steal");
+}
+
+// Many tiny units across every scheduler shape: a TSan-visible stress of the
+// steal path (with units outnumbering workers 100:1, thieves and owners race
+// on the same slots constantly). Correctness bar stays exactly-once.
+TEST(ParallelFor, WorkStealStressManyTinyUnits) {
+  constexpr size_t kUnits = 1600;
+  for (size_t workers : {2, 3, 8, 16}) {
+    std::vector<std::atomic<int>> hits(kUnits);
+    std::atomic<uint64_t> sum{0};
+    exec::parallel_for(kUnits, workers, exec::SchedulerMode::WorkSteal,
+                       [&](size_t unit, size_t) {
+                         hits[unit].fetch_add(1);
+                         sum.fetch_add(unit);
+                       });
+    for (size_t unit = 0; unit < kUnits; ++unit)
+      ASSERT_EQ(hits[unit].load(), 1) << unit << " @" << workers << " workers";
+    EXPECT_EQ(sum.load(), uint64_t{kUnits} * (kUnits - 1) / 2);
+  }
 }
 
 TEST(ParallelFor, MoreWorkersThanUnitsAndZeroUnits) {
@@ -148,6 +194,79 @@ TEST(MetricsMerge, CountersGaugesHistogramsFold) {
   EXPECT_TRUE(checked_hist);
 }
 
+// Adversarially skewed unit durations: one unit costs ~100x the rest. Under
+// static sharding that unit's whole block lags; work stealing drains the rest
+// around it. Either way the *outputs* — metrics, trace, rssac002 — must be
+// byte-identical to a serial run for every worker count and every position of
+// the long pole, because obs shards are per unit and merge in unit order.
+class SkewedUnits : public ::testing::TestWithParam<size_t> {};
+
+std::string skewed_run(size_t workers, size_t units, size_t heavy_unit) {
+  obs::Recorder main;
+  exec::ObsShards shards(main.obs(), units);
+  exec::parallel_for(
+      units, workers, exec::SchedulerMode::WorkSteal,
+      [&](size_t unit, size_t) {
+        obs::Obs sink = shards.shard(unit);
+        uint64_t span = sink.tracer->begin_span(
+            "unit", static_cast<util::UnixTime>(unit),
+            {{"unit", util::format("%zu", unit)}});
+        sink.count("units.done");
+        sink.count("units.kind", {{"heavy", unit == heavy_unit ? "1" : "0"}});
+        obs::Rssac002Sample sample;
+        sample.instance = "test-instance";
+        sample.when = static_cast<util::UnixTime>(1694593200 + unit);
+        sample.udp_queries = 1;
+        sample.delivered = true;
+        sample.query_bytes = 40 + unit % 7;
+        sample.response_bytes = 500 + unit % 13;
+        sample.source_id = unit % 5;
+        sink.rssac002->record(sample);
+        // The long pole: enough wall time that every other worker finishes
+        // its own block and has to steal to stay busy.
+        const auto cost = std::chrono::microseconds(unit == heavy_unit ? 20000 : 200);
+        std::this_thread::sleep_for(cost);
+        sink.tracer->end_span(span, static_cast<util::UnixTime>(unit));
+      });
+  shards.merge();
+  return main.metrics().to_jsonl() + "\n--\n" + main.tracer().to_jsonl() +
+         "\n--\n" + main.rssac002().to_jsonl();
+}
+
+TEST_P(SkewedUnits, ExportsByteIdenticalAtEveryWorkerCount) {
+  constexpr size_t kUnits = 24;
+  const size_t heavy_unit = GetParam();
+  const std::string serial = skewed_run(1, kUnits, heavy_unit);
+  ASSERT_FALSE(serial.empty());
+  for (size_t workers : {2, 4, 8}) {
+    EXPECT_EQ(skewed_run(workers, kUnits, heavy_unit), serial)
+        << workers << " workers, heavy unit " << heavy_unit;
+  }
+}
+
+// The long pole first, last, and at an arbitrary interior position (17 plays
+// the "random" draw — fixed so failures reproduce).
+INSTANTIATE_TEST_SUITE_P(HeavyUnitPositions, SkewedUnits,
+                         ::testing::Values(0u, 23u, 17u));
+
+// Work stealing must actually steal under skew: with the heavy unit first,
+// worker 0 is pinned to it while the rest of its block gets stolen away.
+TEST(WorkSteal, SkewTriggersSteals) {
+  constexpr size_t kUnits = 32;
+  exec::Profiler profiler;
+  setenv("ROOTSIM_SCHED", "steal", 1);
+  exec::parallel_for(kUnits, 4, &profiler, [&](size_t unit, size_t) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(unit == 0 ? 20000 : 200));
+  });
+  unsetenv("ROOTSIM_SCHED");
+  uint64_t total_steals = 0;
+  for (const auto& report : profiler.worker_reports())
+    total_steals += report.steal_count;
+  EXPECT_GT(total_steals, 0u);
+  EXPECT_NE(profiler.to_json().find("\"sched\":\"steal\""), std::string::npos);
+}
+
 bool observations_equal(const measure::ZoneAuditObservation& a,
                         const measure::ZoneAuditObservation& b) {
   return a.vp_id == b.vp_id && a.table2_vp_id == b.table2_vp_id &&
@@ -192,7 +311,7 @@ TEST(ZoneAudit, WorkerCountInvisibleInEveryOutput) {
   ASSERT_FALSE(serial.metrics_jsonl.empty());
   ASSERT_FALSE(serial.trace_jsonl.empty());
   ASSERT_FALSE(serial.rssac002_jsonl.empty());
-  for (size_t workers : {2, 8}) {
+  for (size_t workers : {2, 4, 8}) {
     AuditRun parallel = run_audit(workers);
     ASSERT_EQ(parallel.observations.size(), serial.observations.size())
         << workers << " workers";
@@ -224,7 +343,7 @@ TEST(ZoneAudit, ByteIdenticalWithProfilerAndFlightRecorderEnabled) {
   std::FILE* artifact = std::fopen(profile_path, "r");
   EXPECT_NE(artifact, nullptr) << "profiler artifact was not written";
   if (artifact) std::fclose(artifact);
-  for (size_t workers : {2, 8}) {
+  for (size_t workers : {2, 4, 8}) {
     netsim::FlightRecorder flight(64);
     AuditRun parallel = run_audit(workers, &flight);
     ASSERT_EQ(parallel.observations.size(), serial.observations.size())

@@ -69,9 +69,11 @@ TEST(Profiler, WorkerRollupAggregatesUnitSpans) {
 
   std::string json = profiler.to_json();
   for (const char* field :
-       {"\"schema\":\"rootsim-exec-profile/1\"", "\"summary\":", "\"workers\":2",
+       {"\"schema\":\"rootsim-exec-profile/2\"", "\"summary\":", "\"workers\":2",
         "\"units\":", "\"critical_path_ms\":", "\"parallel_efficiency\":",
-        "\"imbalance\":", "\"per_worker\":"})
+        "\"imbalance\":", "\"tail_ms\":", "\"sched\":",
+        "\"hardware_concurrency\":", "\"per_worker\":", "\"idle_ms\":",
+        "\"steal_count\":"})
     EXPECT_NE(json.find(field), std::string::npos) << field << "\n" << json;
 }
 

@@ -12,9 +12,14 @@ need to stay inside a tolerance band.
 
 Wall-time policy: a fresh run may be up to --max-slowdown times slower than
 the baseline (default 10x — CI machines are slow and noisy); any speedup is
-fine. Exit 0 when every compared pair passes, 1 otherwise. Baselines with no
-fresh counterpart are skipped with a note (not an error), so one bench can
-be compared without running the whole suite.
+fine. Wall-time fields are only compared when both results report the same
+`hardware_concurrency`: a wall-ms diff between an 8-core baseline and a
+1-core CI runner measures the hosts, not the code, so cross-host pairs skip
+the timing check with a note instead of flagging a phantom regression (the
+deterministic work counters are still compared exactly). Exit 0 when every
+compared pair passes, 1 otherwise. Baselines with no fresh counterpart are
+skipped with a note (not an error), so one bench can be compared without
+running the whole suite.
 
 Pure stdlib; no dependencies.
 """
@@ -36,6 +41,18 @@ def load(path):
         return json.load(handle)
 
 
+def same_host(baseline, fresh):
+    """Whether wall-time fields are comparable at all.
+
+    Results record the host parallelism they ran with; a differing (or
+    missing) hardware_concurrency means a different machine class and any
+    wall-time ratio is meaningless.
+    """
+    base_hw = baseline.get("hardware_concurrency")
+    fresh_hw = fresh.get("hardware_concurrency")
+    return base_hw is not None and base_hw == fresh_hw
+
+
 def compare(name, baseline, fresh, max_slowdown):
     failures = []
     for field in EXACT_FIELDS:
@@ -46,6 +63,13 @@ def compare(name, baseline, fresh, max_slowdown):
                 f"{name}: {field} changed: baseline={baseline[field]!r} "
                 f"fresh={fresh.get(field)!r} (deterministic field; a diff "
                 f"means behaviour changed, not the machine)")
+    if not same_host(baseline, fresh):
+        print(f"note: {name}: baseline hardware_concurrency="
+              f"{baseline.get('hardware_concurrency')!r} != fresh="
+              f"{fresh.get('hardware_concurrency')!r}; wall-time comparison "
+              f"refused (cross-host timings measure the machines, not the "
+              f"code)")
+        return failures
     for field in TIMING_FIELDS:
         base = baseline.get(field)
         new = fresh.get(field)
