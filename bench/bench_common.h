@@ -68,8 +68,13 @@ inline void print_run_report() {
 /// (`hardware_concurrency`) and the scheduler mode are recorded so
 /// tools/bench_compare.py can refuse wall-time comparisons across hosts
 /// instead of calling a slower machine a regression.
+/// `extra` (optional) is pre-rendered JSON appended as additional top-level
+/// fields — e.g. a "deterministic" object of seed-pure counters that
+/// tools/bench_compare.py diffs exactly. Pass without leading comma, e.g.
+/// `"\"deterministic\": {\"probes\": 42}"`.
 inline void write_bench_json(const std::string& name, size_t threads,
-                             double wall_ms = -1) {
+                             double wall_ms = -1,
+                             const std::string& extra = "") {
   if (wall_ms < 0)
     wall_ms = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - detail::bench_start())
@@ -91,8 +96,7 @@ inline void write_bench_json(const std::string& name, size_t threads,
                "  \"signatures_per_s\": %.1f,\n"
                "  \"threads\": %zu,\n"
                "  \"hardware_concurrency\": %u,\n"
-               "  \"sched\": \"%.*s\"\n"
-               "}\n",
+               "  \"sched\": \"%.*s\"",
                name.c_str(), wall_ms,
                static_cast<unsigned long long>(probes),
                seconds > 0 ? static_cast<double>(probes) / seconds : 0.0,
@@ -101,6 +105,8 @@ inline void write_bench_json(const std::string& name, size_t threads,
                threads, std::thread::hardware_concurrency(),
                static_cast<int>(to_string(exec::resolve_scheduler()).size()),
                to_string(exec::resolve_scheduler()).data());
+  if (!extra.empty()) std::fprintf(out, ",\n  %s", extra.c_str());
+  std::fprintf(out, "\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());
 }

@@ -11,6 +11,8 @@
 //   coverage.csv     per site: root, type, region, observed
 //   rtt.csv          per (VP, root, family): selected site, km, RTT
 //   zone_audit.csv   per audited transfer: verdicts
+//   slo.jsonl        streaming SLO monitor: evaluated sliding windows
+//   incidents.jsonl  detected incidents with attributed causes
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -107,6 +109,15 @@ int main(int argc, char** argv) {
         << (obs.old_b_address ? 1 : 0) << ',' << obs.soa_serial << ','
         << to_string(obs.verdict) << ',' << to_string(obs.zonemd) << '\n';
     std::printf("  zone_audit.csv   %zu rows\n", observations.size());
+  }
+  {
+    // The streaming SLO monitor's exports (JSONL, not CSV — they are the
+    // operator-facing artifacts; render with tools/slo_report.py).
+    auto slo = campaign.run_slo_timeline();
+    std::ofstream(out_dir / "slo.jsonl") << slo.slo_jsonl;
+    std::ofstream(out_dir / "incidents.jsonl") << slo.incidents_jsonl;
+    std::printf("  slo.jsonl        %zu windows\n", slo.windows.size());
+    std::printf("  incidents.jsonl  %zu incidents\n", slo.incidents.size());
   }
   std::printf("done. All files regenerate bit-identically from seed %llu.\n",
               static_cast<unsigned long long>(config.seed));

@@ -69,6 +69,70 @@ void print_flight_records(const netsim::FlightRecorder& flight) {
     if (!line.empty()) std::printf(";;   %s\n", line.c_str());
 }
 
+// The service-level view next to the packet-level one: what the streaming
+// SLO monitor says about the queried letter at the query time — the window
+// covering the query (availability, p95 RTT, breaches) and any incident on
+// the letter that was open then. One failed rootdig thus shows both "what
+// did my packets do" and "was the letter actually in trouble".
+void print_slo_state(const measure::Campaign& campaign, int root_index,
+                     util::IpFamily family, util::UnixTime when) {
+  if (root_index < 0) return;
+  measure::SloTimelineOptions options;
+  options.probes_per_bucket = 4;  // a coarse pass: state, not an experiment
+  options.publication_samples = 2;
+  auto slo = campaign.run_slo_timeline(options);
+  const bool v6 = family == util::IpFamily::V6;
+  const obs::SloWindow* current = nullptr;
+  for (const auto& window : slo.windows) {
+    if (window.root != root_index || window.v6 != v6) continue;
+    if (window.end <= when || (window.start <= when && when < window.end))
+      current = &window;  // ends as the window covering `when`
+    if (window.start > when) break;
+  }
+  std::printf(";; SLO STATE: %c.root %s at %s\n",
+              static_cast<char>('a' + root_index), v6 ? "v6" : "v4",
+              util::format_datetime(when).c_str());
+  if (!current) {
+    std::printf(";;   no evaluated window covers the query time\n");
+    return;
+  }
+  std::printf(";;   window %s..%s: availability %.4f%% (%llu/%llu probes)%s\n",
+              util::format_datetime(current->start).c_str(),
+              util::format_datetime(current->end).c_str(),
+              100.0 * current->availability,
+              static_cast<unsigned long long>(current->answered),
+              static_cast<unsigned long long>(current->probes),
+              current->evaluated ? "" : " [starved: not evaluated]");
+  if (current->latency_count)
+    std::printf(";;   rtt p50 %.1f ms, p95 %.1f ms\n", current->rtt_p50_ms,
+                current->rtt_p95_ms);
+  for (size_t m = 0; m < obs::kSloMetricCount; ++m) {
+    const auto metric = static_cast<obs::SloMetric>(m);
+    if (current->breached(metric))
+      std::printf(";;   BREACH: %.*s\n",
+                  static_cast<int>(obs::to_string(metric).size()),
+                  obs::to_string(metric).data());
+  }
+  bool any_incident = false;
+  for (const auto& incident : slo.incidents) {
+    if (incident.root != root_index) continue;
+    const bool active =
+        incident.opened <= when && (incident.open() || when < incident.closed);
+    if (!active) continue;
+    any_incident = true;
+    const std::string until =
+        incident.open() ? "still open"
+                        : "closed " + util::format_datetime(incident.closed);
+    std::printf(";;   INCIDENT #%u %s %s: opened %s, %s, cause: %s\n",
+                incident.id, incident.v6 ? "v6" : "v4",
+                std::string(obs::to_string(incident.metric)).c_str(),
+                util::format_datetime(incident.opened).c_str(), until.c_str(),
+                incident.cause.c_str());
+  }
+  if (!any_incident)
+    std::printf(";;   no incident open on the letter at query time\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -78,6 +142,7 @@ int main(int argc, char** argv) {
   bool dnssec = false;
   bool show_flight = false;
   size_t vp_index = 0;
+  double loss = 0.0;
   std::string date = "2023-12-10";
 
   std::vector<std::string> positional;
@@ -93,11 +158,13 @@ int main(int argc, char** argv) {
       // authoritative queries never recurse; accepted for dig compatibility
     } else if (util::starts_with(arg, "+vp=")) {
       vp_index = static_cast<size_t>(std::atoll(arg.c_str() + 4));
+    } else if (util::starts_with(arg, "+loss=")) {
+      loss = std::atof(arg.c_str() + 6);
     } else if (util::starts_with(arg, "+time=")) {
       date = arg.substr(6);
     } else if (arg == "-h" || arg == "--help") {
       std::printf("usage: rootdig [@server] [qname] [qtype] [+dnssec] [+vp=N] "
-                  "[+time=YYYY-MM-DD] [+flight]\n");
+                  "[+time=YYYY-MM-DD] [+flight] [+loss=P]\n");
       return 0;
     } else {
       positional.push_back(arg);
@@ -131,6 +198,9 @@ int main(int argc, char** argv) {
   // failed query the dump below is the post-mortem.
   netsim::FlightRecorder flight(64);
   config.transport.flight_recorder = &flight;
+  // +loss=P degrades every path so the failure diagnostics (flight-recorder
+  // dump + SLO state of the queried letter) are demonstrable on demand.
+  config.transport.defaults.loss = loss;
   obs::Recorder recorder;
   measure::Campaign campaign(config, recorder.obs());
   if (campaign.catalog().index_of_address(*address) < 0) {
@@ -154,6 +224,7 @@ int main(int argc, char** argv) {
     if (!probe.axfr || probe.axfr->refused) {
       print_probe_warnings(recorder);
       print_flight_records(flight);
+      print_slo_state(campaign, probe.root_index, probe.family, when);
       std::printf("; transfer failed\n");
       return 1;
     }
@@ -190,6 +261,8 @@ int main(int argc, char** argv) {
               qname.c_str(), qtype_text.c_str(), dnssec ? " +dnssec" : "");
   const int failures = print_probe_warnings(recorder);
   if (show_flight || failures > 0) print_flight_records(flight);
+  if (failures > 0)
+    print_slo_state(campaign, probe.root_index, probe.family, when);
   std::printf(";; ->>HEADER<<- opcode: QUERY, status: %s, id: %u\n",
               rcode_to_string(response.rcode).c_str(), response.id);
   std::printf(";; flags: qr%s%s; QUERY: %zu, ANSWER: %zu, AUTHORITY: %zu, "

@@ -8,60 +8,87 @@
 
 namespace rootsim::analysis {
 
-RssacReport compute_rssac_metrics(const measure::Campaign& campaign,
-                                  const RssacOptions& options) {
-  RssacReport report;
+void replay_rssac_samples(const measure::Campaign& campaign,
+                          const RssacOptions& options,
+                          obs::SloCollector& collector) {
   const netsim::AnycastRouter& router = campaign.router();
   const measure::Schedule& schedule = campaign.schedule();
   util::UnixTime start = schedule.config().start;
   util::UnixTime end = schedule.config().end;
 
-  // Publication latency reuses the propagation experiment (one zone edit).
+  // Publication latency reuses the propagation experiment (one zone edit);
+  // each polled instance's delay is one Publication sample.
   PropagationOptions propagation_options;
   propagation_options.max_instances_per_root = options.propagation_instances;
   auto propagation = measure_soa_propagation(
       campaign, util::make_time(2023, 10, 10, 12, 0), propagation_options);
 
   for (uint32_t root = 0; root < rss::kRootCount; ++root) {
-    RootServiceMetrics& metrics = report.per_root[root];
-    metrics.letter = static_cast<char>('a' + root);
-    std::array<std::vector<double>, 2> rtts;  // [family]
-    std::array<size_t, 2> answered{};
-    std::array<size_t, 2> probes{};
+    obs::SloSample sample;
+    sample.root = static_cast<uint8_t>(root);
     for (const auto& vp : campaign.vantage_points()) {
       for (util::IpFamily family : {util::IpFamily::V4, util::IpFamily::V6}) {
-        size_t f = family == util::IpFamily::V4 ? 0 : 1;
+        sample.v6 = family == util::IpFamily::V6;
         auto selection = router.prepare_selection(vp.view, root, family);
         netsim::RouteResult route = router.route(vp.view, root, family);
-        rtts[f].push_back(route.rtt_ms);
+        sample.kind = obs::SloSample::Kind::Latency;
+        sample.when = start;
+        sample.value = route.rtt_ms;
+        collector.record(sample);
         // Sample rounds: the probe fails when the selected site is dark.
         for (size_t s = 0; s < options.sampled_rounds; ++s) {
           uint64_t round =
               (s * 1009 + vp.view.vp_id) % schedule.round_count();
           uint32_t site =
               netsim::AnycastRouter::site_at_round(selection, round);
-          util::UnixTime when = schedule.round_time(round);
-          ++probes[f];
-          if (rss::site_available(site, when, start, end, options.outages))
-            ++answered[f];
+          sample.kind = obs::SloSample::Kind::Availability;
+          sample.when = schedule.round_time(round);
+          sample.ok = rss::site_available(site, sample.when, start, end,
+                                          options.outages);
+          collector.record(sample);
         }
       }
     }
+    sample.v6 = false;
+    sample.kind = obs::SloSample::Kind::Publication;
+    sample.when = start;
+    for (double delay_s : propagation.per_root[root].delays_s) {
+      sample.value = delay_s;
+      collector.record(sample);
+    }
+  }
+}
+
+RssacReport rssac_report_from_collector(const obs::SloCollector& collector) {
+  RssacReport report;
+  for (uint32_t root = 0; root < rss::kRootCount; ++root) {
+    RootServiceMetrics& metrics = report.per_root[root];
+    metrics.letter = static_cast<char>('a' + root);
+    const obs::SloCollector::Cell v4 =
+        collector.totals(static_cast<uint8_t>(root), false);
+    const obs::SloCollector::Cell v6 =
+        collector.totals(static_cast<uint8_t>(root), true);
     metrics.availability_v4 =
-        probes[0] ? static_cast<double>(answered[0]) / probes[0] : 1.0;
+        v4.probes ? static_cast<double>(v4.answered) / v4.probes : 1.0;
     metrics.availability_v6 =
-        probes[1] ? static_cast<double>(answered[1]) / probes[1] : 1.0;
-    metrics.median_rtt_v4 = util::percentile(rtts[0], 0.5);
-    metrics.median_rtt_v6 = util::percentile(rtts[1], 0.5);
-    metrics.p95_rtt_v4 = util::percentile(rtts[0], 0.95);
-    metrics.p95_rtt_v6 = util::percentile(rtts[1], 0.95);
-    metrics.median_publication_latency_s =
-        propagation.per_root[root].summary.median;
+        v6.probes ? static_cast<double>(v6.answered) / v6.probes : 1.0;
+    metrics.median_rtt_v4 = v4.rtt_us.quantile(0.5) / 1000.0;
+    metrics.median_rtt_v6 = v6.rtt_us.quantile(0.5) / 1000.0;
+    metrics.p95_rtt_v4 = v4.rtt_us.quantile(0.95) / 1000.0;
+    metrics.p95_rtt_v6 = v6.rtt_us.quantile(0.95) / 1000.0;
+    metrics.median_publication_latency_s = v4.publication_s.quantile(0.5);
     report.worst_availability =
         std::min({report.worst_availability, metrics.availability_v4,
                   metrics.availability_v6});
   }
   return report;
+}
+
+RssacReport compute_rssac_metrics(const measure::Campaign& campaign,
+                                  const RssacOptions& options) {
+  obs::SloCollector collector;
+  replay_rssac_samples(campaign, options, collector);
+  return rssac_report_from_collector(collector);
 }
 
 ClusterFailureImpact simulate_cluster_failure(const measure::Campaign& campaign) {

@@ -9,11 +9,20 @@
 //   * clustered-site stress test — the §5 what-if: take the most co-located
 //     facility offline and measure how many (VP, root) selections move and
 //     how much their RTT changes.
+//
+// The batch path is a *replay over the streaming SLO collector* (obs/slo.h):
+// compute_rssac_metrics feeds its sampling plan into an SloCollector sample
+// by sample and reads the report out of the collector's end-of-campaign
+// totals. The post-hoc numbers and the online monitor therefore share one
+// accumulator implementation and cannot drift — any change to how a metric
+// is defined changes both or neither (pinned by the replay-equivalence
+// test).
 #pragma once
 
 #include <array>
 
 #include "measure/campaign.h"
+#include "obs/slo.h"
 #include "rss/outages.h"
 #include "util/stats.h"
 
@@ -44,6 +53,22 @@ struct RssacOptions {
   size_t propagation_instances = 16;
 };
 
+/// Streams the batch sampling plan into `collector`: one Availability sample
+/// per sampled (VP, root, family, round) — stamped with the round's
+/// simulated time, so the collector buckets them exactly as live probes —
+/// one Latency sample per (VP, root, family) steady route, and the
+/// propagation experiment's per-instance delays as Publication samples
+/// (recorded on the v4 stream; the batch metric has no family dimension).
+void replay_rssac_samples(const measure::Campaign& campaign,
+                          const RssacOptions& options,
+                          obs::SloCollector& collector);
+
+/// Reads the RSSAC047 report out of a collector's cumulative end-of-campaign
+/// totals (SloCollector::totals) — works on a replayed collector and on one
+/// fed live by Campaign::run_slo_timeline alike.
+RssacReport rssac_report_from_collector(const obs::SloCollector& collector);
+
+/// replay_rssac_samples + rssac_report_from_collector over a fresh collector.
 RssacReport compute_rssac_metrics(const measure::Campaign& campaign,
                                   const RssacOptions& options = {});
 

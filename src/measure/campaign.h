@@ -13,8 +13,10 @@
 #include "measure/schedule.h"
 #include "measure/vantage.h"
 #include "netsim/routing.h"
+#include "obs/incident.h"
 #include "obs/obs.h"
 #include "rss/catalog.h"
+#include "rss/outages.h"
 #include "rss/zone_authority.h"
 
 namespace rootsim::measure {
@@ -50,6 +52,49 @@ struct ZoneAuditObservation {
   std::string note;
 };
 
+/// Configuration of the streaming SLO monitor run over the campaign
+/// timeline (Campaign::run_slo_timeline).
+struct SloTimelineOptions {
+  obs::SloThresholds thresholds;
+  /// Background per-site outage model (maintenance, upstream failures).
+  rss::OutageModelConfig outages;
+  /// Labelled event windows layered on top — what attribution can *name*.
+  /// Default: the paper timeline's b.root renumbering transition.
+  std::vector<rss::ScriptedOutage> scripted_outages =
+      rss::paper_event_outages();
+  /// Availability probes per (letter, family) per 6 h bucket. Windows hold
+  /// probes_per_bucket x window_buckets probes, so with the defaults a
+  /// single lost probe already dents 99.96 % — which is the point; the
+  /// hysteresis is what keeps background noise from paging.
+  size_t probes_per_bucket = 12;
+  /// Sites sampled per (letter, family) publication event (serial bump).
+  size_t publication_samples = 6;
+  /// 0 = ROOTSIM_WORKERS env var, else serial (same as run_zone_audit).
+  size_t workers = 0;
+  /// Optional: failed probes are recorded here (per-worker shards when
+  /// workers > 1) and its deterministic failure_summary() feeds attribution.
+  netsim::FlightRecorder* flight_recorder = nullptr;
+};
+
+/// Everything one monitored timeline run produces. The JSONL strings are the
+/// canonical slo.jsonl / incidents.jsonl exports — byte-identical across
+/// worker counts and scheduler modes.
+struct SloTimelineResult {
+  std::vector<obs::SloWindow> windows;
+  std::vector<obs::Incident> incidents;
+  std::vector<obs::CauseHint> hints;  ///< what attribution was offered
+  std::string slo_jsonl;
+  std::string incidents_jsonl;
+  // Deterministic roll-up counters (bench baselines compare these exactly).
+  uint64_t probes = 0;
+  uint64_t failed_probes = 0;
+  uint64_t latency_samples = 0;
+  uint64_t publication_count = 0;
+  uint64_t staleness_samples = 0;
+  uint64_t integrity_checks = 0;
+  uint64_t integrity_failures = 0;
+};
+
 class Campaign {
  public:
   /// `obs` (optional) is the observability sink threaded through every layer
@@ -82,6 +127,22 @@ class Campaign {
   /// AND the metric/trace exports are byte-identical for any worker count.
   std::vector<ZoneAuditObservation> run_zone_audit(size_t clean_samples = 200,
                                                    size_t workers = 0) const;
+
+  /// Runs the streaming RSSAC047 SLO monitor over the campaign's schedule:
+  /// one work unit per 6 h bucket of simulated time, each sampling
+  /// availability/latency (via the anycast router + outage models),
+  /// publication latency and zone staleness (vs. the zone authority's serial
+  /// cadence) and ZONEMD integrity for all 13 letters x both families into
+  /// per-unit SloCollector shards, merged in unit order. Windows are then
+  /// swept, incidents detected with hysteresis, and causes attributed
+  /// against scripted outages, zone-pipeline events and the flight
+  /// recorder's failure summary. Pure function of (config, options) — the
+  /// worker count and steal schedule never change a byte of the exports.
+  ///
+  /// If the campaign was built with a Recorder, samples also land in its
+  /// SloCollector (the obs_.slo sink); otherwise a run-local collector is
+  /// used.
+  SloTimelineResult run_slo_timeline(const SloTimelineOptions& options = {}) const;
 
  private:
   CampaignConfig config_;

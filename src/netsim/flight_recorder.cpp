@@ -21,7 +21,23 @@ std::string_view to_string(FlightRecord::Cause cause) {
 FlightRecorder::FlightRecorder(size_t capacity)
     : capacity_(capacity ? capacity : 1) {}
 
+void FlightRecorder::note_summary(SummaryCells& cells,
+                                  const FlightRecord& record) {
+  if (record.root_index < 0 ||
+      record.root_index >= static_cast<int>(kSummaryRoots))
+    return;
+  const size_t family = record.family == util::IpFamily::V6 ? 1 : 0;
+  SummaryCell& cell =
+      cells[(static_cast<size_t>(record.root_index) * 2 + family) *
+                kSummaryCauses +
+            static_cast<size_t>(record.cause)];
+  if (cell.count == 0 || record.when < cell.first) cell.first = record.when;
+  if (cell.count == 0 || record.when > cell.last) cell.last = record.when;
+  ++cell.count;
+}
+
 void FlightRecorder::Shard::record(FlightRecord record) {
+  note_summary(summary_, record);
   if (ring_.size() >= capacity_) ring_.pop_front();
   ++recorded_;
   ring_.push_back(std::move(record));
@@ -29,6 +45,7 @@ void FlightRecorder::Shard::record(FlightRecord record) {
 
 void FlightRecorder::record(FlightRecord record) {
   std::lock_guard<std::mutex> lock(mu_);
+  note_summary(summary_, record);
   if (ring_.size() >= capacity_) ring_.pop_front();
   ++recorded_;
   ring_.push_back(std::move(record));
@@ -56,6 +73,45 @@ uint64_t FlightRecorder::recorded() const {
 
 uint64_t FlightRecorder::dropped() const { return recorded() - size(); }
 
+FlightFailureSummary FlightRecorder::failure_summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Fold: counts add, first is a min, last is a max — all order-insensitive,
+  // so the result is independent of which shard recorded what.
+  SummaryCells folded = summary_;
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < folded.size(); ++i) {
+      const SummaryCell& cell = shard.summary_[i];
+      if (cell.count == 0) continue;
+      if (folded[i].count == 0 || cell.first < folded[i].first)
+        folded[i].first = cell.first;
+      if (folded[i].count == 0 || cell.last > folded[i].last)
+        folded[i].last = cell.last;
+      folded[i].count += cell.count;
+    }
+  }
+  FlightFailureSummary summary;
+  for (size_t root = 0; root < kSummaryRoots; ++root) {
+    for (size_t family = 0; family < 2; ++family) {
+      for (size_t cause = 0; cause < kSummaryCauses; ++cause) {
+        if (static_cast<FlightRecord::Cause>(cause) == FlightRecord::Cause::Ok)
+          continue;
+        const SummaryCell& cell =
+            folded[(root * 2 + family) * kSummaryCauses + cause];
+        if (cell.count == 0) continue;
+        FlightFailureSummary::Entry entry;
+        entry.root_index = static_cast<int>(root);
+        entry.v6 = family == 1;
+        entry.cause = static_cast<FlightRecord::Cause>(cause);
+        entry.count = cell.count;
+        entry.first = cell.first;
+        entry.last = cell.last;
+        summary.entries.push_back(entry);
+      }
+    }
+  }
+  return summary;
+}
+
 std::vector<FlightRecord> FlightRecorder::records() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<FlightRecord> merged{ring_.begin(), ring_.end()};
@@ -77,8 +133,20 @@ std::vector<FlightRecord> FlightRecorder::records() const {
 void FlightRecorder::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   // recorded totals stay monotone per recorder across clear(): fold the
-  // dying shards' counts into the owner before dropping them.
-  for (const Shard& shard : shards_) recorded_ += shard.recorded_;
+  // dying shards' counts into the owner before dropping them. The failure
+  // summary keeps the same contract.
+  for (const Shard& shard : shards_) {
+    recorded_ += shard.recorded_;
+    for (size_t i = 0; i < summary_.size(); ++i) {
+      const SummaryCell& cell = shard.summary_[i];
+      if (cell.count == 0) continue;
+      if (summary_[i].count == 0 || cell.first < summary_[i].first)
+        summary_[i].first = cell.first;
+      if (summary_[i].count == 0 || cell.last > summary_[i].last)
+        summary_[i].last = cell.last;
+      summary_[i].count += cell.count;
+    }
+  }
   ring_.clear();
   shards_.clear();
 }

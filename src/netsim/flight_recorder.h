@@ -21,6 +21,7 @@
 // scheduling-independent.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -72,9 +73,39 @@ struct FlightRecord {
 
 std::string_view to_string(FlightRecord::Cause cause);
 
+/// Order-insensitive per-(root, family, cause) rollup of *every* record ever
+/// recorded — counts and first/last simulated send times. Unlike the ring,
+/// nothing is ever evicted, and count/min/max don't care which shard saw
+/// which exchange, so the rollup is identical under any worker count or
+/// steal schedule. This is the recorder surface the SLO plane's cause
+/// attribution is allowed to read (the buffered ring is not: its eviction
+/// order reflects scheduling).
+struct FlightFailureSummary {
+  struct Entry {
+    int root_index = 0;
+    bool v6 = false;
+    FlightRecord::Cause cause = FlightRecord::Cause::Timeout;
+    uint64_t count = 0;
+    util::UnixTime first = 0;  ///< earliest simulated send time
+    util::UnixTime last = 0;   ///< latest simulated send time
+  };
+  /// Non-Ok entries with count > 0, ordered by (root, family, cause).
+  std::vector<Entry> entries;
+};
+
 /// Thread-safe bounded ring of FlightRecords, oldest evicted first.
 class FlightRecorder {
  public:
+  static constexpr size_t kSummaryRoots = 13;
+  static constexpr size_t kSummaryCauses = 4;
+  struct SummaryCell {
+    uint64_t count = 0;
+    util::UnixTime first = 0;
+    util::UnixTime last = 0;
+  };
+  using SummaryCells =
+      std::array<SummaryCell, kSummaryRoots * 2 * kSummaryCauses>;
+
   /// One worker's lock-free view of the recorder. record() touches only this
   /// shard's own bounded ring — no mutex, single writer by construction.
   /// The parent folds shard contents into every read API.
@@ -88,6 +119,7 @@ class FlightRecorder {
     size_t capacity_;
     uint64_t recorded_ = 0;
     std::deque<FlightRecord> ring_;
+    SummaryCells summary_{};
   };
 
   explicit FlightRecorder(size_t capacity = 256);
@@ -109,6 +141,12 @@ class FlightRecorder {
   /// Records evicted by the ring bounds (recorded minus buffered).
   uint64_t dropped() const;
 
+  /// The deterministic failure rollup (see FlightFailureSummary). Folds the
+  /// owner's cells with every shard's; safe to read after the parallel
+  /// region joins. Records with root_index outside [0, kSummaryRoots)
+  /// (priming, local-root refresh) are not rolled up.
+  FlightFailureSummary failure_summary() const;
+
   /// Merged copy of the buffered records, ordered by simulated send time
   /// (ties keep owner-then-shard order), truncated to the newest `capacity`.
   std::vector<FlightRecord> records() const;
@@ -125,11 +163,14 @@ class FlightRecorder {
   void clear();
 
  private:
+  static void note_summary(SummaryCells& cells, const FlightRecord& record);
+
   mutable std::mutex mu_;
   size_t capacity_;
   uint64_t recorded_ = 0;
   std::deque<FlightRecord> ring_;
   std::deque<Shard> shards_;
+  SummaryCells summary_{};
 };
 
 }  // namespace rootsim::netsim

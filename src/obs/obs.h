@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/rssac002.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace rootsim::obs {
@@ -16,9 +17,11 @@ struct Obs {
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
   Rssac002Collector* rssac002 = nullptr;
+  SloCollector* slo = nullptr;
 
   bool enabled() const {
-    return metrics != nullptr || tracer != nullptr || rssac002 != nullptr;
+    return metrics != nullptr || tracer != nullptr || rssac002 != nullptr ||
+           slo != nullptr;
   }
 
   /// Null-safe counter increment. Prefer caching the Counter* handle (via
@@ -70,18 +73,21 @@ class Recorder {
     tracer_.bind_drop_counter(&metrics_.counter("tracer.dropped_spans"));
   }
 
-  Obs obs() { return Obs{&metrics_, &tracer_, &rssac002_}; }
+  Obs obs() { return Obs{&metrics_, &tracer_, &rssac002_, &slo_}; }
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
   Rssac002Collector& rssac002() { return rssac002_; }
   const Rssac002Collector& rssac002() const { return rssac002_; }
+  SloCollector& slo() { return slo_; }
+  const SloCollector& slo() const { return slo_; }
 
  private:
   MetricsRegistry metrics_;
   Tracer tracer_;
   Rssac002Collector rssac002_;
+  SloCollector slo_;
 };
 
 }  // namespace rootsim::obs

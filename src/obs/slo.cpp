@@ -1,0 +1,252 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "obs/metrics.h"  // json_escape
+#include "util/strings.h"
+
+namespace rootsim::obs {
+
+std::string_view to_string(SloMetric metric) {
+  switch (metric) {
+    case SloMetric::Availability: return "availability";
+    case SloMetric::Latency: return "latency";
+    case SloMetric::Publication: return "publication";
+    case SloMetric::Staleness: return "staleness";
+    case SloMetric::Integrity: return "integrity";
+  }
+  return "?";
+}
+
+int64_t SloCollector::bucket_index(util::UnixTime t) {
+  // Floor division: simulated times are positive in practice, but keep the
+  // mapping total so a fuzzer-supplied sample cannot split a bucket boundary.
+  int64_t q = t / kBucketSeconds;
+  if (t % kBucketSeconds < 0) --q;
+  return q;
+}
+
+util::UnixTime SloCollector::bucket_start(int64_t index) {
+  return index * kBucketSeconds;
+}
+
+void SloCollector::Cell::merge_from(const Cell& other) {
+  probes += other.probes;
+  answered += other.answered;
+  rtt_us.merge_from(other.rtt_us);
+  publication_s.merge_from(other.publication_s);
+  staleness_s.merge_from(other.staleness_s);
+  integrity_checks += other.integrity_checks;
+  integrity_ok += other.integrity_ok;
+}
+
+void SloCollector::record(const SloSample& sample) {
+  if (sample.root >= kSloRoots) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Cell& cell = cells_[{sample.root, static_cast<uint8_t>(sample.v6 ? 1 : 0),
+                       bucket_index(sample.when)}];
+  switch (sample.kind) {
+    case SloSample::Kind::Availability:
+      ++cell.probes;
+      if (sample.ok) ++cell.answered;
+      break;
+    case SloSample::Kind::Latency:
+      // Microsecond resolution keeps the log-linear relative error (~3 %)
+      // meaningful for single-digit-millisecond RTTs.
+      cell.rtt_us.observe(static_cast<uint64_t>(
+          std::llround(std::max(0.0, sample.value) * 1000.0)));
+      break;
+    case SloSample::Kind::Publication:
+      cell.publication_s.observe(static_cast<uint64_t>(
+          std::llround(std::max(0.0, sample.value))));
+      break;
+    case SloSample::Kind::Staleness:
+      cell.staleness_s.observe(static_cast<uint64_t>(
+          std::llround(std::max(0.0, sample.value))));
+      break;
+    case SloSample::Kind::Integrity:
+      ++cell.integrity_checks;
+      if (sample.ok) ++cell.integrity_ok;
+      break;
+  }
+}
+
+void SloCollector::merge_from(const SloCollector& other) {
+  // Snapshot the source under its own lock, fold under ours; the locks are
+  // never held together (same discipline as Rssac002Collector::merge_from).
+  auto cells = other.snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, cell] : cells) cells_[key].merge_from(cell);
+}
+
+void SloCollector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_.clear();
+}
+
+bool SloCollector::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cells_.empty();
+}
+
+size_t SloCollector::cell_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cells_.size();
+}
+
+std::vector<std::pair<SloCollector::CellKey, SloCollector::Cell>>
+SloCollector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {cells_.begin(), cells_.end()};
+}
+
+SloCollector::Cell SloCollector::totals(uint8_t root, bool v6) const {
+  Cell total;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint8_t family = v6 ? 1 : 0;
+  auto it = cells_.lower_bound({root, family,
+                                std::numeric_limits<int64_t>::min()});
+  for (; it != cells_.end(); ++it) {
+    const auto& [r, f, bucket] = it->first;
+    if (r != root || f != family) break;
+    total.merge_from(it->second);
+  }
+  return total;
+}
+
+std::vector<SloWindow> SloCollector::windows(
+    const SloThresholds& thresholds) const {
+  const auto cells = snapshot();
+  std::vector<SloWindow> out;
+  const size_t window = std::max<size_t>(1, thresholds.window_buckets);
+
+  size_t i = 0;
+  while (i < cells.size()) {
+    // One contiguous run of the snapshot is one (root, family) stream.
+    const auto [root, family, first_bucket] = cells[i].first;
+    size_t j = i;
+    while (j < cells.size() && std::get<0>(cells[j].first) == root &&
+           std::get<1>(cells[j].first) == family)
+      ++j;
+    const int64_t last_bucket = std::get<2>(cells[j - 1].first);
+
+    const double band =
+        thresholds.rtt_p95_letter_ms[root] > 0
+            ? thresholds.rtt_p95_letter_ms[root]
+            : thresholds.rtt_p95_max_ms;
+
+    size_t cursor = i;  // next stream cell at or above the swept bucket
+    for (int64_t bucket = first_bucket; bucket <= last_bucket; ++bucket) {
+      // Aggregate the trailing window. Cells are sparse; scan back over the
+      // stream's cells inside [bucket - window + 1, bucket].
+      Cell agg;
+      size_t back = cursor;
+      if (back < j && std::get<2>(cells[back].first) == bucket) ++cursor;
+      while (back < j && std::get<2>(cells[back].first) <= bucket) ++back;
+      for (size_t k = i; k < back; ++k) {
+        const int64_t b = std::get<2>(cells[k].first);
+        if (b > bucket - static_cast<int64_t>(window) && b <= bucket)
+          agg.merge_from(cells[k].second);
+      }
+
+      SloWindow w;
+      w.root = root;
+      w.v6 = family != 0;
+      w.start = bucket_start(bucket - static_cast<int64_t>(window) + 1);
+      w.end = bucket_start(bucket + 1);
+      w.probes = agg.probes;
+      w.answered = agg.answered;
+      w.availability =
+          agg.probes ? static_cast<double>(agg.answered) / agg.probes : 1.0;
+      w.latency_count = agg.rtt_us.count();
+      w.rtt_p50_ms = agg.rtt_us.quantile(0.5) / 1000.0;
+      w.rtt_p95_ms = agg.rtt_us.quantile(0.95) / 1000.0;
+      w.publication_count = agg.publication_s.count();
+      w.publication_p95_s = agg.publication_s.quantile(0.95);
+      w.staleness_count = agg.staleness_s.count();
+      w.staleness_max_s = static_cast<double>(agg.staleness_s.max());
+      w.integrity_checks = agg.integrity_checks;
+      w.integrity_ok = agg.integrity_ok;
+      w.evaluated = agg.probes >= thresholds.min_probes;
+      if (w.evaluated) {
+        if (w.availability < thresholds.availability_min)
+          w.breaches |= 1u << static_cast<unsigned>(SloMetric::Availability);
+        if (w.latency_count > 0 && w.rtt_p95_ms > band)
+          w.breaches |= 1u << static_cast<unsigned>(SloMetric::Latency);
+        if (w.publication_count > 0 &&
+            w.publication_p95_s > thresholds.publication_p95_max_s)
+          w.breaches |= 1u << static_cast<unsigned>(SloMetric::Publication);
+        if (w.staleness_count > 0 &&
+            w.staleness_max_s > thresholds.staleness_max_s)
+          w.breaches |= 1u << static_cast<unsigned>(SloMetric::Staleness);
+        if (w.integrity_checks > 0 &&
+            static_cast<double>(w.integrity_ok) / w.integrity_checks <
+                thresholds.integrity_min)
+          w.breaches |= 1u << static_cast<unsigned>(SloMetric::Integrity);
+      }
+      out.push_back(w);
+    }
+    i = j;
+  }
+  return out;
+}
+
+std::string SloCollector::windows_to_jsonl(
+    const std::vector<SloWindow>& windows) {
+  std::string out;
+  for (const SloWindow& w : windows) {
+    out += util::format("{\"letter\":\"%c\",\"family\":\"%s\"",
+                        'a' + w.root, w.v6 ? "v6" : "v4");
+    out += ",\"start\":\"" + util::format_datetime(w.start) + "\"";
+    out += ",\"end\":\"" + util::format_datetime(w.end) + "\"";
+    out += util::format(
+        ",\"probes\":%llu,\"answered\":%llu,\"availability\":%.6f",
+        static_cast<unsigned long long>(w.probes),
+        static_cast<unsigned long long>(w.answered), w.availability);
+    out += util::format(
+        ",\"rtt_p50_ms\":%.3f,\"rtt_p95_ms\":%.3f", w.rtt_p50_ms, w.rtt_p95_ms);
+    out += util::format(
+        ",\"publication_count\":%llu,\"publication_p95_s\":%.0f",
+        static_cast<unsigned long long>(w.publication_count),
+        w.publication_p95_s);
+    out += util::format(
+        ",\"staleness_count\":%llu,\"staleness_max_s\":%.0f",
+        static_cast<unsigned long long>(w.staleness_count),
+        w.staleness_max_s);
+    out += util::format(
+        ",\"integrity_checks\":%llu,\"integrity_ok\":%llu",
+        static_cast<unsigned long long>(w.integrity_checks),
+        static_cast<unsigned long long>(w.integrity_ok));
+    out += util::format(",\"evaluated\":%s", w.evaluated ? "true" : "false");
+    out += ",\"breaches\":[";
+    bool first = true;
+    for (size_t m = 0; m < kSloMetricCount; ++m) {
+      if (!(w.breaches & (1u << m))) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      out += to_string(static_cast<SloMetric>(m));
+      out += "\"";
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+std::string SloCollector::to_jsonl(const SloThresholds& thresholds) const {
+  return windows_to_jsonl(windows(thresholds));
+}
+
+bool SloCollector::write_jsonl(const std::string& path,
+                               const SloThresholds& thresholds) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) return false;
+  const std::string body = to_jsonl(thresholds);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), file) == body.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+}  // namespace rootsim::obs

@@ -39,4 +39,51 @@ bool site_available(uint32_t site_id, util::UnixTime t, util::UnixTime start,
   return true;
 }
 
+namespace {
+
+// (site_id, label) -> [0, 1): which sites an event darkens must be a pure
+// hash, not an RNG draw, so the subset is identical no matter who asks.
+double site_event_fraction(uint32_t site_id, const std::string& label) {
+  uint64_t state = 0x5eed5105u ^ site_id;
+  for (char c : label) {
+    state ^= static_cast<uint8_t>(c);
+    util::splitmix64(state);
+  }
+  uint64_t mixed = state;
+  return static_cast<double>(util::splitmix64(mixed) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool scripted_site_dark(uint32_t site_id, int root_index, util::UnixTime t,
+                        const std::vector<ScriptedOutage>& outages) {
+  for (const ScriptedOutage& outage : outages) {
+    if (outage.root_index >= 0 && outage.root_index != root_index) continue;
+    if (t < outage.start || t >= outage.end) continue;
+    if (site_event_fraction(site_id, outage.label) < outage.site_fraction)
+      return true;
+  }
+  return false;
+}
+
+std::vector<ScriptedOutage> paper_event_outages() {
+  std::vector<ScriptedOutage> outages;
+  ScriptedOutage broot;
+  broot.root_index = 1;  // b.root-servers.net
+  broot.start = util::make_time(2023, 11, 27);
+  broot.end = util::make_time(2023, 11, 28, 12, 0);
+  broot.site_fraction = 0.7;
+  broot.label = "b.root-renumbering";
+  outages.push_back(broot);
+  return outages;
+}
+
+bool site_available_at(uint32_t site_id, int root_index, util::UnixTime t,
+                       util::UnixTime start, util::UnixTime end,
+                       const OutageModelConfig& config,
+                       const std::vector<ScriptedOutage>& scripted) {
+  if (scripted_site_dark(site_id, root_index, t, scripted)) return false;
+  return site_available(site_id, t, start, end, config);
+}
+
 }  // namespace rootsim::rss

@@ -9,6 +9,8 @@
 // §5 what-if) can be computed rather than asserted.
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/timeutil.h"
@@ -19,6 +21,37 @@ struct OutageWindow {
   util::UnixTime start = 0;
   util::UnixTime end = 0;
 };
+
+/// A known, labelled outage window scripted onto one letter's deployment —
+/// the vehicle for injecting paper-timeline events (and scenario-engine
+/// events later) so the SLO monitor has something real to detect and the
+/// label gives attribution something true to say. During [start, end) a
+/// deterministic `site_fraction` of the letter's sites go dark.
+struct ScriptedOutage {
+  int root_index = -1;  ///< letter index 0..12, -1 = every letter
+  util::UnixTime start = 0;
+  util::UnixTime end = 0;
+  /// Fraction of sites dark during the window. Which sites is a pure hash
+  /// of (site_id, label) so the set is stable across runs and disjoint
+  /// events pick independent subsets.
+  double site_fraction = 1.0;
+  std::string label;
+};
+
+/// True if some scripted outage keeps `site_id` (serving letter
+/// `root_index`) dark at time `t`.
+bool scripted_site_dark(uint32_t site_id, int root_index, util::UnixTime t,
+                        const std::vector<ScriptedOutage>& outages);
+
+/// The paper timeline's service-affecting event, as a scripted outage: the
+/// b.root renumbering of 2023-11-27. The catalog keeps both address sets
+/// answering (the paper found no probe-visible breakage), but the transition
+/// window itself — traffic draining off 199.9.14.201/2001:500:200::b while
+/// caches and route announcements converged — is exactly what an operator's
+/// SLO monitor would have watched nervously. Modelled as a 36 h window with
+/// a majority of b's sites degraded, which drives the letter's availability
+/// below the RSSAC047 99.96 % line without silencing it.
+std::vector<ScriptedOutage> paper_event_outages();
 
 struct OutageModelConfig {
   uint64_t seed = 42;
@@ -37,5 +70,12 @@ std::vector<OutageWindow> site_outages(uint32_t site_id, util::UnixTime start,
 /// True if the site is serving at `t`.
 bool site_available(uint32_t site_id, util::UnixTime t, util::UnixTime start,
                     util::UnixTime end, const OutageModelConfig& config = {});
+
+/// site_available() with scripted outages layered on top: the site serves at
+/// `t` only if neither the Poisson model nor any scripted window darkens it.
+bool site_available_at(uint32_t site_id, int root_index, util::UnixTime t,
+                       util::UnixTime start, util::UnixTime end,
+                       const OutageModelConfig& config,
+                       const std::vector<ScriptedOutage>& scripted);
 
 }  // namespace rootsim::rss

@@ -72,6 +72,52 @@ TEST(Rssac, MetricsWithinSaneBounds) {
   EXPECT_GT(report.worst_availability, 0.98);
 }
 
+// The replay-equivalence acceptance criterion: the batch RSSAC047 report
+// must equal what the streaming collector reads out of its end-of-campaign
+// totals — including when the replayed samples are sharded across
+// collectors and folded through merge_from, the exact path the parallel
+// campaign uses. If the batch path ever grew its own aggregation again,
+// this is the test that catches the drift.
+TEST(Rssac, BatchReportMatchesStreamingCollectorReplay) {
+  RssacOptions options;
+  options.sampled_rounds = 10;
+  options.propagation_instances = 4;
+  auto batch = compute_rssac_metrics(test_campaign(), options);
+
+  // Same sampling plan recorded into one collector directly, and replayed
+  // twice into a merged collector (two shards folded together): ratios and
+  // quantiles are invariant under doubling the sample set, so the merged
+  // report must match — the merge path cannot skew the rates.
+  obs::SloCollector direct, shard_a, shard_b, merged;
+  replay_rssac_samples(test_campaign(), options, direct);
+  replay_rssac_samples(test_campaign(), options, shard_a);
+  replay_rssac_samples(test_campaign(), options, shard_b);
+  merged.merge_from(shard_b);
+  merged.merge_from(shard_a);
+
+  auto streaming = rssac_report_from_collector(direct);
+  auto doubled = rssac_report_from_collector(merged);
+  for (size_t root = 0; root < streaming.per_root.size(); ++root) {
+    const auto& b = batch.per_root[root];
+    const auto& s = streaming.per_root[root];
+    EXPECT_EQ(b.letter, s.letter);
+    EXPECT_DOUBLE_EQ(b.availability_v4, s.availability_v4) << b.letter;
+    EXPECT_DOUBLE_EQ(b.availability_v6, s.availability_v6) << b.letter;
+    EXPECT_DOUBLE_EQ(b.median_rtt_v4, s.median_rtt_v4) << b.letter;
+    EXPECT_DOUBLE_EQ(b.median_rtt_v6, s.median_rtt_v6) << b.letter;
+    EXPECT_DOUBLE_EQ(b.p95_rtt_v4, s.p95_rtt_v4) << b.letter;
+    EXPECT_DOUBLE_EQ(b.p95_rtt_v6, s.p95_rtt_v6) << b.letter;
+    EXPECT_DOUBLE_EQ(b.median_publication_latency_s,
+                     s.median_publication_latency_s) << b.letter;
+    // Ratios and quantiles are invariant under doubling the sample set.
+    EXPECT_DOUBLE_EQ(doubled.per_root[root].availability_v4,
+                     s.availability_v4) << b.letter;
+    EXPECT_DOUBLE_EQ(doubled.per_root[root].median_rtt_v4, s.median_rtt_v4)
+        << b.letter;
+  }
+  EXPECT_DOUBLE_EQ(batch.worst_availability, streaming.worst_availability);
+}
+
 TEST(Rssac, ClusterFailureMovesSomeSelections) {
   auto impact = simulate_cluster_failure(test_campaign());
   EXPECT_GE(impact.roots_hosted, 5u);  // a genuinely clustered facility

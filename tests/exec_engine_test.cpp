@@ -366,5 +366,50 @@ TEST(ZoneAudit, ByteIdenticalWithProfilerAndFlightRecorderEnabled) {
   std::remove(profile_path);
 }
 
+// The SLO plane rides the same shard/merge path, so its exports inherit the
+// same acceptance bar: slo.jsonl and incidents.jsonl byte-identical at every
+// worker count under BOTH scheduler modes (and across the modes — the steal
+// schedule must be as invisible as the worker count). Shortened schedule
+// covering the b.root renumbering window keeps the test fast.
+TEST(SloTimeline, ExportsByteIdenticalAcrossWorkersAndSchedulers) {
+  measure::CampaignConfig config;
+  config.zone.tld_count = 25;
+  config.zone.rsa_modulus_bits = 512;
+  config.vp_scale = 0.05;
+  config.schedule.start = util::make_time(2023, 11, 20);
+  config.schedule.end = util::make_time(2023, 12, 10);
+  const measure::Campaign campaign(config);
+
+  auto run = [&](size_t workers) {
+    netsim::FlightRecorder flight(64);
+    measure::SloTimelineOptions options;
+    options.flight_recorder = &flight;
+    options.workers = workers;
+    auto result = campaign.run_slo_timeline(options);
+    return std::pair<std::string, std::string>(result.slo_jsonl,
+                                               result.incidents_jsonl);
+  };
+
+  std::pair<std::string, std::string> reference;
+  for (const char* sched : {"steal", "static"}) {
+    setenv("ROOTSIM_SCHED", sched, 1);
+    auto serial = run(1);
+    ASSERT_FALSE(serial.first.empty()) << sched;
+    ASSERT_FALSE(serial.second.empty()) << sched;
+    if (reference.first.empty())
+      reference = serial;
+    else
+      EXPECT_EQ(serial, reference) << "scheduler mode leaked into the export";
+    for (size_t workers : {2u, 8u}) {
+      auto parallel = run(workers);
+      EXPECT_EQ(parallel.first, serial.first)
+          << sched << " slo.jsonl @" << workers << " workers";
+      EXPECT_EQ(parallel.second, serial.second)
+          << sched << " incidents.jsonl @" << workers << " workers";
+    }
+  }
+  unsetenv("ROOTSIM_SCHED");
+}
+
 }  // namespace
 }  // namespace rootsim

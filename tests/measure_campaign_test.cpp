@@ -6,6 +6,8 @@
 #include <map>
 #include <set>
 
+#include "netsim/flight_recorder.h"
+
 namespace rootsim::measure {
 namespace {
 
@@ -168,6 +170,56 @@ TEST(Campaign, LossyAuditIsIdenticalAcrossWorkerCounts) {
       EXPECT_EQ(parallel[i].note, serial[i].note) << workers << ":" << i;
     }
   }
+}
+
+// The tentpole acceptance property for the SLO plane: run the monitor over
+// the paper timeline and both headline events must come out the other side
+// as *detected, attributed* incidents — the b.root renumbering as an
+// availability breach on letter b blamed on the scripted event, and the
+// ZONEMD private-algorithm rollout phase as integrity breaches blamed on
+// the zone-pipeline hint.
+TEST(Campaign, SloTimelineDetectsAndAttributesPaperEvents) {
+  // Full paper schedule (the ZONEMD rollout spans Sep-Dec); scaled VP set
+  // keeps the run to a few seconds.
+  Campaign campaign(fast_config());
+  netsim::FlightRecorder flight(256);
+  SloTimelineOptions options;
+  options.flight_recorder = &flight;
+  options.workers = 4;
+  SloTimelineResult result = campaign.run_slo_timeline(options);
+
+  ASSERT_FALSE(result.windows.empty());
+  ASSERT_FALSE(result.incidents.empty());
+  EXPECT_GT(result.probes, 0u);
+  EXPECT_GT(result.failed_probes, 0u);  // outage model + scripted event
+  EXPECT_GT(result.integrity_failures, 0u);  // private-algorithm phase
+
+  bool broot_availability = false;
+  bool zonemd_integrity = false;
+  for (const obs::Incident& incident : result.incidents) {
+    if (incident.root == 1 &&
+        incident.metric == obs::SloMetric::Availability &&
+        incident.cause == "b.root-renumbering") {
+      broot_availability = true;
+      EXPECT_FALSE(incident.open()) << "renumbering window ended; must heal";
+      // Opened within the paper's event neighbourhood (hysteresis can pull
+      // the open back to the first breached window before the event peak).
+      EXPECT_GE(incident.opened, util::make_time(2023, 11, 20));
+      EXPECT_LE(incident.opened, util::make_time(2023, 11, 28));
+      EXPECT_LT(incident.worst_value, 0.99);
+    }
+    if (incident.metric == obs::SloMetric::Integrity &&
+        incident.cause == "zonemd-private-algorithm") {
+      zonemd_integrity = true;
+      EXPECT_FALSE(incident.open()) << "sha384 switch must close it";
+    }
+  }
+  EXPECT_TRUE(broot_availability)
+      << "b.root renumbering not detected/attributed:\n"
+      << result.incidents_jsonl;
+  EXPECT_TRUE(zonemd_integrity)
+      << "ZONEMD rollout not detected/attributed:\n"
+      << result.incidents_jsonl;
 }
 
 TEST(FaultPlan, MatchesTable2Structure) {

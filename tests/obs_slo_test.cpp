@@ -1,0 +1,292 @@
+// Unit suite for the streaming SLO plane: SloCollector window semantics
+// (advancement, empty-bucket eviction, trailing aggregation, merge order
+// independence) and the IncidentTracker hysteresis state machine (no
+// flapping at the threshold boundary, open -> close lifecycle against a
+// scripted outage, deterministic attribution).
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/incident.h"
+#include "util/timeutil.h"
+
+namespace rootsim::obs {
+namespace {
+
+constexpr int64_t kBucket = SloCollector::kBucketSeconds;
+
+// Thresholds tuned so one probe decides a window: every test below controls
+// breaches explicitly instead of fighting min_probes.
+SloThresholds tiny_thresholds() {
+  SloThresholds t;
+  t.min_probes = 1;
+  t.window_buckets = 2;
+  t.open_after = 3;
+  t.close_after = 2;
+  return t;
+}
+
+SloSample probe(util::UnixTime when, bool ok, uint8_t root = 0,
+                bool v6 = false) {
+  SloSample sample;
+  sample.root = root;
+  sample.v6 = v6;
+  sample.when = when;
+  sample.kind = SloSample::Kind::Availability;
+  sample.ok = ok;
+  return sample;
+}
+
+TEST(SloCollector, BucketIndexIsFloorDivision) {
+  EXPECT_EQ(SloCollector::bucket_index(0), 0);
+  EXPECT_EQ(SloCollector::bucket_index(kBucket - 1), 0);
+  EXPECT_EQ(SloCollector::bucket_index(kBucket), 1);
+  EXPECT_EQ(SloCollector::bucket_index(-1), -1);
+  EXPECT_EQ(SloCollector::bucket_start(SloCollector::bucket_index(12345)), 0);
+}
+
+TEST(SloCollector, WindowsAdvancePerBucketIncludingEmptyOnes) {
+  SloCollector collector;
+  const util::UnixTime t0 = util::make_time(2023, 7, 3);
+  // Samples in bucket 0 and bucket 3; buckets 1-2 are silent.
+  collector.record(probe(t0, true));
+  collector.record(probe(t0 + 3 * kBucket, true));
+
+  auto windows = collector.windows(tiny_thresholds());
+  // One window per bucket in the stream's [first, last] range: the silent
+  // buckets still advance the sweep instead of being skipped. Each window
+  // spans the trailing window_buckets buckets and slides by one bucket.
+  ASSERT_EQ(windows.size(), 4u);
+  for (size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_EQ(windows[i].end - windows[i].start, 2 * kBucket) << i;
+    if (i) {
+      EXPECT_EQ(windows[i].start, windows[i - 1].start + kBucket) << i;
+    }
+  }
+  EXPECT_EQ(windows[0].end, t0 + kBucket);  // trailing: ends at its bucket
+  // window_buckets = 2: bucket 1's window still sees bucket 0's probe,
+  // bucket 2's window has aged it out (eviction), bucket 3 is fresh again.
+  EXPECT_EQ(windows[0].probes, 1u);
+  EXPECT_EQ(windows[1].probes, 1u);
+  EXPECT_EQ(windows[2].probes, 0u);
+  EXPECT_FALSE(windows[2].evaluated);
+  EXPECT_EQ(windows[3].probes, 1u);
+}
+
+TEST(SloCollector, TrailingWindowAggregatesAndEvaluates) {
+  SloCollector collector;
+  const util::UnixTime t0 = util::make_time(2023, 7, 3);
+  collector.record(probe(t0, false));
+  collector.record(probe(t0 + kBucket, true));
+  SloSample latency = probe(t0 + kBucket, true);
+  latency.kind = SloSample::Kind::Latency;
+  latency.value = 120.0;
+  collector.record(latency);
+
+  SloThresholds thresholds = tiny_thresholds();
+  auto windows = collector.windows(thresholds);
+  ASSERT_EQ(windows.size(), 2u);
+  // Second window spans both buckets: 1 failure + 1 success.
+  EXPECT_EQ(windows[1].probes, 2u);
+  EXPECT_EQ(windows[1].answered, 1u);
+  EXPECT_DOUBLE_EQ(windows[1].availability, 0.5);
+  EXPECT_TRUE(windows[1].evaluated);
+  EXPECT_TRUE(windows[1].breached(SloMetric::Availability));
+  EXPECT_EQ(windows[1].latency_count, 1u);
+  EXPECT_NEAR(windows[1].rtt_p95_ms, 120.0, 120.0 * 0.05);
+}
+
+TEST(SloCollector, StarvedWindowsAreNotEvaluated) {
+  SloCollector collector;
+  const util::UnixTime t0 = util::make_time(2023, 7, 3);
+  collector.record(probe(t0, false));  // would breach if evaluated
+
+  SloThresholds thresholds = tiny_thresholds();
+  thresholds.min_probes = 16;
+  auto windows = collector.windows(thresholds);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_FALSE(windows[0].evaluated);
+  EXPECT_EQ(windows[0].breaches, 0u);
+}
+
+TEST(SloCollector, MergeOrderAndShardingInvisibleInExport) {
+  const util::UnixTime t0 = util::make_time(2023, 7, 3);
+  auto feed = [&](SloCollector& c, int salt) {
+    for (int i = 0; i < 40; ++i) {
+      const util::UnixTime when = t0 + (i % 5) * kBucket + i * 17;
+      c.record(probe(when, (i + salt) % 7 != 0, i % 3 == 0 ? 1 : 0,
+                     i % 2 == 1));
+      SloSample latency = probe(when, true, i % 3 == 0 ? 1 : 0, i % 2 == 1);
+      latency.kind = SloSample::Kind::Latency;
+      latency.value = 10.0 + i;
+      c.record(latency);
+    }
+  };
+  SloCollector serial;
+  feed(serial, 0);
+  feed(serial, 1);
+
+  // Same samples split across two shards, merged in both orders — and
+  // recorded from two threads, so TSan sees the lock on the hot path.
+  for (bool reversed : {false, true}) {
+    SloCollector a, b, merged;
+    std::thread ta([&] { feed(a, 0); });
+    std::thread tb([&] { feed(b, 1); });
+    ta.join();
+    tb.join();
+    merged.merge_from(reversed ? b : a);
+    merged.merge_from(reversed ? a : b);
+    EXPECT_EQ(merged.cell_count(), serial.cell_count());
+    EXPECT_EQ(merged.to_jsonl(tiny_thresholds()),
+              serial.to_jsonl(tiny_thresholds()));
+  }
+}
+
+TEST(SloCollector, TotalsFoldEveryBucketOfOneStream) {
+  SloCollector collector;
+  const util::UnixTime t0 = util::make_time(2023, 7, 3);
+  for (int i = 0; i < 10; ++i)
+    collector.record(probe(t0 + i * kBucket, i != 4));
+  collector.record(probe(t0, true, /*root=*/2));  // different stream
+
+  SloCollector::Cell totals = collector.totals(0, false);
+  EXPECT_EQ(totals.probes, 10u);
+  EXPECT_EQ(totals.answered, 9u);
+  EXPECT_EQ(collector.totals(2, false).probes, 1u);
+  EXPECT_EQ(collector.totals(2, true).probes, 0u);
+}
+
+// One bad bucket smears across window_buckets sliding windows; open_after
+// must out-wait the smear or a single blip pages. The default policy
+// guarantees that structurally (open_after > window_buckets).
+TEST(IncidentTracker, SingleBucketBlipDoesNotOpen) {
+  SloThresholds thresholds;  // default policy: window 4, open_after 6
+  thresholds.min_probes = 1;
+  SloCollector collector;
+  const util::UnixTime t0 = util::make_time(2023, 7, 3);
+  for (int i = 0; i < 12; ++i)
+    collector.record(probe(t0 + i * kBucket, i != 5));  // one dead bucket
+
+  IncidentTracker tracker(thresholds);
+  tracker.observe(collector.windows(thresholds));
+  EXPECT_EQ(tracker.open_count(), 0u);
+  EXPECT_TRUE(tracker.incidents().empty());
+}
+
+// A stream sitting exactly on the availability threshold is healthy — the
+// breach comparison is strict — so boundary oscillation cannot flap.
+TEST(IncidentTracker, NoFlappingAtTheThresholdBoundary) {
+  SloThresholds thresholds = tiny_thresholds();
+  thresholds.availability_min = 0.5;
+  thresholds.window_buckets = 1;  // one bucket per window: direct control
+  SloCollector collector;
+  const util::UnixTime t0 = util::make_time(2023, 7, 3);
+  for (int i = 0; i < 20; ++i) {
+    // Every bucket: exactly 1 of 2 probes answered = availability 0.5,
+    // exactly at the threshold.
+    collector.record(probe(t0 + i * kBucket, true));
+    collector.record(probe(t0 + i * kBucket + 1, false));
+  }
+  IncidentTracker tracker(thresholds);
+  tracker.observe(collector.windows(thresholds));
+  EXPECT_EQ(tracker.open_count(), 0u);
+  EXPECT_TRUE(tracker.incidents().empty());
+}
+
+// The lifecycle property: a sustained scripted outage opens exactly one
+// incident after `open_after` breached windows, records its breadth and
+// worst value, and closes after `close_after` healthy windows.
+TEST(IncidentTracker, OpensAndClosesAcrossAScriptedOutage) {
+  SloThresholds thresholds = tiny_thresholds();
+  thresholds.window_buckets = 1;
+  SloCollector collector;
+  const util::UnixTime t0 = util::make_time(2023, 11, 27);
+  // Buckets 0-4 healthy, 5-12 dark (the outage), 13-19 healthy again.
+  for (int i = 0; i < 20; ++i) {
+    const bool dark = i >= 5 && i <= 12;
+    for (int p = 0; p < 4; ++p)
+      collector.record(probe(t0 + i * kBucket + p, !dark));
+  }
+  IncidentTracker tracker(thresholds);
+  tracker.observe(collector.windows(thresholds));
+  auto incidents = tracker.incidents();
+  ASSERT_EQ(incidents.size(), 1u);
+  const Incident& incident = incidents[0];
+  EXPECT_EQ(incident.id, 1u);
+  EXPECT_EQ(incident.metric, SloMetric::Availability);
+  // Opened retroactively at the *first* breached window, not the one that
+  // crossed open_after.
+  EXPECT_EQ(incident.opened, t0 + 5 * kBucket);
+  EXPECT_EQ(incident.last_breach_end, t0 + 13 * kBucket);
+  EXPECT_EQ(incident.breach_windows, 8u);
+  EXPECT_DOUBLE_EQ(incident.worst_value, 0.0);
+  // Closed at the end of the close_after-th healthy window.
+  EXPECT_FALSE(incident.open());
+  EXPECT_EQ(incident.closed, t0 + 15 * kBucket);
+  EXPECT_EQ(tracker.open_count(), 0u);
+
+  // Attribution: the scripted outage window wins; an unrelated hint with
+  // no overlap cannot, and absent any overlap the cause stays "unknown".
+  tracker.add_hint({t0 + 5 * kBucket, t0 + 13 * kBucket, -1, -1, -1,
+                    "scripted-outage", 2.0});
+  tracker.add_hint({t0 - 50 * kBucket, t0 - 40 * kBucket, -1, -1, -1,
+                    "ancient-history", 9.0});
+  auto attributed = tracker.incidents();
+  ASSERT_EQ(attributed.size(), 1u);
+  EXPECT_EQ(attributed[0].cause, "scripted-outage");
+  EXPECT_DOUBLE_EQ(attributed[0].cause_score, 2.0 * 8 * kBucket);
+}
+
+TEST(IncidentTracker, HintFiltersRespectStreamAndMetric) {
+  SloThresholds thresholds = tiny_thresholds();
+  thresholds.window_buckets = 1;
+  SloCollector collector;
+  const util::UnixTime t0 = util::make_time(2023, 9, 13);
+  for (int i = 0; i < 10; ++i) {
+    SloSample integrity = probe(t0 + i * kBucket, false, /*root=*/3);
+    integrity.kind = SloSample::Kind::Integrity;
+    collector.record(integrity);
+    collector.record(probe(t0 + i * kBucket, true, /*root=*/3));
+  }
+  IncidentTracker tracker(thresholds);
+  tracker.observe(collector.windows(thresholds));
+  ASSERT_EQ(tracker.incidents().size(), 1u);
+
+  // Wrong-root and wrong-metric hints never match; the metric-scoped hint
+  // does even though a higher-weight availability hint overlaps fully.
+  tracker.add_hint({t0, t0 + 10 * kBucket, /*root=*/5, -1, -1,
+                    "wrong-letter", 10.0});
+  tracker.add_hint({t0, t0 + 10 * kBucket, -1, -1,
+                    static_cast<int>(SloMetric::Availability),
+                    "wrong-metric", 10.0});
+  tracker.add_hint({t0, t0 + 10 * kBucket, 3, -1,
+                    static_cast<int>(SloMetric::Integrity),
+                    "zonemd-private-algorithm", 1.0});
+  auto incidents = tracker.incidents();
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].metric, SloMetric::Integrity);
+  EXPECT_EQ(incidents[0].cause, "zonemd-private-algorithm");
+}
+
+TEST(IncidentTracker, JsonlIsStableAndMarksOpenIncidents) {
+  SloThresholds thresholds = tiny_thresholds();
+  thresholds.window_buckets = 1;
+  SloCollector collector;
+  const util::UnixTime t0 = util::make_time(2023, 7, 3);
+  // Breaches straight through the end of the timeline: never heals.
+  for (int i = 0; i < 6; ++i)
+    collector.record(probe(t0 + i * kBucket, false));
+  IncidentTracker tracker(thresholds);
+  tracker.observe(collector.windows(thresholds));
+  ASSERT_EQ(tracker.open_count(), 1u);
+  const std::string jsonl = tracker.to_jsonl();
+  EXPECT_NE(jsonl.find("\"closed\":null"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"cause\":\"unknown\""), std::string::npos);
+  EXPECT_EQ(jsonl, tracker.to_jsonl());  // pure function of state
+}
+
+}  // namespace
+}  // namespace rootsim::obs

@@ -19,7 +19,9 @@ the timing check with a note instead of flagging a phantom regression (the
 deterministic work counters are still compared exactly). Exit 0 when every
 compared pair passes, 1 otherwise. Baselines with no fresh counterpart are
 skipped with a note (not an error), so one bench can be compared without
-running the whole suite.
+running the whole suite; likewise a fresh result with no committed baseline
+(a brand-new bench) is a note — its first committed run establishes the
+baseline.
 
 Pure stdlib; no dependencies.
 """
@@ -31,7 +33,10 @@ import os
 import sys
 
 # Pure functions of (seed, config): must be byte-equal across machines.
-EXACT_FIELDS = ("bench", "probes", "signatures", "threads")
+# "deterministic" is a nested object some benches emit (e.g.
+# BENCH_rssac047.json's probe/window/incident counters); dict equality
+# compares every counter in it exactly.
+EXACT_FIELDS = ("bench", "probes", "signatures", "threads", "deterministic")
 # Wall-clock dependent: tolerance band only.
 TIMING_FIELDS = ("wall_ms",)
 
@@ -99,6 +104,12 @@ def main():
     if args.pair:
         if len(args.pair) != 2:
             parser.error("explicit mode takes exactly: BASELINE FRESH")
+        if not os.path.exists(args.pair[0]):
+            # A brand-new bench has no committed baseline yet; its first run
+            # establishes one. Same policy as --fresh-dir: note, don't fail.
+            print(f"note: no baseline {args.pair[0]}; nothing to compare "
+                  f"(commit the fresh result to establish one)")
+            return 0
         pairs.append((args.pair[0], args.pair[1]))
     elif args.fresh_dir:
         for fresh in sorted(glob.glob(os.path.join(args.fresh_dir,

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Render slo.jsonl / incidents.jsonl (streaming SLO monitor) into tables.
+
+The streaming RSSAC047 monitor (src/obs/slo.h, src/obs/incident.h) exports
+one JSON object per evaluated sliding window (slo.jsonl) and one per
+detected incident (incidents.jsonl). This tool renders them the way an
+on-call operator would read them:
+
+    tools/slo_report.py slo.jsonl                        # health + margins
+    tools/slo_report.py slo.jsonl --incidents incidents.jsonl
+    tools/slo_report.py slo.jsonl --table health --letter b
+
+Tables:
+    health     per-letter timeline: one row per (letter, family) stream with
+               window count, breached-window count and a compact breach
+               sparkline ('.' healthy, '!' breached, ' ' unevaluated)
+    margins    per-letter worst-case distance to each threshold across all
+               evaluated windows (how close each stream came to paging)
+    incidents  the incident log: open/close times, worst value, attributed
+               cause (requires --incidents)
+
+Pure stdlib; no dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    records = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{lineno}: bad JSON: {err}")
+    return records
+
+
+def fmt_table(headers, rows):
+    widths = [len(h) for h in headers]
+    rendered = [[str(cell) for cell in row] for row in rows]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) if i else c.ljust(w)
+                               for i, (c, w) in enumerate(zip(row, widths))).rstrip())
+    return "\n".join(lines)
+
+
+def stream_key(record):
+    return (record.get("letter", "?"), record.get("family", "?"))
+
+
+def by_stream(windows):
+    streams = {}
+    for w in windows:
+        streams.setdefault(stream_key(w), []).append(w)
+    for rows in streams.values():
+        rows.sort(key=lambda w: w.get("start", ""))
+    return streams
+
+
+def sparkline(rows, width=60):
+    """One char per window: '.' healthy, '!' breached, ' ' unevaluated.
+
+    Long timelines are downsampled; a chunk is '!' if any window in it
+    breached — an operator wants breaches to survive the squint.
+    """
+    marks = ["!" if w.get("breaches") else "." if w.get("evaluated") else " "
+             for w in rows]
+    if len(marks) <= width:
+        return "".join(marks)
+    out = []
+    for i in range(width):
+        chunk = marks[i * len(marks) // width:(i + 1) * len(marks) // width]
+        out.append("!" if "!" in chunk else "." if "." in chunk else " ")
+    return "".join(out)
+
+
+def table_health(windows):
+    rows = []
+    for (letter, family), stream in sorted(by_stream(windows).items()):
+        evaluated = [w for w in stream if w.get("evaluated")]
+        breached = [w for w in evaluated if w.get("breaches")]
+        rows.append([letter, family, len(stream), len(evaluated),
+                     len(breached), sparkline(stream)])
+    return fmt_table(["letter", "family", "windows", "evaluated", "breached",
+                      "timeline"], rows)
+
+
+def table_margins(windows):
+    """Worst observed value per metric per stream, vs. what breached.
+
+    Margins answer the question incidents don't: how close did the healthy
+    streams come to paging?
+    """
+    rows = []
+    for (letter, family), stream in sorted(by_stream(windows).items()):
+        evaluated = [w for w in stream if w.get("evaluated")]
+        if not evaluated:
+            rows.append([letter, family, "-", "-", "-", "-", "-"])
+            continue
+        worst_avail = min(w.get("availability", 1.0) for w in evaluated)
+        worst_rtt = max(w.get("rtt_p95_ms", 0.0) for w in evaluated)
+        pubs = [w["publication_p95_s"] for w in evaluated
+                if w.get("publication_count")]
+        stale = max(w.get("staleness_max_s", 0.0) for w in evaluated)
+        checks = sum(w.get("integrity_checks", 0) for w in evaluated)
+        ok = sum(w.get("integrity_ok", 0) for w in evaluated)
+        rows.append([
+            letter, family, f"{100 * worst_avail:.4f}%",
+            f"{worst_rtt:.1f}", f"{max(pubs):.0f}" if pubs else "-",
+            f"{stale:.0f}",
+            f"{100 * ok / checks:.2f}%" if checks else "-",
+        ])
+    return fmt_table(["letter", "family", "worst-avail", "worst-p95-ms",
+                      "worst-pub-p95-s", "worst-stale-s", "integrity-ok"],
+                     rows)
+
+
+def table_incidents(incidents):
+    if not incidents:
+        return "(no incidents)"
+    rows = []
+    for inc in incidents:
+        rows.append([
+            inc.get("id", "?"), inc.get("letter", "?"),
+            inc.get("family", "?"), inc.get("metric", "?"),
+            inc.get("opened", "?"), inc.get("closed") or "OPEN",
+            inc.get("breach_windows", 0), f"{inc.get('worst', 0):.6g}",
+            inc.get("cause", "unknown"),
+        ])
+    return fmt_table(["id", "letter", "family", "metric", "opened", "closed",
+                      "windows", "worst", "cause"], rows)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("jsonl", help="slo.jsonl file to render")
+    parser.add_argument("--incidents", help="incidents.jsonl to render too")
+    parser.add_argument("--table", choices=["health", "margins", "incidents"],
+                        action="append", help="render only this table")
+    parser.add_argument("--letter", help="filter to one root letter")
+    parser.add_argument("--family", choices=["v4", "v6"],
+                        help="filter to one address family")
+    args = parser.parse_args()
+
+    windows = load(args.jsonl)
+    incidents = load(args.incidents) if args.incidents else []
+    if args.letter:
+        windows = [w for w in windows if w.get("letter") == args.letter]
+        incidents = [i for i in incidents if i.get("letter") == args.letter]
+    if args.family:
+        windows = [w for w in windows if w.get("family") == args.family]
+        incidents = [i for i in incidents if i.get("family") == args.family]
+    if not windows:
+        print("no windows matched", file=sys.stderr)
+        return 1
+
+    selected = args.table or (["health", "margins"] +
+                              (["incidents"] if args.incidents else []))
+    out = []
+    for name in selected:
+        out.append(f"== {name} ==")
+        if name == "incidents":
+            if not args.incidents:
+                parser.error("--table incidents requires --incidents FILE")
+            out.append(table_incidents(incidents))
+        elif name == "health":
+            out.append(table_health(windows))
+        else:
+            out.append(table_margins(windows))
+        out.append("")
+    print("\n".join(out).rstrip())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
