@@ -86,7 +86,7 @@ static void ablate_hop_loss() {
 
 static void ablate_priming() {
   std::printf("--- Ablation 4: priming enabled vs disabled (IPv6) ---\n");
-  util::UnixTime change = util::make_time(2023, 11, 27);
+  util::UnixTime change = bench::paper_change();
   traffic::PopulationConfig with = traffic::isp_population_config();
   with.clients = 12000;
   traffic::PopulationConfig without = with;
@@ -97,9 +97,9 @@ static void ablate_priming() {
     traffic::PassiveCollector isp(traffic::generate_population(population),
                                   traffic::isp_collector_config(), change);
     auto ratio = analysis::shift_ratio(
-        isp.collect(util::make_time(2024, 2, 5), util::make_time(2024, 3, 4)));
-    auto records = isp.collect_client_flows(util::make_time(2024, 2, 5),
-                                            util::make_time(2024, 2, 12));
+        isp.collect(bench::change_day(70), bench::change_day(98)));
+    auto records = isp.collect_client_flows(bench::change_day(70),
+                                            bench::change_day(77));
     double single_old_v6 = 0;
     for (const auto& cdf : analysis::client_flow_cdfs(records, 7))
       if (cdf.subnet.root_index == 1 && cdf.subnet.old_b_subnet &&

@@ -17,14 +17,49 @@
 #include "exec/engine.h"
 #include "measure/campaign.h"
 #include "obs/report.h"
+#include "scenario/apply.h"
+#include "scenario/library.h"
 
 namespace rootsim::bench {
 
+/// The spec behind the shared campaign; benches derive their observation
+/// instants from it instead of re-hardcoding the 2023 timeline.
+inline const scenario::ScenarioSpec& paper_spec() {
+  static const scenario::ScenarioSpec spec = scenario::paper_2023();
+  return spec;
+}
+
+/// The b.root renumbering instant (2023-11-27) — the pivot every Section 6
+/// before/after figure keys on.
+inline util::UnixTime paper_change() {
+  return scenario::renumbering_time(paper_spec());
+}
+
+/// Whole-day offsets from the renumbering change (negative = before); the
+/// paper dates its passive collections relative to this pivot.
+inline util::UnixTime change_day(int days, int64_t seconds = 0) {
+  return paper_change() + days * util::kSecondsPerDay + seconds;
+}
+
+/// A steady-state instant late in the campaign (two weeks before the
+/// horizon closes, 2023-12-10) for microbenches that need "some zone".
+inline util::UnixTime late_campaign(int64_t seconds = 0) {
+  return paper_spec().horizon.end - 14 * util::kSecondsPerDay + seconds;
+}
+
+/// Mid-campaign instant snapped to a day boundary — a representative
+/// quiet day for replay-style benches.
+inline util::UnixTime mid_campaign() {
+  const scenario::Horizon& horizon = paper_spec().horizon;
+  util::UnixTime mid = horizon.start + (horizon.end - horizon.start) / 2;
+  return mid - mid % util::kSecondsPerDay;
+}
+
 inline measure::CampaignConfig paper_campaign_config() {
-  measure::CampaignConfig config;
-  config.seed = 42;
-  // Full VP set and schedule; a moderate TLD count keeps AXFR-heavy benches
-  // quick while preserving zone structure (delegations, DS, glue, DNSSEC).
+  // The built-in paper-2023 scenario (full VP set, Fig. 2 schedule, seed
+  // 42); a moderate TLD count keeps AXFR-heavy benches quick while
+  // preserving zone structure (delegations, DS, glue, DNSSEC).
+  measure::CampaignConfig config = scenario::paper_campaign_config();
   config.zone.tld_count = 120;
   config.zone.rsa_modulus_bits = 768;
   return config;
@@ -117,7 +152,7 @@ inline void write_bench_json(const std::string& name, size_t threads,
 inline void write_rssac002(const std::string& path = "rssac002.jsonl") {
   const auto& collector = paper_recorder().rssac002();
   if (collector.empty()) return;
-  if (collector.write_jsonl(path))
+  if (collector.write_jsonl(path, paper_campaign_config().scenario_name))
     std::printf("wrote %s (%zu instance-day records)\n", path.c_str(),
                 collector.record_count());
 }
@@ -133,10 +168,14 @@ inline void print_header(const std::string& experiment,
     return true;
   }();
   (void)armed;
+  const measure::CampaignConfig config = paper_campaign_config();
   std::printf("================================================================\n");
   std::printf("%s\n", experiment.c_str());
   std::printf("reproduces: %s\n", paper_reference.c_str());
-  std::printf("seed=42, 675 VPs, %s..%s\n", "2023-07-03", "2023-12-24");
+  std::printf("seed=%llu, 675 VPs, %s..%s\n",
+              static_cast<unsigned long long>(config.seed),
+              util::format_date(config.schedule.start).c_str(),
+              util::format_date(config.schedule.end).c_str());
   std::printf("================================================================\n\n");
 }
 

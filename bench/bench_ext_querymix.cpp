@@ -18,8 +18,8 @@ int main() {
   config.queries = 100000;
   auto workload =
       traffic::generate_query_workload(campaign.authority().tlds(), config);
-  auto report = traffic::replay_workload(instance, workload,
-                                         util::make_time(2023, 10, 8));
+  auto report =
+      traffic::replay_workload(instance, workload, bench::mid_campaign());
 
   util::TextTable table({"Query class", "count", "share", "NXDOMAIN"});
   for (size_t cls = 0; cls < 5; ++cls) {

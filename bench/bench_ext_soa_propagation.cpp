@@ -11,8 +11,12 @@ int main() {
       "Extension — SOA propagation after a zone edit (per-second resolution)",
       "The Roots Go Deep, Appendix E ('Limited Temporal Resolution')");
   const measure::Campaign& campaign = bench::paper_campaign();
-  // The 12:00 UTC edit on 2023-10-10.
-  util::UnixTime bump = util::make_time(2023, 10, 10, 12, 0);
+  // A mid-campaign zone edit snapped to a 12 h serial boundary — the same
+  // derivation the RSSAC replay uses (2023-09-28 for the paper schedule).
+  const measure::ScheduleConfig& schedule =
+      bench::paper_campaign_config().schedule;
+  util::UnixTime bump = schedule.start + (schedule.end - schedule.start) / 2;
+  bump -= bump % (12 * 3600);
   auto report = analysis::measure_soa_propagation(campaign, bump);
 
   std::printf("zone edit: serial %u -> %u at %s\n\n", report.old_serial,

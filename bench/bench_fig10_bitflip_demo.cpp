@@ -14,7 +14,7 @@ int main() {
   std::printf("%s\n", analysis::render_bitflip_example(campaign).c_str());
 
   // Validate the corrupted transfer the way the audit would.
-  util::UnixTime when = util::make_time(2023, 12, 10, 7, 30);
+  util::UnixTime when = bench::late_campaign(7 * 3600 + 30 * 60);
   measure::Prober::FaultKnobs knobs;
   knobs.inject_bitflip = true;
   knobs.bitflip_seed = 7;

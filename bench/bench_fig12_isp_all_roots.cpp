@@ -10,7 +10,7 @@ using namespace rootsim;
 int main() {
   bench::print_header("Figure 12 — ISP: traffic to all roots",
                       "The Roots Go Deep, Fig. 12 (appendix D)");
-  util::UnixTime change = util::make_time(2023, 11, 27);
+  util::UnixTime change = bench::paper_change();
   traffic::PopulationConfig population = traffic::isp_population_config();
   population.clients = 20000;
   traffic::PassiveCollector isp(traffic::generate_population(population),
@@ -21,10 +21,9 @@ int main() {
     util::UnixTime start, end;
   };
   Window windows[] = {
-      {"2023-10-07 (before)", util::make_time(2023, 10, 7),
-       util::make_time(2023, 10, 9)},
-      {"2024-02 (after)", util::make_time(2024, 2, 9), util::make_time(2024, 3, 1)},
-      {"2024-04 (later)", util::make_time(2024, 4, 22), util::make_time(2024, 4, 29)},
+      {"2023-10-07 (before)", bench::change_day(-51), bench::change_day(-49)},
+      {"2024-02 (after)", bench::change_day(74), bench::change_day(95)},
+      {"2024-04 (later)", bench::change_day(147), bench::change_day(154)},
   };
   util::TextTable table({"Root", windows[0].label, windows[1].label,
                          windows[2].label});

@@ -10,15 +10,15 @@ using namespace rootsim;
 int main() {
   bench::print_header("Figure 13 — IXP: traffic to all roots",
                       "The Roots Go Deep, Fig. 13 (appendix D)");
-  util::UnixTime change = util::make_time(2023, 11, 27);
+  util::UnixTime change = bench::paper_change();
   traffic::PopulationConfig population = traffic::ixp_population_config_eu();
   population.clients = 15000;
   traffic::PassiveCollector ixp(traffic::generate_population(population),
                                 traffic::ixp_collector_config_eu(), change);
   auto nov_dec = analysis::root_shares(
-      ixp.collect(util::make_time(2023, 11, 1), util::make_time(2023, 12, 22)));
+      ixp.collect(bench::change_day(-26), bench::change_day(25)));
   auto april = analysis::root_shares(
-      ixp.collect(util::make_time(2024, 4, 22), util::make_time(2024, 4, 29)));
+      ixp.collect(bench::change_day(147), bench::change_day(154)));
 
   util::TextTable table({"Root", "2023-11..12", "2024-04"});
   for (int root = 0; root < 13; ++root)

@@ -18,7 +18,8 @@ int main() {
   };
   std::vector<Event> events = {
       {schedule.config().start, "measurement starts"},
-      {util::make_time(2023, 7, 31), "query ZONEMD and AXFR (already active here)"},
+      {schedule.config().start + 28 * util::kSecondsPerDay,
+       "query ZONEMD and AXFR (already active here)"},
       {schedule.config().dense_windows[0].start, "period decreased to 15 min"},
       {zone_config.zonemd_private_start, "ZONEMD added to root zone (private alg)"},
       {schedule.config().dense_windows[0].end, "period increased to 30 min"},

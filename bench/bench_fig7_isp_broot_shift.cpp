@@ -10,7 +10,7 @@ using namespace rootsim;
 int main() {
   bench::print_header("Figure 7 — ISP: traffic to b.root before/after change",
                       "The Roots Go Deep, Fig. 7 + Section 6 (ISP-DNS-1)");
-  util::UnixTime change = util::make_time(2023, 11, 27);
+  util::UnixTime change = bench::paper_change();
   traffic::PopulationConfig population = traffic::isp_population_config();
   population.clients = 20000;
   traffic::PassiveCollector isp(traffic::generate_population(population),
@@ -23,12 +23,12 @@ int main() {
   };
   Window windows[] = {
       // The paper's first panel is hourly across one pre-change day.
-      {"2023-10-07 hourly (before)", util::make_time(2023, 10, 7),
-       util::make_time(2023, 10, 8), 3600},
-      {"2024-02-05..03-04 (after)", util::make_time(2024, 2, 5),
-       util::make_time(2024, 3, 4), util::kSecondsPerDay},
-      {"2024-04-22..29 (long after)", util::make_time(2024, 4, 22),
-       util::make_time(2024, 4, 29), util::kSecondsPerDay},
+      {"2023-10-07 hourly (before)", bench::change_day(-51),
+       bench::change_day(-50), 3600},
+      {"2024-02-05..03-04 (after)", bench::change_day(70),
+       bench::change_day(98), util::kSecondsPerDay},
+      {"2024-04-22..29 (long after)", bench::change_day(147),
+       bench::change_day(154), util::kSecondsPerDay},
   };
   for (const Window& window : windows) {
     auto days = isp.collect_buckets(window.start, window.end, window.bucket_s);

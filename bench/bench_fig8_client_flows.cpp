@@ -10,14 +10,14 @@ using namespace rootsim;
 int main() {
   bench::print_header("Figure 8 — ISP: mean # of unique client subnets per day",
                       "The Roots Go Deep, Fig. 8 + Section 6");
-  util::UnixTime change = util::make_time(2023, 11, 27);
+  util::UnixTime change = bench::paper_change();
   traffic::PopulationConfig population = traffic::isp_population_config();
   population.clients = 20000;
   traffic::PassiveCollector isp(traffic::generate_population(population),
                                 traffic::isp_collector_config(), change);
-  // Post-change window, as in the paper.
-  auto records = isp.collect_client_flows(util::make_time(2024, 2, 5),
-                                          util::make_time(2024, 2, 12));
+  // Post-change window (2024-02-05..12), as in the paper.
+  auto records = isp.collect_client_flows(bench::change_day(70),
+                                          bench::change_day(77));
   auto cdfs = analysis::client_flow_cdfs(records, 7);
 
   for (const auto& cdf : cdfs) {

@@ -11,7 +11,7 @@ using namespace rootsim;
 int main() {
   bench::print_header("Figure 9 — IXP: IPv6 traffic to b.root (NA vs EU)",
                       "The Roots Go Deep, Fig. 9 + Section 6 (IXP-DNS-1)");
-  util::UnixTime change = util::make_time(2023, 11, 27);
+  util::UnixTime change = bench::paper_change();
   traffic::IxpSetConfig config;
   config.clients_per_peer = 25;
   auto ixps = traffic::build_ixp_set(change, config);
@@ -19,8 +19,8 @@ int main() {
   std::printf("per-IXP IPv6 shift over 2023-12-08..28:\n");
   util::TextTable table({"IXP", "Region", "peers", "v6 shift"});
   for (const auto& ixp : ixps) {
-    auto days = ixp.collector->collect(util::make_time(2023, 12, 8),
-                                       util::make_time(2023, 12, 28));
+    auto days = ixp.collector->collect(bench::change_day(11),
+                                       bench::change_day(31));
     table.add_row({ixp.name, std::string(util::region_short_name(ixp.region)),
                    std::to_string(ixp.peer_count),
                    util::TextTable::pct(analysis::shift_ratio(days).v6)});
@@ -36,14 +36,14 @@ int main() {
        {RegionView{"North America", util::Region::NorthAmerica, 0.165},
         RegionView{"Europe", util::Region::Europe, 0.608}}) {
     auto days = traffic::aggregate_ixps(ixps, view.region,
-                                        util::make_time(2023, 10, 26),
-                                        util::make_time(2023, 12, 28));
+                                        bench::change_day(-32),
+                                        bench::change_day(31));
     auto shares = analysis::broot_shares(days);
     std::printf("--- %s (aggregate) ---\n%s", view.label,
                 analysis::render_share_series(shares).c_str());
     auto post = traffic::aggregate_ixps(ixps, view.region,
-                                        util::make_time(2023, 12, 8),
-                                        util::make_time(2023, 12, 28));
+                                        bench::change_day(11),
+                                        bench::change_day(31));
     auto ratio = analysis::shift_ratio(post);
     std::printf("IPv6 traffic shifted to new subnet: %.1f%%  [paper: %.1f%%]\n\n",
                 100 * ratio.v6, 100 * view.paper_shift);

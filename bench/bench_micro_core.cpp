@@ -52,8 +52,7 @@ BENCHMARK(BM_Sha384)->Arg(64)->Arg(4096)->Arg(1 << 20);
 
 void BM_ZonemdDigest(benchmark::State& state) {
   const auto& campaign = bench::paper_campaign();
-  const dns::Zone& zone =
-      campaign.authority().zone_at(util::make_time(2023, 12, 10));
+  const dns::Zone& zone = campaign.authority().zone_at(bench::late_campaign());
   for (auto _ : state)
     benchmark::DoNotOptimize(
         dnssec::compute_zonemd_digest(zone, dns::ZonemdData::kHashSha384));
@@ -63,10 +62,9 @@ BENCHMARK(BM_ZonemdDigest);
 
 void BM_ZoneValidate(benchmark::State& state) {
   const auto& campaign = bench::paper_campaign();
-  const dns::Zone& zone =
-      campaign.authority().zone_at(util::make_time(2023, 12, 10));
+  const dns::Zone& zone = campaign.authority().zone_at(bench::late_campaign());
   auto anchors = campaign.authority().trust_anchors();
-  util::UnixTime now = util::make_time(2023, 12, 10, 6, 0);
+  util::UnixTime now = bench::late_campaign(6 * 3600);
   for (auto _ : state)
     benchmark::DoNotOptimize(dnssec::validate_zone(zone, anchors, now));
 }
@@ -90,7 +88,7 @@ void BM_SignZone(benchmark::State& state) {
   config.tld_count = 120;
   config.rsa_modulus_bits = 768;
   rss::ZoneAuthority authority(catalog, config);
-  util::UnixTime t = util::make_time(2023, 12, 10);
+  util::UnixTime t = bench::late_campaign();
   for (auto _ : state) {
     // zone_at caches per serial; force a rebuild by stepping days.
     t += util::kSecondsPerDay;
@@ -126,7 +124,7 @@ BENCHMARK(BM_SiteAtRound);
 void BM_FullProbe47Queries(benchmark::State& state) {
   const auto& campaign = bench::paper_campaign();
   const auto& vp = campaign.vantage_points()[0];
-  util::UnixTime now = util::make_time(2023, 12, 10, 12, 0);
+  util::UnixTime now = bench::late_campaign(12 * 3600);
   uint64_t round = campaign.schedule().round_at(now);
   for (auto _ : state)
     benchmark::DoNotOptimize(campaign.prober().probe(

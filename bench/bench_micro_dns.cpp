@@ -25,8 +25,8 @@ void BM_NameCanonicalCompare(benchmark::State& state) {
 BENCHMARK(BM_NameCanonicalCompare);
 
 const dns::Zone& bench_zone() {
-  static const dns::Zone& zone = bench::paper_campaign().authority().zone_at(
-      util::make_time(2023, 12, 10));
+  static const dns::Zone& zone =
+      bench::paper_campaign().authority().zone_at(bench::late_campaign());
   return zone;
 }
 

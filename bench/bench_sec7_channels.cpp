@@ -56,14 +56,20 @@ int main() {
     return stats;
   };
 
-  // CZDS: daily files over the paper's window 2023-09-15 .. 2024-03-27.
-  // IANA: 15-minute cadence is too many files to validate exhaustively here;
-  // stride 6h preserves the timeline (the paper validated all 23,823).
-  auto czds = audit(rss::DistributionSource::Czds, util::make_time(2023, 9, 15),
-                    util::make_time(2024, 3, 27), util::kSecondsPerDay);
+  // CZDS: daily files over the paper's window 2023-09-15 .. 2024-03-27 —
+  // from just before ZONEMD first appears in the exports to well past the
+  // campaign. IANA: 15-minute cadence is too many files to validate
+  // exhaustively here; stride 6h preserves the timeline (the paper
+  // validated all 23,823) over its window 2023-07-11 .. 2024-02-14.
+  const scenario::ScenarioSpec& spec = bench::paper_spec();
+  auto czds = audit(
+      rss::DistributionSource::Czds,
+      spec.zone.czds_broken_zonemd.start - 6 * util::kSecondsPerDay,
+      spec.zone.czds_broken_zonemd.end + 110 * util::kSecondsPerDay,
+      util::kSecondsPerDay);
   auto iana = audit(rss::DistributionSource::IanaWebsite,
-                    util::make_time(2023, 7, 11), util::make_time(2024, 2, 14),
-                    6 * 3600);
+                    spec.horizon.start + 8 * util::kSecondsPerDay,
+                    spec.horizon.end + 52 * util::kSecondsPerDay, 6 * 3600);
 
   util::TextTable table({"Channel", "files", "no ZONEMD", "unverifiable",
                          "verified", "DNSSEC fail", "first ZONEMD",

@@ -10,6 +10,7 @@
 #include <set>
 
 #include "measure/campaign.h"
+#include "scenario/apply.h"
 #include "util/table.h"
 
 using namespace rootsim;
@@ -62,7 +63,7 @@ static void atlas_for(const measure::Campaign& campaign,
 }
 
 int main(int argc, char** argv) {
-  measure::CampaignConfig config;
+  measure::CampaignConfig config = scenario::paper_campaign_config();
   config.zone.tld_count = 40;
   measure::Campaign campaign(config);
   const auto& vps = campaign.vantage_points();

@@ -8,13 +8,14 @@
 
 #include "analysis/traffic_report.h"
 #include "measure/campaign.h"
+#include "scenario/apply.h"
 #include "resolver/priming.h"
 #include "traffic/collectors.h"
 
 using namespace rootsim;
 
 int main() {
-  measure::CampaignConfig config;
+  measure::CampaignConfig config = scenario::paper_campaign_config();
   config.zone.tld_count = 40;
   measure::Campaign campaign(config);
   util::UnixTime change = campaign.catalog().renumbering().zone_change_time;
@@ -66,13 +67,15 @@ int main() {
     resolver::PrimingConfig primes_config;
     resolver::PrimingResolver priming_resolver(
         campaign, campaign.vantage_points()[7],
-        resolver::builtin_hints(campaign.catalog(), util::make_time(2019, 1, 1)),
+        resolver::builtin_hints(campaign.catalog(),
+                                change - 4 * 365 * util::kSecondsPerDay),
         primes_config);
     resolver::PrimingConfig never_config;
     never_config.primes = false;
     resolver::PrimingResolver reluctant_resolver(
         campaign, campaign.vantage_points()[8],
-        resolver::builtin_hints(campaign.catalog(), util::make_time(2019, 1, 1)),
+        resolver::builtin_hints(campaign.catalog(),
+                                change - 4 * 365 * util::kSecondsPerDay),
         never_config);
     util::UnixTime week_after = change + 7 * util::kSecondsPerDay;
     priming_resolver.ensure_primed(week_after);

@@ -21,6 +21,7 @@
 #include "analysis/coverage.h"
 #include "analysis/stability.h"
 #include "measure/campaign.h"
+#include "scenario/apply.h"
 #include "util/strings.h"
 
 using namespace rootsim;
@@ -30,7 +31,7 @@ int main(int argc, char** argv) {
       argc > 1 ? argv[1] : "rootsim-dataset";
   std::filesystem::create_directories(out_dir);
 
-  measure::CampaignConfig config;
+  measure::CampaignConfig config = scenario::paper_campaign_config();
   config.zone.tld_count = 60;
   measure::Campaign campaign(config);
   std::printf("exporting seed-%llu campaign to %s/\n",

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "localroot/local_root.h"
+#include "scenario/apply.h"
 #include "util/strings.h"
 
 using namespace rootsim;
@@ -26,7 +27,7 @@ static void show(const localroot::RefreshResult& result) {
 }
 
 int main() {
-  measure::CampaignConfig config;
+  measure::CampaignConfig config = scenario::paper_campaign_config();
   config.zone.tld_count = 60;
   measure::Campaign campaign(config);
   localroot::LocalRootConfig service_config;
@@ -34,7 +35,8 @@ int main() {
   localroot::LocalRootService service(campaign, campaign.vantage_points()[42],
                                       service_config);
 
-  util::UnixTime now = util::make_time(2023, 12, 15, 8, 0);
+  // Nine days before the campaign closes, early morning.
+  util::UnixTime now = config.schedule.end - 9 * util::kSecondsPerDay + 8 * 3600;
   std::printf("== refresh against a healthy root system ==\n");
   show(service.refresh(now));
 
@@ -45,7 +47,7 @@ int main() {
   faults[0].knobs.bitflip_seed = 17;
   faults[0].knobs.bitflip_prefer_signed = true;
   faults[1].root_index = 3;
-  faults[1].knobs.server_frozen_at = util::make_time(2023, 11, 25);
+  faults[1].knobs.server_frozen_at = now - 20 * util::kSecondsPerDay - 8 * 3600;
   show(service.refresh(now + 3600, faults));
 
   std::printf("== serving root-zone queries locally ==\n");

@@ -9,12 +9,14 @@
 
 #include "dnssec/validator.h"
 #include "measure/campaign.h"
+#include "scenario/apply.h"
 
 using namespace rootsim;
 
 int main() {
-  // One Campaign wires everything together, deterministically (seed 42).
-  measure::CampaignConfig config;
+  // One Campaign wires everything together, deterministically (seed 42),
+  // on the built-in paper-2023 scenario's timeline.
+  measure::CampaignConfig config = scenario::paper_campaign_config();
   config.zone.tld_count = 60;  // a small synthetic root zone
   measure::Campaign campaign(config);
 
@@ -26,7 +28,8 @@ int main() {
 
   // Pick a vantage point and a moment in time.
   const measure::VantagePoint& vp = campaign.vantage_points()[100];
-  util::UnixTime now = util::make_time(2023, 12, 10, 12, 0);
+  // Two weeks before the campaign closes, at the day's 12:00 zone edit.
+  util::UnixTime now = config.schedule.end - 14 * util::kSecondsPerDay + 12 * 3600;
   std::printf("vantage point: %s (%s)\n", vp.node_name.c_str(),
               std::string(util::region_name(vp.view.region)).c_str());
 

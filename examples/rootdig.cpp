@@ -23,6 +23,7 @@
 #include "measure/campaign.h"
 #include "netsim/flight_recorder.h"
 #include "obs/obs.h"
+#include "scenario/apply.h"
 #include "util/strings.h"
 
 using namespace rootsim;
@@ -192,7 +193,7 @@ int main(int argc, char** argv) {
       util::make_time(std::atoi(fields[0].c_str()), std::atoi(fields[1].c_str()),
                       std::atoi(fields[2].c_str()), 12, 0);
 
-  measure::CampaignConfig config;
+  measure::CampaignConfig config = scenario::paper_campaign_config();
   config.zone.tld_count = 60;
   // Every transport exchange of the probe lands in this bounded ring; on a
   // failed query the dump below is the post-mortem.

@@ -6,6 +6,7 @@
 
 #include "dnssec/validator.h"
 #include "measure/campaign.h"
+#include "scenario/apply.h"
 #include "obs/obs.h"
 
 using namespace rootsim;
@@ -22,7 +23,7 @@ static void report(const char* label, const dnssec::ZoneValidationResult& result
 }
 
 int main() {
-  measure::CampaignConfig config;
+  measure::CampaignConfig config = scenario::paper_campaign_config();
   config.zone.tld_count = 60;
   // Record per-instance RSSAC002 telemetry for every exchange the audit
   // makes; dumped as rssac002.jsonl at the end.
@@ -30,7 +31,8 @@ int main() {
   measure::Campaign campaign(config, recorder.obs());
   const measure::VantagePoint& vp = campaign.vantage_points()[0];
   dnssec::TrustAnchors anchors = campaign.authority().trust_anchors();
-  util::UnixTime now = util::make_time(2023, 12, 15, 9, 0);
+  // Nine days before the campaign closes, mid-morning.
+  util::UnixTime now = config.schedule.end - 9 * util::kSecondsPerDay + 9 * 3600;
   uint64_t round = campaign.schedule().round_at(now);
 
   std::printf("== AXFR from all 13 roots, full validation ==\n");
@@ -65,7 +67,7 @@ int main() {
 
   // 2. Stale server (frozen zone copy, like d.root Tokyo/Leeds).
   measure::Prober::FaultKnobs stale;
-  stale.server_frozen_at = util::make_time(2023, 11, 20);
+  stale.server_frozen_at = now - 25 * util::kSecondsPerDay - 9 * 3600;
   auto stale_probe = campaign.prober().probe(vp, d.ipv4, now, round, stale);
   if (auto zone = dns::Zone::from_axfr(stale_probe.axfr->records, dns::Name()))
     report("stale server (frozen 11-20):",
@@ -98,7 +100,7 @@ int main() {
   std::printf("\nZONEMD catches all four — including the glue case DNSSEC\n"
               "cannot see. That is the paper's §7 argument in running code.\n");
 
-  if (recorder.rssac002().write_jsonl("rssac002.jsonl"))
+  if (recorder.rssac002().write_jsonl("rssac002.jsonl", config.scenario_name))
     std::printf("\nwrote rssac002.jsonl (%zu instance-day records) — render "
                 "with tools/obs_report.py\n",
                 recorder.rssac002().record_count());

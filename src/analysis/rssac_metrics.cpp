@@ -17,11 +17,15 @@ void replay_rssac_samples(const measure::Campaign& campaign,
   util::UnixTime end = schedule.config().end;
 
   // Publication latency reuses the propagation experiment (one zone edit);
-  // each polled instance's delay is one Publication sample.
+  // each polled instance's delay is one Publication sample. The probed edit
+  // is the mid-campaign 12h serial boundary, derived from the schedule so
+  // every scenario measures propagation inside its own horizon.
+  util::UnixTime edit = start + (end - start) / 2;
+  edit -= edit % (12 * 3600);
   PropagationOptions propagation_options;
   propagation_options.max_instances_per_root = options.propagation_instances;
-  auto propagation = measure_soa_propagation(
-      campaign, util::make_time(2023, 10, 10, 12, 0), propagation_options);
+  auto propagation =
+      measure_soa_propagation(campaign, edit, propagation_options);
 
   for (uint32_t root = 0; root < rss::kRootCount; ++root) {
     obs::SloSample sample;

@@ -139,18 +139,34 @@ ZonemdAuditReport summarize_zone_audit(
 
 std::string render_bitflip_example(const measure::Campaign& campaign) {
   // Produce one genuine corrupted transfer and print the affected RRSIG in
-  // presentation format, before and after, Fig. 10-style.
+  // presentation format, before and after, Fig. 10-style. The showcased
+  // transfer is the latest v6 bitflip in the campaign's fault plan (the
+  // paper's g.root example); scenarios without one probe mid-campaign.
   const auto& vps = campaign.vantage_points();
   const auto& catalog = campaign.catalog();
-  util::UnixTime when = util::make_time(2023, 11, 18, 7, 30);
+  uint32_t root = 6;
+  util::UnixTime when = 0;
+  for (const auto& fault : campaign.fault_plan()) {
+    if (fault.kind != measure::FaultEvent::Kind::Bitflip) continue;
+    if (fault.family != util::IpFamily::V6 || fault.root_index < 0) continue;
+    if (fault.when > when) {
+      when = fault.when;
+      root = static_cast<uint32_t>(fault.root_index);
+    }
+  }
+  if (when == 0) {
+    const auto& window = campaign.schedule().config();
+    when = window.start + (window.end - window.start) / 2;
+  }
   measure::Prober::FaultKnobs knobs;
   knobs.inject_bitflip = true;
   knobs.bitflip_seed = 7;  // seed chosen to hit an RRSIG signature byte
   measure::ProbeRecord clean = campaign.prober().probe(
-      vps[0], catalog.server(6).ipv6, when, campaign.schedule().round_at(when));
+      vps[0], catalog.server(root).ipv6, when,
+      campaign.schedule().round_at(when));
   measure::ProbeRecord corrupt = campaign.prober().probe(
-      vps[0], catalog.server(6).ipv6, when, campaign.schedule().round_at(when),
-      knobs);
+      vps[0], catalog.server(root).ipv6, when,
+      campaign.schedule().round_at(when), knobs);
   if (!clean.axfr || !corrupt.axfr) return "(no transfer)";
   std::string out;
   out += "bitflip note: " + corrupt.axfr->bitflip_note + "\n\n";

@@ -224,6 +224,14 @@ void sign_zone(dns::Zone& zone, const SigningKey& ksk, const SigningKey& zsk,
     rr.rdata = key.to_dnskey();
     zone.add(rr);
   }
+  for (const auto& dnskey : policy.extra_dnskeys) {
+    dns::ResourceRecord rr;
+    rr.name = apex;
+    rr.type = dns::RRType::DNSKEY;
+    rr.ttl = 172800;
+    rr.rdata = dnskey;
+    zone.add(rr);
+  }
 
   // Install the ZONEMD placeholder (RFC 8976 §3.3.1: digest field must be
   // present with placeholder content while hashing).

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "crypto/rsa.h"
 #include "dns/zone.h"
@@ -40,6 +41,9 @@ struct SigningPolicy {
   /// None — pre-2023-09-13; Private — placeholder with private hash algorithm
   /// (not verifiable); Sha384 — verifiable, post-2023-12-06.
   enum class ZonemdMode { None, PrivateAlgorithm, Sha384 } zonemd = ZonemdMode::Sha384;
+  /// Extra DNSKEYs published in the apex RRset without signing anything —
+  /// pre-published (or not-yet-withdrawn) keys during a KSK rollover.
+  std::vector<dns::DnskeyData> extra_dnskeys;
 };
 
 /// Memoizes RRSIG signature bytes across sign_zone calls.

@@ -69,9 +69,22 @@ Campaign::Campaign(CampaignConfig config, obs::Obs obs)
   if (config_.router.churn == std::array<netsim::ChurnSpec, 13>{})
     config_.router.churn = netsim::default_churn_specs();
 
+  // The catalog's renumbering instant is scenario data: the zone authority
+  // flips b's records and the priming hints cross over at the same time.
+  catalog_.set_renumbering_time(config_.zone.broot_change);
+
   authority_ = std::make_unique<rss::ZoneAuthority>(catalog_, config_.zone, obs_);
-  topology_ = netsim::build_topology(config_.topology,
-                                     catalog_.all_deployment_specs(),
+  std::vector<netsim::DeploymentSpec> deployments =
+      catalog_.all_deployment_specs();
+  for (const auto& override_spec : config_.deployment_overrides) {
+    if (override_spec.root_index < 0 ||
+        static_cast<size_t>(override_spec.root_index) >= deployments.size())
+      continue;
+    auto& spec = deployments[static_cast<size_t>(override_spec.root_index)];
+    spec.global_sites = override_spec.global_sites;
+    spec.local_sites = override_spec.local_sites;
+  }
+  topology_ = netsim::build_topology(config_.topology, deployments,
                                      rss::paper_detour_rules());
   router_ = std::make_unique<netsim::AnycastRouter>(topology_, config_.router,
                                                     obs_);
@@ -79,7 +92,7 @@ Campaign::Campaign(CampaignConfig config, obs::Obs obs)
                    config_.vp_scale);
   prober_ = std::make_unique<Prober>(*authority_, catalog_, *router_,
                                      config_.transport, obs_);
-  faults_ = default_fault_plan();
+  faults_ = config_.fault_plan;
   if (obs_.metrics) {
     obs_.metrics->gauge("campaign.vantage_points").set(
         static_cast<double>(vps_.size()));
@@ -90,6 +103,12 @@ Campaign::Campaign(CampaignConfig config, obs::Obs obs)
 
 std::vector<ZoneAuditObservation> Campaign::run_zone_audit(
     size_t clean_samples, size_t workers) const {
+  return run_zone_audit_with(faults_, clean_samples, workers);
+}
+
+std::vector<ZoneAuditObservation> Campaign::run_zone_audit_with(
+    const std::vector<FaultEvent>& faults, size_t clean_samples,
+    size_t workers) const {
   dnssec::TrustAnchors anchors = authority_->trust_anchors();
   const util::Rng audit_rng = util::Rng(config_.seed).fork("zone-audit");
 

@@ -3,10 +3,12 @@
 //
 // Everything downstream (the analysis module, the bench harnesses, the
 // examples) starts from a Campaign. A campaign is a pure function of its
-// config; the default config is the paper's setup.
+// config; the config for a given timeline comes from a scenario spec via
+// scenario::apply() (the paper's setup is scenario::paper_campaign_config()).
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "measure/faults.h"
 #include "measure/prober.h"
@@ -19,10 +21,19 @@
 #include "rss/outages.h"
 #include "rss/zone_authority.h"
 
+namespace rootsim::scenario {
+struct ScenarioSpec;
+}  // namespace rootsim::scenario
+
 namespace rootsim::measure {
 
 struct CampaignConfig {
   uint64_t seed = 42;
+  /// Name of the scenario this config was derived from; stamped as a
+  /// `{"scenario":...}` header line on the slo/incidents JSONL exports so
+  /// datasets from different scenarios stay distinguishable. Empty = no
+  /// header (ad-hoc configs).
+  std::string scenario_name;
   netsim::TopologyConfig topology;
   netsim::RouterConfig router;
   VantageSetConfig vantage;
@@ -33,6 +44,25 @@ struct CampaignConfig {
   netsim::TransportConfig transport;
   /// Scale factor < 1 shrinks the VP set for fast tests (keeps proportions).
   double vp_scale = 1.0;
+  /// Scheduled faulty transfers the zone audit executes (scenario data; the
+  /// paper's Table 2 plan comes from the `paper-2023` spec).
+  std::vector<FaultEvent> fault_plan;
+  /// Labelled service-affecting event windows of the scenario timeline; the
+  /// SLO monitor layers them over the background outage model and offers
+  /// each label to incident attribution.
+  std::vector<rss::ScriptedOutage> scripted_outages;
+  /// Additional attribution hints for events that degrade paths without
+  /// darkening sites (route leaks, DDoS collateral on surviving sites).
+  std::vector<obs::CauseHint> extra_hints;
+  /// Per-letter deployment edits applied over the catalog's Table 4 site
+  /// counts before the topology is built (scenario events like collapsing a
+  /// letter to unicast).
+  struct DeploymentOverride {
+    int root_index = 0;
+    std::array<int, util::kRegionCount> global_sites{};
+    std::array<int, util::kRegionCount> local_sites{};
+  };
+  std::vector<DeploymentOverride> deployment_overrides;
 };
 
 /// One observation in the ZONEMD audit dataset (paper §7 / Table 2).
@@ -58,10 +88,14 @@ struct SloTimelineOptions {
   obs::SloThresholds thresholds;
   /// Background per-site outage model (maintenance, upstream failures).
   rss::OutageModelConfig outages;
-  /// Labelled event windows layered on top — what attribution can *name*.
-  /// Default: the paper timeline's b.root renumbering transition.
-  std::vector<rss::ScriptedOutage> scripted_outages =
-      rss::paper_event_outages();
+  /// Extra labelled event windows layered on top of the campaign config's
+  /// scenario outages — what attribution can *name*.
+  std::vector<rss::ScriptedOutage> scripted_outages;
+  /// When a probe's selected site is dark and this is > 0, the probe falls
+  /// back to the best announced alternative among this many candidate
+  /// routes (the anycast catchment view scenarios ask for); 0 = a dark
+  /// site is simply a failed probe, as the paper's monitor treated it.
+  size_t route_fallback_candidates = 0;
   /// Availability probes per (letter, family) per 6 h bucket. Windows hold
   /// probes_per_bucket x window_buckets probes, so with the defaults a
   /// single lost probe already dents 99.96 % — which is the point; the
@@ -128,6 +162,14 @@ class Campaign {
   std::vector<ZoneAuditObservation> run_zone_audit(size_t clean_samples = 200,
                                                    size_t workers = 0) const;
 
+  /// Scenario-first entry point (defined in scenario/apply.cpp; callers link
+  /// rootsim_scenario): runs the audit over `spec`'s fault timeline instead
+  /// of the campaign config's plan. The campaign should have been built from
+  /// the same spec so topology/zone phases line up.
+  std::vector<ZoneAuditObservation> run_zone_audit(
+      const scenario::ScenarioSpec& spec, size_t clean_samples = 200,
+      size_t workers = 0) const;
+
   /// Runs the streaming RSSAC047 SLO monitor over the campaign's schedule:
   /// one work unit per 6 h bucket of simulated time, each sampling
   /// availability/latency (via the anycast router + outage models),
@@ -144,7 +186,20 @@ class Campaign {
   /// used.
   SloTimelineResult run_slo_timeline(const SloTimelineOptions& options = {}) const;
 
+  /// Scenario-first entry point (defined in scenario/apply.cpp; callers link
+  /// rootsim_scenario): completes the spec-dependent monitor options (route
+  /// fallback for catchment scenarios) and runs the monitor. The campaign
+  /// should have been built from the same spec (scenario::apply).
+  SloTimelineResult run_slo_timeline(const scenario::ScenarioSpec& spec,
+                                     SloTimelineOptions options) const;
+
  private:
+  /// The audit body, over an explicit fault plan (the scenario overload
+  /// swaps in the spec's plan; the default overload passes fault_plan()).
+  std::vector<ZoneAuditObservation> run_zone_audit_with(
+      const std::vector<FaultEvent>& faults, size_t clean_samples,
+      size_t workers) const;
+
   CampaignConfig config_;
   obs::Obs obs_;
   rss::RootCatalog catalog_;

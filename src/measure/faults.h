@@ -1,13 +1,10 @@
-// The campaign's fault plan: the hardware/operational reality behind the
-// paper's Table 2, expressed as scheduled events.
+// Fault events: scheduled faulty zone transfers the audit executes.
 //
-// Reality supplied these faults for free; the simulation injects them so the
-// validation pipeline exercises the same detection paths:
-//   * two VPs with bad clocks -> "Sig. not incepted" verdicts (6 cases);
-//   * three VPs with faulty RAM -> bitflipped AXFR payloads (8 transfers,
-//     5 servers) -> "Bogus Signature" verdicts;
-//   * two stale d.root instances (Tokyo: 3 VPs/12 obs; Leeds: 7 VPs/40 obs)
-//     -> "Signature expired" verdicts.
+// A plan is scenario data — the paper's Table 2 plan (bad clocks -> "Sig.
+// not incepted", faulty RAM -> bitflipped AXFRs -> "Bogus Signature", stale
+// d.root instances -> "Signature expired") lives in scenario/library.cpp as
+// the `paper-2023` spec's fault timeline and reaches the campaign through
+// CampaignConfig::fault_plan.
 #pragma once
 
 #include <optional>
@@ -36,8 +33,5 @@ struct FaultEvent {
   /// Table 2 VPid bucket for reporting.
   int table2_vp_id = 0;
 };
-
-/// The default plan reproducing Table 2's rows.
-std::vector<FaultEvent> default_fault_plan();
 
 }  // namespace rootsim::measure

@@ -10,6 +10,9 @@ Schedule::Schedule(ScheduleConfig config) : config_(std::move(config)) {
     rounds_.push_back(t);
     t += in_dense_window(t) ? config_.dense_interval_s : config_.base_interval_s;
   }
+  // A degenerate horizon (end <= start) still yields one round so round_time
+  // and round_at stay total; callers with a real campaign never hit this.
+  if (rounds_.empty()) rounds_.push_back(config_.start);
 }
 
 bool Schedule::in_dense_window(util::UnixTime t) const {

@@ -1,8 +1,10 @@
-// The measurement schedule (paper Fig. 2).
+// The measurement schedule: rounds at a base cadence over [start, end),
+// tightened to a dense cadence inside event windows.
 //
-// Rounds run every 30 minutes from 2023-07-03 to 2023-12-24, tightened to 15
-// minutes during the two event windows (2023-09-08..10-02 around the ZONEMD
-// introduction, 2023-11-20..12-06 around the b.root renumbering).
+// The instants themselves are scenario data, not code: the paper's Fig. 2
+// schedule (30-minute rounds 2023-07-03..12-24, 15-minute rounds around the
+// ZONEMD introduction and the b.root renumbering) is the `paper-2023` spec
+// in scenario/library.cpp, applied through scenario::apply().
 #pragma once
 
 #include <cstdint>
@@ -13,18 +15,15 @@
 namespace rootsim::measure {
 
 struct ScheduleConfig {
-  util::UnixTime start = util::make_time(2023, 7, 3);
-  util::UnixTime end = util::make_time(2023, 12, 24);
+  util::UnixTime start = 0;
+  util::UnixTime end = 0;
   int64_t base_interval_s = 30 * 60;
   int64_t dense_interval_s = 15 * 60;
   struct Window {
     util::UnixTime start;
     util::UnixTime end;
   };
-  std::vector<Window> dense_windows = {
-      {util::make_time(2023, 9, 8), util::make_time(2023, 10, 2)},
-      {util::make_time(2023, 11, 20), util::make_time(2023, 12, 6)},
-  };
+  std::vector<Window> dense_windows;
 };
 
 /// The materialized round list.

@@ -27,6 +27,7 @@
 
 #include "exec/engine.h"
 #include "measure/campaign.h"
+#include "util/geo.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -86,6 +87,27 @@ SloTimelineResult Campaign::run_slo_timeline(
   const util::Rng timeline_rng = util::Rng(config_.seed).fork("slo-timeline");
   const netsim::Transport& transport = prober_->transport();
 
+  // The campaign config's scenario events first, then whatever the caller
+  // layered on — one merged list drives both probing and attribution, so the
+  // monitor can never detect an event attribution wasn't offered.
+  std::vector<rss::ScriptedOutage> scripted = config_.scripted_outages;
+  scripted.insert(scripted.end(), options.scripted_outages.begin(),
+                  options.scripted_outages.end());
+
+  // Region/type-scoped events need to know what the probed site is.
+  const auto available = [&](uint32_t site_id, uint32_t root,
+                             util::UnixTime t) {
+    int region = -1;
+    int type = -1;
+    if (site_id < topology_.sites.size()) {
+      region = static_cast<int>(topology_.sites[site_id].region);
+      type = static_cast<int>(topology_.sites[site_id].type);
+    }
+    return rss::site_available_at(site_id, static_cast<int>(root), t, start,
+                                  end, options.outages, scripted, region,
+                                  type);
+  };
+
   exec::parallel_for(total_units, workers, [&](size_t unit, size_t worker) {
     obs::Obs sink = shards.shard(unit);
     obs::SloCollector* slo = sink.slo;
@@ -113,9 +135,29 @@ SloTimelineResult Campaign::run_slo_timeline(
           const uint64_t round = schedule_.round_at(t);
           const netsim::RouteResult route =
               router_->route_at(vp.view, root, family, round);
-          const bool up = rss::site_available_at(
-              route.site_id, static_cast<int>(root), t, start, end,
-              options.outages, options.scripted_outages);
+          uint32_t serving_site = route.site_id;
+          bool up = available(serving_site, root, t);
+          double rtt_ms = up ? transport.effective_rtt_ms(route,
+                                                          static_cast<int>(root),
+                                                          t)
+                             : 0.0;
+          if (!up && options.route_fallback_candidates > 0) {
+            // Catchment-view fallback: the VP's BGP table still carries
+            // routes to other sites; the first announced alternative that
+            // answers takes the probe, at the RTT its distance implies.
+            for (const auto& alt : router_->announced_routes(
+                     vp.view, root, family,
+                     options.route_fallback_candidates)) {
+              if (alt.site_id == route.site_id) continue;
+              if (!available(alt.site_id, root, t)) continue;
+              serving_site = alt.site_id;
+              up = true;
+              rtt_ms = util::fiber_rtt_ms(
+                           router_->distance_km(vp.view, alt.site_id)) +
+                       2.0;
+              break;
+            }
+          }
 
           obs::SloSample sample;
           sample.root = static_cast<uint8_t>(root);
@@ -127,14 +169,14 @@ SloTimelineResult Campaign::run_slo_timeline(
 
           if (up) {
             sample.kind = obs::SloSample::Kind::Latency;
-            sample.value = transport.effective_rtt_ms(route);
+            sample.value = rtt_ms;
             slo->record(sample);
 
             // Staleness of the serial this site is serving right now.
             const util::UnixTime publish = last_publish_at_or_before(t);
             if (publish >= start) {
               const double delay =
-                  publication_delay_s(config_.seed, root, route.site_id,
+                  publication_delay_s(config_.seed, root, serving_site,
                                       publish);
               sample.kind = obs::SloSample::Kind::Staleness;
               sample.value =
@@ -218,7 +260,7 @@ SloTimelineResult Campaign::run_slo_timeline(
 
   // Attribution hints, in deterministic construction order (the tracker's
   // scoring is order-independent anyway).
-  for (const rss::ScriptedOutage& outage : options.scripted_outages) {
+  for (const rss::ScriptedOutage& outage : scripted) {
     obs::CauseHint hint;
     hint.start = outage.start;
     hint.end = outage.end;
@@ -227,9 +269,9 @@ SloTimelineResult Campaign::run_slo_timeline(
     hint.weight = 2.0;
     result.hints.push_back(hint);
   }
-  {
-    // Zone-pipeline events from the authority's config: the ZONEMD rollout
-    // phases. Present-but-unverifiable is an integrity story by definition.
+  // Zone-pipeline events from the authority's config: the ZONEMD rollout
+  // phases. Present-but-unverifiable is an integrity story by definition.
+  if (config_.zone.zonemd_private_start > 0) {
     obs::CauseHint private_alg;
     private_alg.start = config_.zone.zonemd_private_start;
     private_alg.end = config_.zone.zonemd_sha384_start;
@@ -237,7 +279,8 @@ SloTimelineResult Campaign::run_slo_timeline(
     private_alg.label = "zonemd-private-algorithm";
     private_alg.weight = 2.0;
     result.hints.push_back(private_alg);
-
+  }
+  if (config_.zone.zonemd_sha384_start > 0) {
     obs::CauseHint sha384;
     sha384.start = config_.zone.zonemd_sha384_start;
     sha384.end = config_.zone.zonemd_sha384_start + 2 * util::kSecondsPerDay;
@@ -246,6 +289,19 @@ SloTimelineResult Campaign::run_slo_timeline(
     sha384.weight = 1.0;
     result.hints.push_back(sha384);
   }
+  if (config_.zone.ksk_roll_at > 0) {
+    // Validators chase the new key for a while after the roll; any
+    // integrity wobble in that window has an obvious first suspect.
+    obs::CauseHint roll;
+    roll.start = config_.zone.ksk_roll_at;
+    roll.end = config_.zone.ksk_roll_at + 2 * util::kSecondsPerDay;
+    roll.metric = static_cast<int>(obs::SloMetric::Integrity);
+    roll.label = "ksk-rollover";
+    roll.weight = 1.0;
+    result.hints.push_back(roll);
+  }
+  for (const obs::CauseHint& hint : config_.extra_hints)
+    result.hints.push_back(hint);
   if (options.flight_recorder) {
     // Transport-level corroboration, at low weight: when nothing scripted
     // explains a breach, the failure summary at least names the cause class.
@@ -267,9 +323,10 @@ SloTimelineResult Campaign::run_slo_timeline(
   tracker.observe(result.windows);
   tracker.add_hints(result.hints);
   result.incidents = tracker.incidents();
-  result.slo_jsonl = obs::SloCollector::windows_to_jsonl(result.windows);
-  result.incidents_jsonl =
-      obs::IncidentTracker::incidents_to_jsonl(result.incidents);
+  result.slo_jsonl = obs::SloCollector::windows_to_jsonl(
+      result.windows, config_.scenario_name);
+  result.incidents_jsonl = obs::IncidentTracker::incidents_to_jsonl(
+      result.incidents, config_.scenario_name);
 
   for (uint32_t root = 0; root < obs::kSloRoots; ++root) {
     for (int fam = 0; fam < 2; ++fam) {

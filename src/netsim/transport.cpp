@@ -1,5 +1,7 @@
 #include "netsim/transport.h"
 
+#include <algorithm>
+
 #include "netsim/flight_recorder.h"
 #include "util/strings.h"
 
@@ -52,6 +54,25 @@ Transport::Path Transport::open_path(const VantageView& client,
   return path;
 }
 
+LinkConditions Transport::conditions_at(uint32_t site_id, int root_index,
+                                        util::UnixTime when) const {
+  LinkConditions conditions = config_.conditions_for_site(site_id);
+  for (const ConditionWindow& window : config_.condition_windows) {
+    if (window.root_index >= 0 && window.root_index != root_index) continue;
+    if (when < window.start || when >= window.end) continue;
+    conditions.loss = std::min(1.0, conditions.loss + window.add.loss);
+    conditions.jitter_ms += window.add.jitter_ms;
+    conditions.extra_rtt_ms += window.add.extra_rtt_ms;
+    if (window.add.path_mtu > 0)
+      conditions.path_mtu = conditions.path_mtu == 0
+                                ? window.add.path_mtu
+                                : std::min(conditions.path_mtu,
+                                           window.add.path_mtu);
+    conditions.tcp_refused = conditions.tcp_refused || window.add.tcp_refused;
+  }
+  return conditions;
+}
+
 double Transport::round_trip_ms(Path& path) const {
   double rtt = path.route_.rtt_ms + path.conditions_.extra_rtt_ms;
   if (path.conditions_.jitter_ms > 0)
@@ -91,6 +112,12 @@ bool Transport::tcp_connect(Path& path, TransportStats& stats) const {
 ExchangeOutcome Transport::exchange(Path& path, const Endpoint& endpoint,
                                     const dns::Message& query,
                                     util::UnixTime now) const {
+  // Scenario condition windows are resolved against the exchange instant,
+  // recomputed from the config's base each time (idempotent: re-using a
+  // path across instants never stacks an overlay twice).
+  if (!config_.condition_windows.empty())
+    path.conditions_ = conditions_at(path.site_id(),
+                                     static_cast<int>(path.root_index_), now);
   ExchangeOutcome outcome = exchange_impl(path, endpoint, query, now);
   if (obs_.metrics) {
     obs::inc(bytes_sent_, outcome.stats.bytes_sent);
@@ -249,6 +276,9 @@ ExchangeOutcome Transport::exchange_impl(Path& path, const Endpoint& endpoint,
 
 AxfrOutcome Transport::axfr(Path& path, const Endpoint& endpoint,
                             util::UnixTime now) const {
+  if (!config_.condition_windows.empty())
+    path.conditions_ = conditions_at(path.site_id(),
+                                     static_cast<int>(path.root_index_), now);
   AxfrOutcome outcome = axfr_impl(path, endpoint, now);
   if (obs_.rssac002 && !outcome.tcp_refused && !outcome.timed_out) {
     // The connection established, so the server saw the request — account

@@ -29,6 +29,7 @@
 #include <span>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "dns/codec.h"
 #include "dns/message.h"
@@ -83,12 +84,28 @@ struct LinkConditions {
   bool tcp_refused = false;
 };
 
+/// A time-bounded overlay on link conditions — how scenario transport
+/// events (DDoS collateral on surviving sites, a route leak's detour, a
+/// regional degradation) reach the wire. During [start, end) on paths to
+/// the matching letter, `add` composes additively over the path's base
+/// conditions: loss adds (clamped to 1), extra RTT and jitter add, the
+/// smaller nonzero MTU clamp wins, tcp_refused ORs in.
+struct ConditionWindow {
+  util::UnixTime start = 0;
+  util::UnixTime end = 0;
+  int root_index = -1;  ///< letter the overlay applies to; -1 = every letter
+  LinkConditions add;
+};
+
 struct TransportConfig {
   uint64_t seed = 42;
   /// Conditions applied to every path…
   LinkConditions defaults;
-  /// …overridden per serving site (keyed by AnycastSite::id).
+  /// …overridden per serving site (keyed by AnycastSite::id)…
   std::unordered_map<uint32_t, LinkConditions> site_conditions;
+  /// …and composed with any scenario event window covering the exchange
+  /// time. Empty for ad-hoc configs: the overlay costs nothing then.
+  std::vector<ConditionWindow> condition_windows;
   /// Per-attempt UDP timeout budget and retry schedule (dig-like: one try
   /// plus two retries, timeout doubling per attempt).
   double udp_timeout_ms = 1500.0;
@@ -272,6 +289,19 @@ class Transport {
   double effective_rtt_ms(const RouteResult& route) const {
     return route.rtt_ms + conditions_for_site(route.site_id).extra_rtt_ms;
   }
+  /// effective_rtt_ms with scenario condition windows applied: the RTT a
+  /// probe of `root_index` at `when` would experience. Identical to the
+  /// timeless overload when no window covers the instant.
+  double effective_rtt_ms(const RouteResult& route, int root_index,
+                          util::UnixTime when) const {
+    if (config_.condition_windows.empty()) return effective_rtt_ms(route);
+    return route.rtt_ms +
+           conditions_at(route.site_id, root_index, when).extra_rtt_ms;
+  }
+  /// The composed conditions of a path to `site_id` serving `root_index`
+  /// at `when` (base site conditions + every covering window).
+  LinkConditions conditions_at(uint32_t site_id, int root_index,
+                               util::UnixTime when) const;
 
   const TransportConfig& config() const { return config_; }
   const AnycastRouter& router() const { return *router_; }

@@ -86,7 +86,10 @@ class IncidentTracker {
   ///    "opened":"2023-11-27T00:00:00Z","closed":"2023-11-29T12:00:00Z",
   ///    "breach_windows":7,"worst":0.993056,"threshold":0.999600,
   ///    "cause":"b.root-renumbering","cause_score":172800.0}
-  static std::string incidents_to_jsonl(const std::vector<Incident>& incidents);
+  /// Non-empty `scenario` prepends one `{"scenario":"<name>"}` header line
+  /// (same convention as SloCollector::windows_to_jsonl).
+  static std::string incidents_to_jsonl(const std::vector<Incident>& incidents,
+                                        const std::string& scenario = "");
   std::string to_jsonl() const;
   bool write_jsonl(const std::string& path) const;
 

@@ -59,8 +59,10 @@ double LogLinearHistogram::quantile(double q) const {
   // Rank-based with within-bucket linear interpolation: rank r falls into
   // the bucket where the cumulative count first exceeds it, and the value
   // is placed proportionally inside that bucket's [lower, upper) range —
-  // never snapped to the upper bound.
-  const double rank = q * static_cast<double>(count_ - 1);
+  // never snapped to the upper bound. Rank q*count (not q*(count-1)) keeps
+  // the estimate invariant under doubling every bucket, i.e. merging k
+  // identical collector shards cannot move a quantile.
+  const double rank = q * static_cast<double>(count_);
   uint64_t cumulative = 0;
   for (uint32_t i = 0; i < buckets_.size(); ++i) {
     const uint64_t in_bucket = buckets_[i];

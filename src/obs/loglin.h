@@ -48,8 +48,11 @@ class LogLinearHistogram {
   uint64_t max() const { return max_; }
 
   /// Interpolated quantile, q in [0,1]: locates the bucket holding rank
-  /// q*(count-1) and interpolates linearly inside the bucket's value range
-  /// rather than returning the bucket's upper bound. Exact for values < 16
+  /// q*count and interpolates linearly inside the bucket's value range
+  /// rather than returning the bucket's upper bound. The q*count rank makes
+  /// the estimate invariant under uniformly scaling every bucket count, so
+  /// merging k identical shards reads out the same quantiles as one shard —
+  /// the property the collector merge path relies on. Exact for values < 16
   /// (unit buckets); within one sub-bucket width (~3%) above. 0 when empty.
   double quantile(double q) const;
 

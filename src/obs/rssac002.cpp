@@ -122,8 +122,9 @@ Rssac002Collector::snapshot() const {
   return {days_.begin(), days_.end()};
 }
 
-std::string Rssac002Collector::to_jsonl() const {
+std::string Rssac002Collector::to_jsonl(const std::string& scenario) const {
   std::string out;
+  if (!scenario.empty()) out += "{\"scenario\":\"" + scenario + "\"}\n";
   for (const auto& [key, day] : snapshot()) {
     const auto& [instance, day_start] = key;
     out += "{\"instance\":\"" + json_escape(instance) + "\"";
@@ -171,10 +172,11 @@ std::string Rssac002Collector::to_jsonl() const {
   return out;
 }
 
-bool Rssac002Collector::write_jsonl(const std::string& path) const {
+bool Rssac002Collector::write_jsonl(const std::string& path,
+                                    const std::string& scenario) const {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (!file) return false;
-  const std::string body = to_jsonl();
+  const std::string body = to_jsonl(scenario);
   const bool ok = std::fwrite(body.data(), 1, body.size(), file) == body.size();
   return std::fclose(file) == 0 && ok;
 }

@@ -114,10 +114,13 @@ class Rssac002Collector {
   ///   {"instance":"k1-lon","day":"2023-12-10",
   ///    "dns-udp-queries-received-ipv4":..., "rcode-volume":{"0":...},
   ///    "query-size":{...log-linear histogram...}, "num-sources-ipv4":...}
-  std::string to_jsonl() const;
+  /// Non-empty `scenario` prepends one `{"scenario":"<name>"}` header line
+  /// (same convention as the slo/incidents exports).
+  std::string to_jsonl(const std::string& scenario = "") const;
 
   /// Writes to_jsonl() to `path`; false on I/O failure.
-  bool write_jsonl(const std::string& path) const;
+  bool write_jsonl(const std::string& path,
+                   const std::string& scenario = "") const;
 
  private:
   mutable std::mutex mu_;

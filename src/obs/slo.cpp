@@ -195,8 +195,9 @@ std::vector<SloWindow> SloCollector::windows(
 }
 
 std::string SloCollector::windows_to_jsonl(
-    const std::vector<SloWindow>& windows) {
+    const std::vector<SloWindow>& windows, const std::string& scenario) {
   std::string out;
+  if (!scenario.empty()) out += "{\"scenario\":\"" + scenario + "\"}\n";
   for (const SloWindow& w : windows) {
     out += util::format("{\"letter\":\"%c\",\"family\":\"%s\"",
                         'a' + w.root, w.v6 ? "v6" : "v4");

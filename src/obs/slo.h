@@ -194,7 +194,11 @@ class SloCollector {
   /// One JSON object per evaluated window (the slo.jsonl export):
   ///   {"letter":"b","family":"v4","start":"2023-11-27T00:00:00Z",...,
   ///    "availability":0.9931,"breaches":["availability"]}
-  static std::string windows_to_jsonl(const std::vector<SloWindow>& windows);
+  /// Non-empty `scenario` prepends one `{"scenario":"<name>"}` header line
+  /// so downstream tooling can say which timeline a dataset came from; the
+  /// window lines themselves are unchanged.
+  static std::string windows_to_jsonl(const std::vector<SloWindow>& windows,
+                                      const std::string& scenario = "");
   std::string to_jsonl(const SloThresholds& thresholds) const;
   bool write_jsonl(const std::string& path,
                    const SloThresholds& thresholds) const;

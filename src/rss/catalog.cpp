@@ -89,7 +89,9 @@ RootCatalog::RootCatalog() {
   renumbering_.old_ipv6 = ip("2001:500:200::b");
   renumbering_.new_ipv4 = ip("170.247.170.2");
   renumbering_.new_ipv6 = ip("2801:1b8:10::b");
-  renumbering_.zone_change_time = util::make_time(2023, 11, 27);
+  // 0 = no renumbering event; a scenario with one sets the instant via
+  // set_renumbering_time (the paper's 2023-11-27 lives in scenario/library).
+  renumbering_.zone_change_time = 0;
 }
 
 const RootServer& RootCatalog::by_letter(char letter) const {

@@ -52,6 +52,13 @@ class RootCatalog {
   const RootServer& server(size_t index) const { return servers_[index]; }
   const RootServer& by_letter(char letter) const;
   const BRootRenumbering& renumbering() const { return renumbering_; }
+  /// Sets when the zone flips b's records — scenario data (0 = no
+  /// renumbering: the new addresses are authoritative for the whole run).
+  /// The campaign forwards its zone config's broot_change here so the
+  /// catalog's priming-visibility logic and the zone content agree.
+  void set_renumbering_time(util::UnixTime t) {
+    renumbering_.zone_change_time = t;
+  }
 
   /// Index (0..12) of the deployment answering at `address`, considering both
   /// old and new b.root addresses; -1 if not a root service address.

@@ -56,33 +56,27 @@ double site_event_fraction(uint32_t site_id, const std::string& label) {
 }  // namespace
 
 bool scripted_site_dark(uint32_t site_id, int root_index, util::UnixTime t,
-                        const std::vector<ScriptedOutage>& outages) {
+                        const std::vector<ScriptedOutage>& outages,
+                        int site_region, int site_type) {
   for (const ScriptedOutage& outage : outages) {
     if (outage.root_index >= 0 && outage.root_index != root_index) continue;
     if (t < outage.start || t >= outage.end) continue;
+    if (outage.region >= 0 && outage.region != site_region) continue;
+    if (outage.site_type >= 0 && outage.site_type != site_type) continue;
     if (site_event_fraction(site_id, outage.label) < outage.site_fraction)
       return true;
   }
   return false;
 }
 
-std::vector<ScriptedOutage> paper_event_outages() {
-  std::vector<ScriptedOutage> outages;
-  ScriptedOutage broot;
-  broot.root_index = 1;  // b.root-servers.net
-  broot.start = util::make_time(2023, 11, 27);
-  broot.end = util::make_time(2023, 11, 28, 12, 0);
-  broot.site_fraction = 0.7;
-  broot.label = "b.root-renumbering";
-  outages.push_back(broot);
-  return outages;
-}
-
 bool site_available_at(uint32_t site_id, int root_index, util::UnixTime t,
                        util::UnixTime start, util::UnixTime end,
                        const OutageModelConfig& config,
-                       const std::vector<ScriptedOutage>& scripted) {
-  if (scripted_site_dark(site_id, root_index, t, scripted)) return false;
+                       const std::vector<ScriptedOutage>& scripted,
+                       int site_region, int site_type) {
+  if (scripted_site_dark(site_id, root_index, t, scripted, site_region,
+                         site_type))
+    return false;
   return site_available(site_id, t, start, end, config);
 }
 

@@ -32,26 +32,28 @@ struct ScriptedOutage {
   util::UnixTime start = 0;
   util::UnixTime end = 0;
   /// Fraction of sites dark during the window. Which sites is a pure hash
-  /// of (site_id, label) so the set is stable across runs and disjoint
-  /// events pick independent subsets.
+  /// of (site_id, label) so the set is stable across runs, disjoint events
+  /// pick independent subsets, and the same label with a declining fraction
+  /// darkens nested subsets (how scenario site-growth stages activate).
   double site_fraction = 1.0;
+  /// Restrict the event to one util::Region (-1 = everywhere) — a regional
+  /// buildout or a regionally clustered failure.
+  int region = -1;
+  /// Restrict the event to one netsim::SiteType (-1 = any): the §5 what-if
+  /// of a DDoS that takes down a letter's *global* sites is site_type =
+  /// Global, leaving locals answering their catchments.
+  int site_type = -1;
   std::string label;
 };
 
 /// True if some scripted outage keeps `site_id` (serving letter
-/// `root_index`) dark at time `t`.
+/// `root_index`) dark at time `t`. `site_region` / `site_type` are the
+/// site's util::Region and netsim::SiteType as ints when the caller knows
+/// them; -1 makes region/type-scoped outages skip the site (scoped events
+/// need the topology to say what they hit).
 bool scripted_site_dark(uint32_t site_id, int root_index, util::UnixTime t,
-                        const std::vector<ScriptedOutage>& outages);
-
-/// The paper timeline's service-affecting event, as a scripted outage: the
-/// b.root renumbering of 2023-11-27. The catalog keeps both address sets
-/// answering (the paper found no probe-visible breakage), but the transition
-/// window itself — traffic draining off 199.9.14.201/2001:500:200::b while
-/// caches and route announcements converged — is exactly what an operator's
-/// SLO monitor would have watched nervously. Modelled as a 36 h window with
-/// a majority of b's sites degraded, which drives the letter's availability
-/// below the RSSAC047 99.96 % line without silencing it.
-std::vector<ScriptedOutage> paper_event_outages();
+                        const std::vector<ScriptedOutage>& outages,
+                        int site_region = -1, int site_type = -1);
 
 struct OutageModelConfig {
   uint64_t seed = 42;
@@ -76,6 +78,7 @@ bool site_available(uint32_t site_id, util::UnixTime t, util::UnixTime start,
 bool site_available_at(uint32_t site_id, int root_index, util::UnixTime t,
                        util::UnixTime start, util::UnixTime end,
                        const OutageModelConfig& config,
-                       const std::vector<ScriptedOutage>& scripted);
+                       const std::vector<ScriptedOutage>& scripted,
+                       int site_region = -1, int site_type = -1);
 
 }  // namespace rootsim::rss

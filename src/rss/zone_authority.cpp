@@ -56,6 +56,11 @@ ZoneAuthority::ZoneAuthority(const RootCatalog& catalog, ZoneAuthorityConfig con
   util::Rng zsk_rng = rng.fork("zsk");
   ksk_ = dnssec::make_ksk(ksk_rng, config_.rsa_modulus_bits);
   zsk_ = dnssec::make_zsk(zsk_rng, config_.rsa_modulus_bits);
+  if (config_.ksk_roll_at > 0) {
+    util::Rng next_rng = rng.fork("ksk-next");
+    ksk_next_ = dnssec::make_ksk(next_rng, config_.rsa_modulus_bits);
+    has_ksk_next_ = true;
+  }
 }
 
 uint32_t ZoneAuthority::serial_at(util::UnixTime t) const {
@@ -71,9 +76,9 @@ uint32_t ZoneAuthority::serial_at(util::UnixTime t) const {
 
 dnssec::SigningPolicy::ZonemdMode ZoneAuthority::zonemd_mode_at(
     util::UnixTime t) const {
-  if (t >= config_.zonemd_sha384_start)
+  if (config_.zonemd_sha384_start > 0 && t >= config_.zonemd_sha384_start)
     return dnssec::SigningPolicy::ZonemdMode::Sha384;
-  if (t >= config_.zonemd_private_start)
+  if (config_.zonemd_private_start > 0 && t >= config_.zonemd_private_start)
     return dnssec::SigningPolicy::ZonemdMode::PrivateAlgorithm;
   return dnssec::SigningPolicy::ZonemdMode::None;
 }
@@ -92,7 +97,8 @@ dns::Zone ZoneAuthority::build_unsigned_zone(util::UnixTime t) const {
   soa.minimum = 86400;
   zone.add({root, dns::RRType::SOA, dns::RRClass::IN, 86400, soa});
 
-  const bool after_change = t >= config_.broot_change;
+  const bool after_change =
+      config_.broot_change == 0 || t >= config_.broot_change;
   const auto& renumbering = catalog_->renumbering();
   for (const auto& server : catalog_->servers()) {
     dns::Name name = *dns::Name::parse(server.name);
@@ -152,11 +158,29 @@ const dns::Zone& ZoneAuthority::zone_at(util::UnixTime t) const {
   policy.expiration =
       policy.inception + config_.rrsig_validity_days * util::kSecondsPerDay;
   policy.zonemd = zonemd_mode_at(t);
+
+  // KSK rollover: keyed on the *serial edit* instant (00:00/12:00 UTC), not
+  // the raw query time — the zone cache is keyed by serial, so two probes of
+  // the same serial must always see the same signer no matter which probe
+  // builds the cache entry first.
+  const dnssec::SigningKey* active_ksk = &ksk_;
+  if (has_ksk_next_) {
+    const util::UnixTime edit_t = t - (t % (12 * 3600));
+    const int64_t publish_overlap = 30 * util::kSecondsPerDay;
+    if (edit_t >= config_.ksk_roll_at) {
+      active_ksk = &ksk_next_;
+      if (edit_t < config_.ksk_roll_at + publish_overlap)
+        policy.extra_dnskeys.push_back(ksk_.to_dnskey());
+    } else if (edit_t + publish_overlap >= config_.ksk_roll_at) {
+      policy.extra_dnskeys.push_back(ksk_next_.to_dnskey());
+    }
+  }
+
   const uint64_t hits_before =
       signature_cache_ ? signature_cache_->hits() : 0;
   const uint64_t misses_before =
       signature_cache_ ? signature_cache_->misses() : 0;
-  dnssec::sign_zone(zone, ksk_, zsk_, policy, signature_cache_.get());
+  dnssec::sign_zone(zone, *active_ksk, zsk_, policy, signature_cache_.get());
   if (signature_cache_) {
     obs::inc(sig_cache_hits_, signature_cache_->hits() - hits_before);
     obs::inc(sig_cache_misses_, signature_cache_->misses() - misses_before);
@@ -183,6 +207,7 @@ const std::vector<uint8_t>& ZoneAuthority::axfr_stream_at(util::UnixTime t) cons
 dnssec::TrustAnchors ZoneAuthority::trust_anchors() const {
   dnssec::TrustAnchors anchors;
   anchors.keys = {ksk_.to_dnskey(), zsk_.to_dnskey()};
+  if (has_ksk_next_) anchors.keys.push_back(ksk_next_.to_dnskey());
   return anchors;
 }
 

@@ -1,10 +1,11 @@
 // The simulated root zone maintainer.
 //
-// Produces the root zone as it evolved over the campaign (paper Fig. 2):
-//   * serials advance twice per day (real root zone practice);
-//   * 2023-09-13: a ZONEMD record with a private-use hash algorithm appears;
-//   * 2023-11-27: b.root's A/AAAA records change to the new addresses;
-//   * 2023-12-06: ZONEMD switches to SHA-384 and validates.
+// Produces the root zone as it evolves over a campaign: serials advance
+// twice per day (real root zone practice) and the config's phase instants
+// drive the content changes — ZONEMD appearing with a private-use algorithm
+// then switching to SHA-384, b.root's A/AAAA renumbering, a KSK rollover.
+// The paper's Fig. 2 timeline (2023-09-13 / 2023-11-27 / 2023-12-06) is the
+// `paper-2023` scenario's ZoneTimeline, not code in this module.
 //
 // The zone content is synthetic but structurally faithful: apex
 // SOA/NS/DNSKEY/NSEC/ZONEMD + RRSIGs, per-TLD delegations with DS and glue,
@@ -33,9 +34,20 @@ struct ZoneAuthorityConfig {
   uint64_t seed = 42;
   size_t tld_count = 120;       // delegations in the synthetic root zone
   size_t rsa_modulus_bits = 768;  // small-but-real keys keep signing fast
-  util::UnixTime zonemd_private_start = util::make_time(2023, 9, 13);
-  util::UnixTime zonemd_sha384_start = util::make_time(2023, 12, 6, 20, 30);
-  util::UnixTime broot_change = util::make_time(2023, 11, 27);
+  /// Phase instants are scenario data (0 = the phase never happens). The
+  /// paper's 2023 dates — ZONEMD private algorithm 09-13, SHA-384 12-06,
+  /// b.root renumbering 11-27 — come from the `paper-2023` spec in
+  /// scenario/library.cpp via scenario::apply().
+  util::UnixTime zonemd_private_start = 0;
+  util::UnixTime zonemd_sha384_start = 0;
+  /// When b.root's A/AAAA flip to the new addresses; 0 = the zone carries
+  /// the new addresses for the whole campaign (no renumbering event).
+  util::UnixTime broot_change = 0;
+  /// KSK rollover instant (0 = no roll). The successor key is pre-published
+  /// in the DNSKEY RRset for 30 days before the roll, signs the zone from
+  /// the first serial edit at/after it, and the old key stays published for
+  /// 30 days after — the RFC 5011-ish dance of the 2018 roll.
+  util::UnixTime ksk_roll_at = 0;
   /// RRSIG validity window length (the root uses ~2 weeks).
   int64_t rrsig_validity_days = 14;
   /// Signature memo bound (entries). The audit workloads sign a few thousand
@@ -67,7 +79,8 @@ class ZoneAuthority {
   /// own copy, never the cached image.
   const std::vector<uint8_t>& axfr_stream_at(util::UnixTime t) const;
 
-  /// Trust anchors (the KSK+ZSK DNSKEYs) used for every serial.
+  /// Trust anchors (the KSK+ZSK DNSKEYs, plus the successor KSK when a
+  /// rollover is configured) valid for every serial.
   dnssec::TrustAnchors trust_anchors() const;
 
   const ZoneAuthorityConfig& config() const { return config_; }
@@ -90,6 +103,10 @@ class ZoneAuthority {
   std::vector<std::string> tlds_;
   dnssec::SigningKey ksk_;
   dnssec::SigningKey zsk_;
+  /// Successor KSK; generated (and its RNG stream forked) only when
+  /// config.ksk_roll_at > 0 so roll-free configs keep the seed's streams.
+  dnssec::SigningKey ksk_next_;
+  bool has_ksk_next_ = false;
   obs::Counter* zones_built_ = nullptr;
   obs::Counter* sig_cache_hits_ = nullptr;
   obs::Counter* sig_cache_misses_ = nullptr;

@@ -1,0 +1,34 @@
+#include "scenario/spec.h"
+
+namespace rootsim::scenario {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::SiteOutage: return "site-outage";
+    case EventKind::Ddos: return "ddos";
+    case EventKind::RouteLeak: return "route-leak";
+    case EventKind::TransportDegradation: return "transport-degradation";
+    case EventKind::LetterAdded: return "letter-added";
+    case EventKind::LetterRemoved: return "letter-removed";
+    case EventKind::Renumbering: return "renumbering";
+    case EventKind::SiteGrowth: return "site-growth";
+  }
+  return "?";
+}
+
+const char* to_string(FaultSpec::Kind kind) {
+  switch (kind) {
+    case FaultSpec::Kind::ClockSkew: return "clock-skew";
+    case FaultSpec::Kind::Bitflip: return "bitflip";
+    case FaultSpec::Kind::StaleServer: return "stale-server";
+  }
+  return "?";
+}
+
+util::UnixTime renumbering_time(const ScenarioSpec& spec) {
+  for (const Event& event : spec.events)
+    if (event.kind == EventKind::Renumbering) return event.window.start;
+  return 0;
+}
+
+}  // namespace rootsim::scenario

@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include "scenario/apply.h"
+
 namespace rootsim::analysis {
 namespace {
 
+// Paper-timeline campaign (RSSAC047 bounds assume the paper's schedule).
 const measure::Campaign& test_campaign() {
   static const measure::Campaign* campaign = [] {
-    measure::CampaignConfig config;
+    measure::CampaignConfig config = scenario::paper_campaign_config();
     config.zone.tld_count = 25;
     config.zone.rsa_modulus_bits = 512;
     config.vp_scale = 0.1;

@@ -6,14 +6,16 @@
 #include "analysis/rtt.h"
 #include "analysis/stability.h"
 #include "analysis/zonemd_report.h"
+#include "scenario/apply.h"
 
 namespace rootsim::analysis {
 namespace {
 
 // One shared scaled-down campaign for all analysis tests (built once).
+// The paper timeline: these tests assert figures from the paper's campaign.
 const measure::Campaign& test_campaign() {
   static const measure::Campaign* campaign = [] {
-    measure::CampaignConfig config;
+    measure::CampaignConfig config = scenario::paper_campaign_config();
     config.zone.tld_count = 25;
     config.zone.rsa_modulus_bits = 512;
     config.vp_scale = 0.25;

@@ -18,6 +18,12 @@ struct Fixture {
   Fixture() {
     config.tld_count = 30;
     config.rsa_modulus_bits = 512;
+    // Paper-timeline fixture: this file diffs zones across the b.root
+    // renumbering edit, so the instant is set explicitly (scenario data).
+    config.zonemd_private_start = make_time(2023, 9, 13);
+    config.zonemd_sha384_start = make_time(2023, 12, 6, 20, 30);
+    config.broot_change = make_time(2023, 11, 27);
+    catalog.set_renumbering_time(config.broot_change);
     authority = std::make_unique<rss::ZoneAuthority>(catalog, config);
   }
 };

@@ -7,12 +7,13 @@
 #include <set>
 
 #include "netsim/flight_recorder.h"
+#include "scenario/apply.h"
 
 namespace rootsim::measure {
 namespace {
 
 CampaignConfig fast_config() {
-  CampaignConfig config;
+  CampaignConfig config = scenario::paper_campaign_config();
   config.zone.tld_count = 25;
   config.zone.rsa_modulus_bits = 512;
   config.vp_scale = 0.05;
@@ -223,7 +224,7 @@ TEST(Campaign, SloTimelineDetectsAndAttributesPaperEvents) {
 }
 
 TEST(FaultPlan, MatchesTable2Structure) {
-  auto plan = default_fault_plan();
+  auto plan = scenario::paper_campaign_config().fault_plan;
   size_t clock_events = 0, bitflips = 0, stale = 0;
   for (const auto& event : plan) {
     switch (event.kind) {

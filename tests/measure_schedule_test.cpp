@@ -2,13 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include "scenario/apply.h"
+
 namespace rootsim::measure {
 namespace {
 
 using util::make_time;
 
+// The paper's Fig. 2 schedule, as the scenario layer reconstructs it.
+Schedule paper_schedule() {
+  return Schedule(scenario::paper_campaign_config().schedule);
+}
+
 TEST(Schedule, CampaignBounds) {
-  Schedule schedule;
+  Schedule schedule = paper_schedule();
   ASSERT_GT(schedule.round_count(), 0u);
   EXPECT_EQ(schedule.round_time(0), make_time(2023, 7, 3));
   EXPECT_LT(schedule.rounds().back(), make_time(2023, 12, 24));
@@ -17,13 +24,13 @@ TEST(Schedule, CampaignBounds) {
 TEST(Schedule, RoundCountMatchesIntervalArithmetic) {
   // 174 days total; 40 days (Sep 8..Oct 2 = 24, Nov 20..Dec 6 = 16) at
   // 15-minute resolution, the rest at 30 minutes.
-  Schedule schedule;
+  Schedule schedule = paper_schedule();
   size_t expected = (174 - 24 - 16) * 48 + (24 + 16) * 96;
   EXPECT_EQ(schedule.round_count(), expected);
 }
 
 TEST(Schedule, DenseWindowsAre15Min) {
-  Schedule schedule;
+  Schedule schedule = paper_schedule();
   EXPECT_TRUE(schedule.in_dense_window(make_time(2023, 9, 15)));
   EXPECT_TRUE(schedule.in_dense_window(make_time(2023, 11, 27)));  // b.root day
   EXPECT_FALSE(schedule.in_dense_window(make_time(2023, 8, 1)));
@@ -39,7 +46,7 @@ TEST(Schedule, DenseWindowsAre15Min) {
 }
 
 TEST(Schedule, RoundAtFindsEnclosingRound) {
-  Schedule schedule;
+  Schedule schedule = paper_schedule();
   EXPECT_EQ(schedule.round_at(make_time(2023, 7, 3, 0, 0)), 0u);
   EXPECT_EQ(schedule.round_at(make_time(2023, 7, 3, 0, 29)), 0u);
   EXPECT_EQ(schedule.round_at(make_time(2023, 7, 3, 0, 30)), 1u);
@@ -51,7 +58,7 @@ TEST(Schedule, RoundAtFindsEnclosingRound) {
 }
 
 TEST(Schedule, RoundsStrictlyIncreasing) {
-  Schedule schedule;
+  Schedule schedule = paper_schedule();
   for (size_t i = 1; i < schedule.round_count(); ++i)
     ASSERT_LT(schedule.round_time(i - 1), schedule.round_time(i));
 }
@@ -63,6 +70,59 @@ TEST(Schedule, CustomWindows) {
   config.dense_windows = {{make_time(2024, 1, 2), make_time(2024, 1, 3)}};
   Schedule schedule(config);
   EXPECT_EQ(schedule.round_count(), 48u + 96u);
+}
+
+TEST(Schedule, RoundAtBoundariesOfTheHorizon) {
+  ScheduleConfig config;
+  config.start = make_time(2024, 3, 1);
+  config.end = make_time(2024, 3, 2);
+  Schedule schedule(config);
+  ASSERT_EQ(schedule.round_count(), 48u);
+  // One second before the first round still lands on round 0.
+  EXPECT_EQ(schedule.round_at(config.start - 1), 0u);
+  EXPECT_EQ(schedule.round_at(config.start), 0u);
+  // The horizon end is past the last round (rounds cover [start, end)).
+  EXPECT_EQ(schedule.round_at(config.end), schedule.round_count() - 1);
+  EXPECT_EQ(schedule.round_at(config.end - 1), schedule.round_count() - 1);
+  EXPECT_LT(schedule.rounds().back(), config.end);
+}
+
+TEST(Schedule, DenseWindowEdgesAreHalfOpen) {
+  ScheduleConfig config;
+  config.start = make_time(2024, 3, 1);
+  config.end = make_time(2024, 3, 4);
+  const util::UnixTime dense_start = make_time(2024, 3, 2);
+  const util::UnixTime dense_end = make_time(2024, 3, 3);
+  config.dense_windows = {{dense_start, dense_end}};
+  Schedule schedule(config);
+  EXPECT_FALSE(schedule.in_dense_window(dense_start - 1));
+  EXPECT_TRUE(schedule.in_dense_window(dense_start));
+  EXPECT_TRUE(schedule.in_dense_window(dense_end - 1));
+  EXPECT_FALSE(schedule.in_dense_window(dense_end));
+  // A round scheduled exactly at the window start steps at the dense rate.
+  size_t first_dense = schedule.round_at(dense_start);
+  EXPECT_EQ(schedule.round_time(first_dense), dense_start);
+  EXPECT_EQ(schedule.round_time(first_dense + 1) - dense_start, 900);
+}
+
+TEST(Schedule, NoDenseWindowsRunsAtBaseCadenceThroughout) {
+  ScheduleConfig config;
+  config.start = make_time(2024, 3, 1);
+  config.end = make_time(2024, 3, 3);
+  Schedule schedule(config);
+  EXPECT_EQ(schedule.round_count(), 96u);
+  for (size_t i = 1; i < schedule.round_count(); ++i)
+    EXPECT_EQ(schedule.round_time(i) - schedule.round_time(i - 1), 1800);
+}
+
+TEST(Schedule, DegenerateHorizonStillHasOneRound) {
+  // The default config is an empty horizon; round_time/round_at must stay
+  // total so config-less consumers (unit fixtures) never index out of range.
+  Schedule schedule;
+  ASSERT_EQ(schedule.round_count(), 1u);
+  EXPECT_EQ(schedule.round_time(0), 0);
+  EXPECT_EQ(schedule.round_at(make_time(2024, 1, 1)), 0u);
+  EXPECT_EQ(schedule.round_at(-1), 0u);
 }
 
 }  // namespace

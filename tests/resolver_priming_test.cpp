@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "scenario/apply.h"
+
 namespace rootsim::resolver {
 namespace {
 
@@ -9,7 +11,8 @@ using util::make_time;
 
 const measure::Campaign& test_campaign() {
   static const measure::Campaign* campaign = [] {
-    measure::CampaignConfig config;
+    // The paper timeline (this file asserts the b.root renumbering dates).
+    measure::CampaignConfig config = scenario::paper_campaign_config();
     config.zone.tld_count = 25;
     config.zone.rsa_modulus_bits = 512;
     config.vp_scale = 0.05;

@@ -26,7 +26,12 @@ TEST(Catalog, RenumberingAddresses) {
   EXPECT_EQ(renumbering.old_ipv6.to_string(), "2001:500:200::b");
   EXPECT_EQ(renumbering.new_ipv4, catalog.by_letter('b').ipv4);
   EXPECT_EQ(renumbering.new_ipv6, catalog.by_letter('b').ipv6);
-  EXPECT_EQ(util::format_date(renumbering.zone_change_time), "2023-11-27");
+  // The instant is scenario data: unset by default, injected by the
+  // campaign from its zone config (the paper's date comes from paper-2023).
+  EXPECT_EQ(renumbering.zone_change_time, 0);
+  catalog.set_renumbering_time(util::make_time(2023, 11, 27));
+  EXPECT_EQ(util::format_date(catalog.renumbering().zone_change_time),
+            "2023-11-27");
 }
 
 TEST(Catalog, IndexOfAddressCoversOldAndNew) {

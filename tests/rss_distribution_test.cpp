@@ -17,6 +17,12 @@ struct Fixture {
   Fixture() {
     config.tld_count = 30;
     config.rsa_modulus_bits = 512;
+    // The paper's Fig. 2 phase instants, explicit because this fixture
+    // asserts the literal dates (campaigns get them from the paper-2023
+    // spec via scenario::apply).
+    config.zonemd_private_start = make_time(2023, 9, 13);
+    config.zonemd_sha384_start = make_time(2023, 12, 6, 20, 30);
+    config.broot_change = make_time(2023, 11, 27);
     authority = std::make_unique<ZoneAuthority>(catalog, config);
   }
 

@@ -26,17 +26,24 @@ import sys
 
 
 def load(path):
+    """Returns (records, scenario). Exports stamped by a scenario carry one
+    {"scenario": "<name>"} header line before the data records."""
     records = []
+    scenario = None
     with open(path) as handle:
         for lineno, line in enumerate(handle, 1):
             line = line.strip()
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError as err:
                 raise SystemExit(f"{path}:{lineno}: bad JSON: {err}")
-    return records
+            if set(record) == {"scenario"}:
+                scenario = record["scenario"]
+                continue
+            records.append(record)
+    return records, scenario
 
 
 def fmt_table(headers, rows):
@@ -140,7 +147,7 @@ def main():
     parser.add_argument("--day", help="filter to one day (YYYY-MM-DD)")
     args = parser.parse_args()
 
-    records = load(args.jsonl)
+    records, scenario = load(args.jsonl)
     if args.instance:
         records = [r for r in records if r.get("instance") == args.instance]
     if args.day:
@@ -152,6 +159,9 @@ def main():
 
     selected = args.table or sorted(TABLES)
     out = []
+    if scenario:
+        out.append(f"scenario: {scenario}")
+        out.append("")
     for name in selected:
         out.append(f"== {name} ==")
         out.append(TABLES[name](records))

@@ -28,17 +28,24 @@ import sys
 
 
 def load(path):
+    """Returns (records, scenario). Exports stamped by a scenario carry one
+    {"scenario": "<name>"} header line before the data records."""
     records = []
+    scenario = None
     with open(path) as handle:
         for lineno, line in enumerate(handle, 1):
             line = line.strip()
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError as err:
                 raise SystemExit(f"{path}:{lineno}: bad JSON: {err}")
-    return records
+            if set(record) == {"scenario"}:
+                scenario = record["scenario"]
+                continue
+            records.append(record)
+    return records, scenario
 
 
 def fmt_table(headers, rows):
@@ -155,8 +162,8 @@ def main():
                         help="filter to one address family")
     args = parser.parse_args()
 
-    windows = load(args.jsonl)
-    incidents = load(args.incidents) if args.incidents else []
+    windows, scenario = load(args.jsonl)
+    incidents, _ = load(args.incidents) if args.incidents else ([], None)
     if args.letter:
         windows = [w for w in windows if w.get("letter") == args.letter]
         incidents = [i for i in incidents if i.get("letter") == args.letter]
@@ -170,6 +177,9 @@ def main():
     selected = args.table or (["health", "margins"] +
                               (["incidents"] if args.incidents else []))
     out = []
+    if scenario:
+        out.append(f"scenario: {scenario}")
+        out.append("")
     for name in selected:
         out.append(f"== {name} ==")
         if name == "incidents":
